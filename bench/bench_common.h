@@ -1,0 +1,134 @@
+#ifndef ODYSSEY_BENCH_BENCH_COMMON_H_
+#define ODYSSEY_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/dmessi.h"
+#include "src/baselines/dpisax.h"
+#include "src/core/driver.h"
+#include "src/dataset/generators.h"
+#include "src/dataset/registry.h"
+#include "src/dataset/workload.h"
+
+namespace odyssey {
+namespace bench {
+
+/// Global scale knob: ODYSSEY_BENCH_SCALE multiplies dataset/query sizes
+/// (default 1.0). The reproduction sizes are chosen so the full suite runs
+/// in minutes on a laptop; raise the scale on a bigger machine.
+inline double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("ODYSSEY_BENCH_SCALE");
+    return env != nullptr ? std::atof(env) : 1.0;
+  }();
+  return scale <= 0.0 ? 1.0 : scale;
+}
+
+inline size_t Scaled(size_t base) {
+  const double s = static_cast<double>(base) * BenchScale();
+  return s < 64.0 ? 64 : static_cast<size_t>(s);
+}
+
+/// Default iSAX geometry used across benches (16 segments, like MESSI).
+inline IndexOptions DefaultIndexOptions(size_t length) {
+  IndexOptions options;
+  options.config = IsaxConfig(length, 16);
+  options.leaf_capacity = 128;
+  return options;
+}
+
+/// A cached dataset, generated once per process (benchmark cases share it).
+inline const SeriesCollection& CachedDataset(const std::string& name,
+                                             size_t count, size_t length,
+                                             uint64_t seed) {
+  static std::map<std::string, std::unique_ptr<SeriesCollection>>& cache =
+      *new std::map<std::string, std::unique_ptr<SeriesCollection>>();
+  const std::string key = name + "/" + std::to_string(count) + "/" +
+                          std::to_string(length) + "/" + std::to_string(seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    SeriesCollection data = [&]() -> SeriesCollection {
+      if (name == "Random") return GenerateRandomWalk(count, length, seed);
+      if (name == "Seismic") return GenerateSeismicLike(count, length, seed);
+      if (name == "Astro") return GenerateAstroLike(count, length, seed);
+      if (name == "Deep") return GenerateEmbeddingLike(count, length, 256, seed);
+      if (name == "Sift") return GenerateEmbeddingLike(count, length, 512, seed);
+      if (name == "Yan-TtI") return GenerateCrossModalLike(count, length, seed);
+      return GenerateRandomWalk(count, length, seed);
+    }();
+    it = cache.emplace(key, std::make_unique<SeriesCollection>(std::move(data)))
+             .first;
+  }
+  return *it->second;
+}
+
+/// A mixed-difficulty query batch against `data` (the paper's Seismic-style
+/// batches: most queries resemble archived data, a few are hard).
+inline SeriesCollection MixedQueries(const SeriesCollection& data,
+                                     size_t count, uint64_t seed) {
+  WorkloadOptions wl;
+  wl.count = count;
+  wl.min_noise = 0.05;
+  wl.max_noise = 2.0;
+  wl.unrelated_fraction = 0.1;
+  wl.seed = seed;
+  return GenerateQueries(data, wl);
+}
+
+/// Calibrates a cost model + threshold model on a single-node probe index
+/// (what the paper does once per dataset). Returns false when too few
+/// samples could be collected.
+inline bool CalibrateModels(const SeriesCollection& data,
+                            const IndexOptions& index_options,
+                            size_t train_queries, uint64_t seed,
+                            CostModel* cost_model,
+                            ThresholdModel* threshold_model) {
+  const Index probe = Index::Build(SeriesCollection(data), index_options);
+  const SeriesCollection train = MixedQueries(data, train_queries, seed);
+  QueryOptions qo;
+  qo.num_threads = 2;
+  const auto samples = CollectCalibrationSamples(probe, train, qo);
+  std::vector<double> bsf, secs, sizes;
+  for (const auto& s : samples) {
+    bsf.push_back(s.initial_bsf);
+    secs.push_back(s.exec_seconds);
+    sizes.push_back(s.median_pq_size);
+  }
+  bool ok = true;
+  if (cost_model != nullptr) ok &= cost_model->Fit(bsf, secs).ok();
+  if (threshold_model != nullptr) {
+    ok &= threshold_model->Calibrate(bsf, sizes).ok();
+  }
+  return ok;
+}
+
+/// Standard Odyssey options for cluster benches.
+inline OdysseyOptions ClusterOptions(size_t length, int nodes, int groups,
+                                     SchedulingPolicy policy, bool worksteal,
+                                     int threads_per_node = 2) {
+  OdysseyOptions options;
+  options.num_nodes = nodes;
+  options.num_groups = groups;
+  options.index_options = DefaultIndexOptions(length);
+  options.build_threads_per_node = threads_per_node;
+  options.scheduling = policy;
+  options.worksteal.enabled = worksteal;
+  options.query_options.num_threads = threads_per_node;
+  return options;
+}
+
+/// True when PARTIAL-groups is a valid layout over `nodes`.
+inline bool ValidLayout(int nodes, int groups) {
+  return groups >= 1 && groups <= nodes && nodes % groups == 0;
+}
+
+}  // namespace bench
+}  // namespace odyssey
+
+#endif  // ODYSSEY_BENCH_BENCH_COMMON_H_

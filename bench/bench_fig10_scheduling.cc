@@ -1,0 +1,101 @@
+// Figure 10: Odyssey's scheduling algorithms on Seismic.
+//  (a) FULL replication, 1-8 nodes
+//  (b) PARTIAL-2 replication, 2-8 nodes
+// Policies: STATIC, DYNAMIC, PREDICT-ST-UNSORTED, PREDICT-ST, PREDICT-DN,
+// and WORK-STEAL-PREDICT (PREDICT-DN + work-stealing).
+// Expected shape: PREDICT-DN beats STATIC (paper: up to 150%); adding
+// work-stealing wins at higher node counts.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace odyssey {
+namespace {
+
+struct PolicyCase {
+  const char* name;
+  SchedulingPolicy policy;
+  bool worksteal;
+};
+
+constexpr PolicyCase kPolicies[] = {
+    {"static", SchedulingPolicy::kStatic, false},
+    {"dynamic", SchedulingPolicy::kDynamic, false},
+    {"predict-st-unsorted", SchedulingPolicy::kPredictStaticUnsorted, false},
+    {"predict-st", SchedulingPolicy::kPredictStatic, false},
+    {"predict-dn", SchedulingPolicy::kPredictDynamic, false},
+    {"work-steal-predict", SchedulingPolicy::kPredictDynamic, true},
+};
+
+const SeriesCollection& Data() {
+  return bench::CachedDataset("Seismic", bench::Scaled(24000), 256, 1);
+}
+
+CostModel& SharedCostModel() {
+  static CostModel& model = *new CostModel();
+  static bool initialized = false;
+  if (!initialized) {
+    bench::CalibrateModels(Data(), bench::DefaultIndexOptions(256), 12, 7,
+                           &model, nullptr);
+    initialized = true;
+  }
+  return model;
+}
+
+void RunScheduling(benchmark::State& state, const PolicyCase& policy,
+                   int nodes, int groups) {
+  const SeriesCollection& data = Data();
+  const SeriesCollection queries = bench::MixedQueries(data, 32, 9);
+  OdysseyOptions options = bench::ClusterOptions(
+      256, nodes, groups, policy.policy, policy.worksteal);
+  options.cost_model = &SharedCostModel();
+  OdysseyCluster cluster(data, options);
+  for (auto _ : state) {
+    const BatchReport report = cluster.AnswerBatch(queries);
+    state.counters["steals"] = report.total_steals();
+    state.counters["sched_ms"] = report.scheduling_seconds * 1e3;
+  }
+  state.counters["nodes"] = nodes;
+}
+
+void RegisterAll() {
+  for (const auto& policy : kPolicies) {
+    for (int nodes : {1, 2, 4, 8}) {
+      benchmark::RegisterBenchmark(
+          (std::string("BM_Fig10a_FULL/") + policy.name + "/nodes:" +
+           std::to_string(nodes))
+              .c_str(),
+          [policy, nodes](benchmark::State& s) {
+            RunScheduling(s, policy, nodes, /*groups=*/1);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+    for (int nodes : {2, 4, 8}) {
+      benchmark::RegisterBenchmark(
+          (std::string("BM_Fig10b_PARTIAL2/") + policy.name + "/nodes:" +
+           std::to_string(nodes))
+              .c_str(),
+          [policy, nodes](benchmark::State& s) {
+            RunScheduling(s, policy, nodes, /*groups=*/2);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main(int argc, char** argv) {
+  odyssey::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

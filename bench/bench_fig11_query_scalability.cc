@@ -1,0 +1,74 @@
+// Figure 11: query-answering scalability as the number of queries grows
+// (Random dataset, WORK-STEAL).
+//  (a) FULL replication, 1-8 nodes: the time to answer j*Q queries on j
+//      nodes should stay roughly flat (near-perfect scaling).
+//  (b) PARTIAL-2, 2-8 nodes.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace odyssey {
+namespace {
+
+const SeriesCollection& Data() {
+  return bench::CachedDataset("Random", bench::Scaled(24000), 256, 11);
+}
+
+void RunScalability(benchmark::State& state, int nodes, int groups,
+                    int queries) {
+  const SeriesCollection& data = Data();
+  const SeriesCollection batch = bench::MixedQueries(data, queries, 13);
+  OdysseyOptions options = bench::ClusterOptions(
+      256, nodes, groups, SchedulingPolicy::kDynamic, /*worksteal=*/true);
+  OdysseyCluster cluster(data, options);
+  for (auto _ : state) {
+    const BatchReport report = cluster.AnswerBatch(batch);
+    benchmark::DoNotOptimize(report.answers.size());
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["queries"] = queries;
+}
+
+void RegisterAll() {
+  for (int nodes : {1, 2, 4, 8}) {
+    for (int queries : {25, 50, 100, 200}) {
+      benchmark::RegisterBenchmark(
+          ("BM_Fig11a_FULL/queries:" + std::to_string(queries) +
+           "/nodes:" + std::to_string(nodes))
+              .c_str(),
+          [nodes, queries](benchmark::State& s) {
+            RunScalability(s, nodes, /*groups=*/1, queries);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+  }
+  for (int nodes : {2, 4, 8}) {
+    for (int queries : {25, 50, 100, 200}) {
+      benchmark::RegisterBenchmark(
+          ("BM_Fig11b_PARTIAL2/queries:" + std::to_string(queries) +
+           "/nodes:" + std::to_string(nodes))
+              .c_str(),
+          [nodes, queries](benchmark::State& s) {
+            RunScalability(s, nodes, /*groups=*/2, queries);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main(int argc, char** argv) {
+  odyssey::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 12: query-answering time for a fixed batch as the dataset grows,
+// for every replication strategy on 8 nodes; configurations whose per-node
+// data exceeds the (simulated) memory budget are skipped exactly like the
+// paper's "Memory Limitation" annotations.
+//  (a) Random (paper: 100-1600 GB)   (b) Yan-TtI (paper: 100-800 GB)
+// Expected shape: time grows with data; more replication = faster queries;
+// FULL hits the memory wall first.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace odyssey {
+namespace {
+
+constexpr int kNodes = 8;
+
+// Simulated per-node memory budget (the paper's nodes cap at 200 GB; we
+// scale to reproduction sizes: budget = half the largest dataset).
+double PerNodeBudgetBytes(size_t largest_series, size_t length) {
+  return 0.5 * static_cast<double>(largest_series) *
+         static_cast<double>(length) * sizeof(float);
+}
+
+void RunScaling(benchmark::State& state, const std::string& dataset,
+                size_t length, size_t series, size_t largest, int groups) {
+  const double per_node_bytes = static_cast<double>(series) *
+                                static_cast<double>(length) * sizeof(float) /
+                                static_cast<double>(groups);
+  if (per_node_bytes > PerNodeBudgetBytes(largest, length)) {
+    state.SkipWithError("Memory Limitation (simulated per-node budget)");
+    return;
+  }
+  const SeriesCollection& data =
+      bench::CachedDataset(dataset, series, length, 17);
+  const SeriesCollection queries = bench::MixedQueries(data, 25, 19);
+  OdysseyOptions options =
+      bench::ClusterOptions(length, kNodes, groups,
+                            SchedulingPolicy::kPredictDynamic, true);
+  OdysseyCluster cluster(data, options);
+  for (auto _ : state) {
+    const BatchReport report = cluster.AnswerBatch(queries);
+    benchmark::DoNotOptimize(report.answers.size());
+  }
+  state.counters["series"] = static_cast<double>(series);
+  state.counters["repl_degree"] = kNodes / groups;
+}
+
+void RegisterFamily(const char* figure, const std::string& dataset,
+                    size_t length, const std::vector<size_t>& sizes) {
+  const size_t largest = sizes.back();
+  const struct {
+    const char* name;
+    int groups;
+  } kStrategies[] = {{"EQUALLY-SPLIT", kNodes},
+                     {"PARTIAL-4", 4},
+                     {"PARTIAL-2", 2},
+                     {"FULL", 1}};
+  for (const auto& strategy : kStrategies) {
+    for (size_t series : sizes) {
+      benchmark::RegisterBenchmark(
+          (std::string(figure) + "/" + strategy.name +
+           "/series:" + std::to_string(series))
+              .c_str(),
+          [=](benchmark::State& s) {
+            RunScaling(s, dataset, length, series, largest, strategy.groups);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main(int argc, char** argv) {
+  using odyssey::bench::Scaled;
+  odyssey::RegisterFamily("BM_Fig12a_Random", "Random", 256,
+                          {Scaled(8000), Scaled(16000), Scaled(32000),
+                           Scaled(64000)});
+  odyssey::RegisterFamily("BM_Fig12b_YanTtI", "Yan-TtI", 200,
+                          {Scaled(8000), Scaled(16000), Scaled(32000)});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

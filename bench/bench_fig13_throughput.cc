@@ -1,0 +1,56 @@
+// Figure 13: query throughput (queries/second) as the number of nodes
+// grows (Random, FULL replication, WORK-STEAL). Expected shape: throughput
+// increases close to linearly with nodes for all batch sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace odyssey {
+namespace {
+
+void RunThroughput(benchmark::State& state, int nodes, int queries) {
+  const SeriesCollection& data =
+      bench::CachedDataset("Random", bench::Scaled(24000), 256, 21);
+  const SeriesCollection batch = bench::MixedQueries(data, queries, 23);
+  OdysseyOptions options = bench::ClusterOptions(
+      256, nodes, /*groups=*/1, SchedulingPolicy::kDynamic, true);
+  OdysseyCluster cluster(data, options);
+  double seconds = 0.0;
+  for (auto _ : state) {
+    const BatchReport report = cluster.AnswerBatch(batch);
+    seconds = report.query_seconds;
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["throughput_qps"] =
+      seconds > 0.0 ? static_cast<double>(queries) / seconds : 0.0;
+}
+
+void RegisterAll() {
+  for (int queries : {25, 50, 100, 200}) {
+    for (int nodes : {1, 2, 4, 8}) {
+      benchmark::RegisterBenchmark(
+          ("BM_Fig13_Throughput/queries:" + std::to_string(queries) +
+           "/nodes:" + std::to_string(nodes))
+              .c_str(),
+          [nodes, queries](benchmark::State& s) {
+            RunThroughput(s, nodes, queries);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main(int argc, char** argv) {
+  odyssey::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 14: total index size per dataset and replication strategy on 8
+// nodes. The benchmark time is the distributed index-build time; the
+// counters report the index footprint (the figure's quantity) and the raw
+// data footprint. Expected shape: index size is small relative to the data
+// and grows with the replication degree; FULL on the larger datasets hits
+// the (simulated) memory limitation.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace odyssey {
+namespace {
+
+constexpr int kNodes = 8;
+
+void RunIndexSize(benchmark::State& state, const std::string& dataset,
+                  size_t length, size_t series, int groups) {
+  // Simulated memory limitation: replicating the two largest stand-ins in
+  // full exceeds the per-node budget, as in the paper's figure.
+  const double per_node_bytes = static_cast<double>(series) *
+                                static_cast<double>(length) * sizeof(float) /
+                                static_cast<double>(groups);
+  const double budget =
+      0.6 * static_cast<double>(bench::Scaled(40000)) * 256 * sizeof(float);
+  if (per_node_bytes > budget) {
+    state.SkipWithError("Memory Limitation (simulated per-node budget)");
+    return;
+  }
+  const SeriesCollection& data =
+      bench::CachedDataset(dataset, series, length, 25);
+  for (auto _ : state) {
+    OdysseyOptions options = bench::ClusterOptions(
+        length, kNodes, groups, SchedulingPolicy::kStatic, false,
+        /*threads_per_node=*/4);
+    OdysseyCluster cluster(data, options);
+    state.counters["index_MB"] =
+        static_cast<double>(cluster.total_index_bytes()) / (1024.0 * 1024.0);
+    state.counters["data_MB"] =
+        static_cast<double>(cluster.total_data_bytes()) / (1024.0 * 1024.0);
+    state.counters["index_s"] = cluster.index_seconds();
+  }
+  state.counters["repl_degree"] = kNodes / groups;
+}
+
+void RegisterAll() {
+  const struct {
+    const char* name;
+    size_t length;
+    size_t series;
+  } kDatasets[] = {
+      {"Random", 256, bench::Scaled(16000)},
+      {"Seismic", 256, bench::Scaled(16000)},
+      {"Astro", 256, bench::Scaled(16000)},
+      {"Sift", 128, bench::Scaled(32000)},
+      {"Yan-TtI", 200, bench::Scaled(20000)},
+      {"Deep", 96, bench::Scaled(40000)},
+  };
+  const struct {
+    const char* name;
+    int groups;
+  } kStrategies[] = {{"EQUALLY-SPLIT", kNodes},
+                     {"PARTIAL-4", 4},
+                     {"PARTIAL-2", 2},
+                     {"FULL", 1}};
+  for (const auto& dataset : kDatasets) {
+    for (const auto& strategy : kStrategies) {
+      benchmark::RegisterBenchmark(
+          (std::string("BM_Fig14_IndexSize/") + dataset.name + "/" +
+           strategy.name)
+              .c_str(),
+          [=](benchmark::State& s) {
+            RunIndexSize(s, dataset.name, dataset.length, dataset.series,
+                         strategy.groups);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main(int argc, char** argv) {
+  odyssey::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

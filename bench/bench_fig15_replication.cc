@@ -1,0 +1,104 @@
+// Figure 15: Odyssey's replication strategies with WORK-STEAL-PREDICT on
+// Seismic, for a small (a, c) and a large (b, d) query workload.
+//  (a)/(b) query-answering time vs nodes: more replication => faster.
+//  (c)/(d) total time (index build + queries): for few queries the build
+//          cost of FULL dominates (EQUALLY-SPLIT wins); for many queries
+//          it is amortized (FULL wins) — the paper's central trade-off.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace odyssey {
+namespace {
+
+const SeriesCollection& Data() {
+  return bench::CachedDataset("Seismic", bench::Scaled(24000), 256, 27);
+}
+
+CostModel& SharedCostModel() {
+  static CostModel& model = *new CostModel();
+  static bool initialized = false;
+  if (!initialized) {
+    bench::CalibrateModels(Data(), bench::DefaultIndexOptions(256), 12, 29,
+                           &model, nullptr);
+    initialized = true;
+  }
+  return model;
+}
+
+void RunReplication(benchmark::State& state, int nodes, int groups,
+                    int queries, bool include_index_time) {
+  const SeriesCollection& data = Data();
+  const SeriesCollection batch = bench::MixedQueries(data, queries, 31);
+  OdysseyOptions options = bench::ClusterOptions(
+      256, nodes, groups, SchedulingPolicy::kPredictDynamic, true);
+  options.cost_model = &SharedCostModel();
+  for (auto _ : state) {
+    // Total time includes stage 1-2 (partition + build), so the cluster is
+    // constructed inside the timed region for (c)/(d).
+    if (include_index_time) {
+      OdysseyCluster cluster(data, options);
+      const BatchReport report = cluster.AnswerBatch(batch);
+      state.counters["index_s"] = cluster.index_seconds();
+      state.counters["query_s"] = report.query_seconds;
+    } else {
+      state.PauseTiming();
+      OdysseyCluster cluster(data, options);
+      state.ResumeTiming();
+      const BatchReport report = cluster.AnswerBatch(batch);
+      state.counters["query_s"] = report.query_seconds;
+    }
+  }
+  state.counters["nodes"] = nodes;
+}
+
+void RegisterAll() {
+  const struct {
+    const char* name;
+    int min_nodes;
+    int groups;  // -1 = equally split (groups == nodes)
+  } kStrategies[] = {
+      {"EQUALLY-SPLIT", 1, -1}, {"PARTIAL-4", 4, 4}, {"PARTIAL-2", 2, 2},
+      {"FULL", 1, 1}};
+  const struct {
+    const char* figure;
+    int queries;
+    bool total;
+  } kPanels[] = {{"BM_Fig15a_QueryTime_smallQ", 16, false},
+                 {"BM_Fig15b_QueryTime_largeQ", 96, false},
+                 {"BM_Fig15c_TotalTime_smallQ", 16, true},
+                 {"BM_Fig15d_TotalTime_largeQ", 96, true}};
+  for (const auto& panel : kPanels) {
+    for (const auto& strategy : kStrategies) {
+      for (int nodes : {1, 2, 4, 8}) {
+        const int groups = strategy.groups < 0 ? nodes : strategy.groups;
+        if (!bench::ValidLayout(nodes, groups) || nodes < strategy.min_nodes) {
+          continue;
+        }
+        benchmark::RegisterBenchmark(
+            (std::string(panel.figure) + "/" + strategy.name +
+             "/nodes:" + std::to_string(nodes))
+                .c_str(),
+            [=](benchmark::State& s) {
+              RunReplication(s, nodes, groups, panel.queries, panel.total);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1)
+            ->UseRealTime();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main(int argc, char** argv) {
+  odyssey::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

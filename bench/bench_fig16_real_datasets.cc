@@ -1,0 +1,74 @@
+// Figure 16: replication strategies with WORK-STEAL-PREDICT on the other
+// real-dataset stand-ins (Astro, Deep, Sift, Yan-TtI), 100 queries. The
+// paper shows the same trend as Seismic (Figure 15a): more replication =>
+// faster query answering, consistently across datasets.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace odyssey {
+namespace {
+
+void RunDataset(benchmark::State& state, const std::string& dataset,
+                size_t length, size_t series, int nodes, int groups) {
+  const SeriesCollection& data =
+      bench::CachedDataset(dataset, series, length, 33);
+  const SeriesCollection queries = bench::MixedQueries(data, 25, 35);
+  OdysseyOptions options = bench::ClusterOptions(
+      length, nodes, groups, SchedulingPolicy::kPredictDynamic, true);
+  OdysseyCluster cluster(data, options);
+  for (auto _ : state) {
+    const BatchReport report = cluster.AnswerBatch(queries);
+    benchmark::DoNotOptimize(report.answers.size());
+  }
+  state.counters["nodes"] = nodes;
+}
+
+void RegisterAll() {
+  const struct {
+    const char* name;
+    size_t length;
+    size_t series;
+  } kDatasets[] = {
+      {"Astro", 256, bench::Scaled(16000)},
+      {"Deep", 96, bench::Scaled(40000)},
+      {"Sift", 128, bench::Scaled(32000)},
+      {"Yan-TtI", 200, bench::Scaled(20000)},
+  };
+  const struct {
+    const char* name;
+    int groups;  // -1 = equally split
+  } kStrategies[] = {{"EQUALLY-SPLIT", -1}, {"PARTIAL-4", 4}, {"PARTIAL-2", 2}};
+  for (const auto& dataset : kDatasets) {
+    for (const auto& strategy : kStrategies) {
+      for (int nodes : {2, 4, 8}) {
+        const int groups = strategy.groups < 0 ? nodes : strategy.groups;
+        if (!bench::ValidLayout(nodes, groups)) continue;
+        benchmark::RegisterBenchmark(
+            (std::string("BM_Fig16/") + dataset.name + "/" + strategy.name +
+             "/nodes:" + std::to_string(nodes))
+                .c_str(),
+            [=](benchmark::State& s) {
+              RunDataset(s, dataset.name, dataset.length, dataset.series,
+                         nodes, groups);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1)
+            ->UseRealTime();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main(int argc, char** argv) {
+  odyssey::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Figure 17d: Odyssey (WORK-STEAL-PREDICT with EQUALLY-SPLIT,
+// DENSITY-AWARE, and FULL replication) against the competitors: DMESSI,
+// DMESSI-SW-BSF and DPiSAX, on Seismic. Expected shape: DMESSI worst by a
+// wide margin (the paper: Odyssey up to 6.6x faster), DMESSI-SW-BSF and
+// DPiSAX in between, Odyssey FULL fastest, DENSITY-AWARE >= EQUALLY-SPLIT.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace odyssey {
+namespace {
+
+const SeriesCollection& Data() {
+  return bench::CachedDataset("Seismic", bench::Scaled(24000), 256, 39);
+}
+
+CostModel& SharedCostModel() {
+  static CostModel& model = *new CostModel();
+  static bool initialized = false;
+  if (!initialized) {
+    bench::CalibrateModels(Data(), bench::DefaultIndexOptions(256), 12, 41,
+                           &model, nullptr);
+    initialized = true;
+  }
+  return model;
+}
+
+enum class System {
+  kDMessi,
+  kDMessiSwBsf,
+  kDpisax,
+  kOdysseyEquallySplit,
+  kOdysseyDensityAware,
+  kOdysseyFull,
+};
+
+OdysseyOptions MakeSystemOptions(System system, int nodes) {
+  const SeriesCollection& data = Data();
+  QueryOptions qo;
+  qo.num_threads = 2;
+  const IndexOptions index_options = bench::DefaultIndexOptions(256);
+  switch (system) {
+    case System::kDMessi:
+      return MakeDMessiOptions(nodes, index_options, qo, false);
+    case System::kDMessiSwBsf:
+      return MakeDMessiOptions(nodes, index_options, qo, true);
+    case System::kDpisax:
+      return MakeDpisaxOptions(data, nodes, index_options, qo);
+    case System::kOdysseyEquallySplit: {
+      OdysseyOptions options = bench::ClusterOptions(
+          256, nodes, nodes, SchedulingPolicy::kPredictDynamic, true);
+      options.cost_model = &SharedCostModel();
+      return options;
+    }
+    case System::kOdysseyDensityAware: {
+      OdysseyOptions options = bench::ClusterOptions(
+          256, nodes, nodes, SchedulingPolicy::kPredictDynamic, true);
+      options.partitioning = PartitioningScheme::kDensityAware;
+      options.cost_model = &SharedCostModel();
+      return options;
+    }
+    case System::kOdysseyFull: {
+      OdysseyOptions options = bench::ClusterOptions(
+          256, nodes, 1, SchedulingPolicy::kPredictDynamic, true);
+      options.cost_model = &SharedCostModel();
+      return options;
+    }
+  }
+  return {};
+}
+
+void RunSystem(benchmark::State& state, System system, int nodes) {
+  const SeriesCollection& data = Data();
+  // A harder batch than the other figures: one third of the queries are
+  // unrelated to the data (low pruning), the regime where BSF sharing and
+  // load balancing separate the systems (as on the paper's real Seismic).
+  WorkloadOptions wl;
+  wl.count = 32;
+  wl.min_noise = 0.1;
+  wl.max_noise = 2.0;
+  wl.unrelated_fraction = 0.33;
+  wl.seed = 43;
+  const SeriesCollection queries = GenerateQueries(data, wl);
+  OdysseyCluster cluster(data, MakeSystemOptions(system, nodes));
+  for (auto _ : state) {
+    const BatchReport report = cluster.AnswerBatch(queries);
+    state.counters["bsf_updates"] = static_cast<double>(report.bsf_updates);
+    state.counters["steals"] = report.total_steals();
+  }
+  state.counters["nodes"] = nodes;
+}
+
+void RegisterAll() {
+  const struct {
+    const char* name;
+    System system;
+  } kSystems[] = {
+      {"DMESSI", System::kDMessi},
+      {"DMESSI-SW-BSF", System::kDMessiSwBsf},
+      {"DPiSAX", System::kDpisax},
+      {"odyssey-equally-split", System::kOdysseyEquallySplit},
+      {"odyssey-density-aware", System::kOdysseyDensityAware},
+      {"odyssey-full-replication", System::kOdysseyFull},
+  };
+  for (const auto& system : kSystems) {
+    for (int nodes : {2, 4, 8}) {
+      benchmark::RegisterBenchmark(
+          (std::string("BM_Fig17d_Competitors/") + system.name +
+           "/nodes:" + std::to_string(nodes))
+              .c_str(),
+          [=](benchmark::State& s) { RunSystem(s, system.system, nodes); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main(int argc, char** argv) {
+  odyssey::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 17(a-c): index-construction scalability with EQUALLY-SPLIT.
+//  (a) index time vs dataset size (Deep stand-in, 16 nodes): linear in
+//      data, with the buffer/tree breakdown reported.
+//  (b) index time vs node count (full dataset): near-linear speedup.
+//  (c) dataset size and node count scaled together (Random): flat times
+//      (the paper's "perfect scalability").
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace odyssey {
+namespace {
+
+void RunIndexBuild(benchmark::State& state, const std::string& dataset,
+                   size_t length, size_t series, int nodes) {
+  const SeriesCollection& data =
+      bench::CachedDataset(dataset, series, length, 37);
+  for (auto _ : state) {
+    OdysseyOptions options = bench::ClusterOptions(
+        length, nodes, /*groups=*/nodes, SchedulingPolicy::kStatic, false,
+        /*threads_per_node=*/2);
+    OdysseyCluster cluster(data, options);
+    state.counters["buffer_s"] = cluster.max_buffer_seconds();
+    state.counters["tree_s"] = cluster.max_tree_seconds();
+    state.counters["partition_s"] = cluster.partition_seconds();
+  }
+  state.counters["series"] = static_cast<double>(series);
+  state.counters["nodes"] = nodes;
+}
+
+void RegisterAll() {
+  // (a) size sweep on 16 nodes.
+  for (size_t series :
+       {bench::Scaled(25000), bench::Scaled(50000), bench::Scaled(75000),
+        bench::Scaled(100000)}) {
+    benchmark::RegisterBenchmark(
+        ("BM_Fig17a_DeepSizeSweep/series:" + std::to_string(series)).c_str(),
+        [series](benchmark::State& s) {
+          RunIndexBuild(s, "Deep", 96, series, 16);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1)
+        ->UseRealTime();
+  }
+  // (b) node sweep on the full stand-in.
+  for (int nodes : {2, 4, 8, 16}) {
+    benchmark::RegisterBenchmark(
+        ("BM_Fig17b_DeepNodeSweep/nodes:" + std::to_string(nodes)).c_str(),
+        [nodes](benchmark::State& s) {
+          RunIndexBuild(s, "Deep", 96, bench::Scaled(100000), nodes);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1)
+        ->UseRealTime();
+  }
+  // (c) data and nodes scale together (Random).
+  for (int factor : {1, 2, 4}) {
+    benchmark::RegisterBenchmark(
+        ("BM_Fig17c_RandomScaleTogether/factor:" + std::to_string(factor))
+            .c_str(),
+        [factor](benchmark::State& s) {
+          RunIndexBuild(s, "Random", 256, bench::Scaled(12000) * factor,
+                        factor);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1)
+        ->UseRealTime();
+  }
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main(int argc, char** argv) {
+  odyssey::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

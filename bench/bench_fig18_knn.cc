@@ -1,0 +1,72 @@
+// Figure 18: 10-NN query answering (Random) across replication strategies
+// and node counts. Expected shape: same trends as 1-NN (more nodes and
+// more replication => faster), at uniformly higher cost than 1-NN.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace odyssey {
+namespace {
+
+void RunKnn(benchmark::State& state, int nodes, int groups, int k) {
+  const SeriesCollection& data =
+      bench::CachedDataset("Random", bench::Scaled(24000), 256, 45);
+  const SeriesCollection queries = bench::MixedQueries(data, 25, 47);
+  OdysseyOptions options = bench::ClusterOptions(
+      256, nodes, groups, SchedulingPolicy::kPredictDynamic, true);
+  options.query_options.k = k;
+  OdysseyCluster cluster(data, options);
+  for (auto _ : state) {
+    const BatchReport report = cluster.AnswerBatch(queries);
+    benchmark::DoNotOptimize(report.answers.size());
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["k"] = k;
+}
+
+void RegisterAll() {
+  const struct {
+    const char* name;
+    int groups;  // -1 = equally split
+  } kStrategies[] = {{"EQUALLY-SPLIT", -1},
+                     {"PARTIAL-4", 4},
+                     {"PARTIAL-2", 2},
+                     {"FULL", 1}};
+  for (const auto& strategy : kStrategies) {
+    for (int nodes : {1, 2, 4, 8}) {
+      const int groups = strategy.groups < 0 ? nodes : strategy.groups;
+      if (!bench::ValidLayout(nodes, groups)) continue;
+      benchmark::RegisterBenchmark(
+          (std::string("BM_Fig18_10NN/") + strategy.name +
+           "/nodes:" + std::to_string(nodes))
+              .c_str(),
+          [=](benchmark::State& s) { RunKnn(s, nodes, groups, 10); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+  }
+  // The paper varies k in 1..20; a small k-sweep on the FULL/4-node layout
+  // shows the cost growth with k.
+  for (int k : {1, 5, 10, 20}) {
+    benchmark::RegisterBenchmark(
+        ("BM_Fig18_kSweep_FULL_n4/k:" + std::to_string(k)).c_str(),
+        [=](benchmark::State& s) { RunKnn(s, 4, 1, k); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1)
+        ->UseRealTime();
+  }
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main(int argc, char** argv) {
+  odyssey::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

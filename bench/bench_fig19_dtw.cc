@@ -1,0 +1,80 @@
+// Figure 19: DTW query answering with 5% warping (Random) across
+// replication strategies and node counts, plus a warping-window sweep
+// (the paper varies 1%-15%). Expected shape: DTW costs more than
+// Euclidean, and the usual replication/node trends hold.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/distance/dtw.h"
+
+namespace odyssey {
+namespace {
+
+constexpr size_t kLength = 128;  // DTW is O(n*w); a shorter series keeps the
+                                 // reproduction fast while preserving shape.
+
+void RunDtw(benchmark::State& state, int nodes, int groups, double warping) {
+  const SeriesCollection& data =
+      bench::CachedDataset("Random", bench::Scaled(12000), kLength, 49);
+  const SeriesCollection queries = bench::MixedQueries(data, 15, 51);
+  OdysseyOptions options = bench::ClusterOptions(
+      kLength, nodes, groups, SchedulingPolicy::kPredictDynamic, true);
+  options.query_options.use_dtw = true;
+  options.query_options.dtw_window =
+      WarpingWindowFromFraction(kLength, warping);
+  OdysseyCluster cluster(data, options);
+  for (auto _ : state) {
+    const BatchReport report = cluster.AnswerBatch(queries);
+    benchmark::DoNotOptimize(report.answers.size());
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["window_pts"] =
+      static_cast<double>(options.query_options.dtw_window);
+}
+
+void RegisterAll() {
+  const struct {
+    const char* name;
+    int groups;  // -1 = equally split
+  } kStrategies[] = {{"EQUALLY-SPLIT", -1},
+                     {"PARTIAL-4", 4},
+                     {"PARTIAL-2", 2},
+                     {"FULL", 1}};
+  for (const auto& strategy : kStrategies) {
+    for (int nodes : {1, 2, 4, 8}) {
+      const int groups = strategy.groups < 0 ? nodes : strategy.groups;
+      if (!bench::ValidLayout(nodes, groups)) continue;
+      benchmark::RegisterBenchmark(
+          (std::string("BM_Fig19_DTW5pct/") + strategy.name +
+           "/nodes:" + std::to_string(nodes))
+              .c_str(),
+          [=](benchmark::State& s) { RunDtw(s, nodes, groups, 0.05); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
+  }
+  for (double warping : {0.01, 0.05, 0.10, 0.15}) {
+    benchmark::RegisterBenchmark(
+        ("BM_Fig19_WarpSweep_FULL_n4/warp_pct:" +
+         std::to_string(static_cast<int>(warping * 100)))
+            .c_str(),
+        [=](benchmark::State& s) { RunDtw(s, 4, 1, warping); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1)
+        ->UseRealTime();
+  }
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main(int argc, char** argv) {
+  odyssey::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 1: the datasets of the evaluation. Prints the registry (paper size
+// vs. reproduction stand-in size) and benchmarks the generation of each
+// stand-in, verifying every dataset used by the figure benches is
+// available and correctly shaped.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace odyssey {
+namespace {
+
+void BM_Table1_Generate(benchmark::State& state, const std::string& name) {
+  const DatasetSpec spec = Table1Dataset(name, 0.25 * bench::BenchScale());
+  for (auto _ : state) {
+    const SeriesCollection data = spec.Generate(/*seed=*/1);
+    benchmark::DoNotOptimize(data.data(0));
+    state.counters["series"] = static_cast<double>(data.size());
+    state.counters["length"] = static_cast<double>(data.length());
+    state.counters["MB"] =
+        static_cast<double>(data.MemoryBytes()) / (1024.0 * 1024.0);
+  }
+}
+
+void RegisterAll() {
+  for (const auto& spec : Table1Datasets()) {
+    benchmark::RegisterBenchmark(("BM_Table1_Generate/" + spec.name).c_str(),
+                                 [name = spec.name](benchmark::State& s) {
+                                   BM_Table1_Generate(s, name);
+                                 })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Table 1: datasets (paper -> reproduction stand-in) ===\n"
+      "%-10s %14s %8s %10s   %s\n",
+      "dataset", "paper #series", "length", "repro #", "description");
+  for (const auto& spec : odyssey::Table1Datasets()) {
+    std::printf("%-10s %14zu %8zu %10zu   %s\n", spec.name.c_str(),
+                spec.paper_count, spec.length, spec.count,
+                spec.description.c_str());
+  }
+  std::printf("\n");
+  odyssey::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

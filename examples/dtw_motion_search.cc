@@ -1,0 +1,91 @@
+// DTW similarity search (the paper's Section-4 extension): searching a
+// library of motion-like patterns for a query that is temporally misaligned
+// with its true match. Under Euclidean distance the shifted match looks
+// far away; under DTW with a small warping window it is found immediately —
+// while the search stays exact thanks to the LB_Keogh-based lower bounds.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/math_utils.h"
+#include "src/common/rng.h"
+#include "src/core/driver.h"
+#include "src/dataset/generators.h"
+#include "src/distance/dtw.h"
+
+namespace {
+
+constexpr size_t kLength = 128;
+
+// Time-shifts a series by `shift` points (cyclic), then re-normalizes.
+odyssey::SeriesCollection ShiftQueries(const odyssey::SeriesCollection& data,
+                                       size_t count, size_t shift,
+                                       uint64_t seed) {
+  odyssey::Rng rng(seed);
+  odyssey::SeriesCollection out(kLength);
+  float* dst = out.AppendUninitialized(count);
+  for (size_t q = 0; q < count; ++q) {
+    const size_t src = rng.NextBounded(data.size());
+    for (size_t t = 0; t < kLength; ++t) {
+      dst[q * kLength + t] = data.data(src)[(t + shift) % kLength] +
+                             static_cast<float>(0.05 * rng.NextGaussian());
+    }
+    odyssey::ZNormalize(dst + q * kLength, kLength);
+  }
+  return out;
+}
+
+double MeanNnDistance(const odyssey::BatchReport& report) {
+  double total = 0.0;
+  for (const auto& answer : report.answers) {
+    total += std::sqrt(answer[0].squared_distance);
+  }
+  return total / static_cast<double>(report.answers.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace odyssey;
+
+  const SeriesCollection library = GenerateSeismicLike(20000, kLength, 21);
+  const SeriesCollection queries = ShiftQueries(library, 20, /*shift=*/4, 23);
+  std::printf("library: %zu patterns; queries: %zu time-shifted probes\n\n",
+              library.size(), queries.size());
+
+  OdysseyOptions base;
+  base.num_nodes = 4;
+  base.num_groups = 2;
+  base.index_options.config = IsaxConfig(kLength, 16);
+  base.index_options.leaf_capacity = 128;
+  base.build_threads_per_node = 4;
+  base.query_options.num_threads = 2;
+
+  // The same index answers both distance types — only the query options
+  // change (the paper: "no changes are required in the index structure").
+  OdysseyCluster cluster(library, base);
+
+  std::printf("%-24s %-14s %s\n", "distance", "mean NN dist", "query time");
+  {
+    const BatchReport ed = cluster.AnswerBatch(queries);
+    std::printf("%-24s %-14.4f %.3f s\n", "Euclidean", MeanNnDistance(ed),
+                ed.query_seconds);
+  }
+  for (double warp : {0.01, 0.05, 0.10}) {
+    OdysseyOptions options = base;
+    options.query_options.use_dtw = true;
+    options.query_options.dtw_window =
+        WarpingWindowFromFraction(kLength, warp);
+    OdysseyCluster dtw_cluster(library, options);
+    const BatchReport report = dtw_cluster.AnswerBatch(queries);
+    char label[32];
+    std::snprintf(label, sizeof(label), "DTW %.0f%% warping", warp * 100.0);
+    std::printf("%-24s %-14.4f %.3f s\n", label, MeanNnDistance(report),
+                report.query_seconds);
+  }
+  std::printf(
+      "\nExpected shape: DTW shrinks the nearest-neighbor distance of the\n"
+      "shifted probes dramatically (the match is re-aligned), at a higher\n"
+      "query cost that grows with the warping window (paper Fig. 19).\n");
+  return 0;
+}

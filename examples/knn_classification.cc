@@ -1,0 +1,105 @@
+// k-NN classification over a distributed index (the paper motivates batch
+// query answering with exactly this downstream task: "a batch of queries,
+// e.g., originating from a k-NN classification task").
+//
+// We synthesize a labeled collection (each series belongs to one of several
+// latent pattern classes), index it with Odyssey, answer one batch of
+// unlabeled queries with exact 10-NN, and classify by majority vote.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/common/math_utils.h"
+#include "src/common/rng.h"
+#include "src/core/driver.h"
+#include "src/dataset/series_collection.h"
+
+namespace {
+
+constexpr size_t kLength = 128;
+constexpr int kClasses = 6;
+
+// A class is a smooth random prototype; members are noisy copies. The
+// prototype dictionary is fixed (seed 99) so train and test share classes.
+std::vector<float> ClassPrototypes() {
+  odyssey::Rng rng(99);
+  std::vector<float> prototypes(kClasses * kLength);
+  for (int c = 0; c < kClasses; ++c) {
+    double acc = 0.0;
+    for (size_t t = 0; t < kLength; ++t) {
+      acc += rng.NextGaussian();
+      prototypes[c * kLength + t] = static_cast<float>(acc);
+    }
+    odyssey::ZNormalize(prototypes.data() + c * kLength, kLength);
+  }
+  return prototypes;
+}
+
+odyssey::SeriesCollection MakeLabeled(size_t count, std::vector<int>* labels,
+                                      double noise, uint64_t seed) {
+  odyssey::Rng rng(seed);
+  const std::vector<float> prototypes = ClassPrototypes();
+  odyssey::SeriesCollection out(kLength);
+  float* dst = out.AppendUninitialized(count);
+  labels->resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    const int c = static_cast<int>(rng.NextBounded(kClasses));
+    (*labels)[i] = c;
+    for (size_t t = 0; t < kLength; ++t) {
+      dst[i * kLength + t] =
+          prototypes[c * kLength + t] +
+          static_cast<float>(noise * rng.NextGaussian());
+    }
+    odyssey::ZNormalize(dst + i * kLength, kLength);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace odyssey;
+
+  std::vector<int> train_labels, test_labels;
+  const SeriesCollection train = MakeLabeled(30000, &train_labels, 0.6, 3);
+  const SeriesCollection test = MakeLabeled(200, &test_labels, 0.9, 5);
+  std::printf("train: %zu series, %d classes; test: %zu queries\n",
+              train.size(), kClasses, test.size());
+
+  OdysseyOptions options;
+  options.num_nodes = 4;
+  options.num_groups = 1;  // FULL replication: fastest query answering
+  options.index_options.config = IsaxConfig(kLength, 16);
+  options.index_options.leaf_capacity = 128;
+  options.build_threads_per_node = 4;
+  options.query_options.num_threads = 2;
+  options.query_options.k = 10;  // exact 10-NN per query
+  OdysseyCluster cluster(train, options);
+
+  const BatchReport report = cluster.AnswerBatch(test);
+  std::printf("answered %zu x 10-NN queries in %.3f s\n", test.size(),
+              report.query_seconds);
+
+  int correct = 0;
+  for (size_t q = 0; q < test.size(); ++q) {
+    std::map<int, int> votes;
+    for (const Neighbor& n : report.answers[q]) {
+      ++votes[train_labels[n.id]];
+    }
+    int best_class = -1, best_votes = -1;
+    for (const auto& [cls, v] : votes) {
+      if (v > best_votes) {
+        best_votes = v;
+        best_class = cls;
+      }
+    }
+    correct += (best_class == test_labels[q]);
+  }
+  std::printf("10-NN majority-vote accuracy: %.1f%% (%d/%zu)\n",
+              100.0 * correct / test.size(), correct, test.size());
+  std::printf("(labels are latent prototypes + noise; exact k-NN recovers "
+              "them almost perfectly)\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "src/baselines/dmessi.h"
+
+namespace odyssey {
+
+OdysseyOptions MakeDMessiOptions(int num_nodes, const IndexOptions& index,
+                                 const QueryOptions& query,
+                                 bool system_wide_bsf) {
+  OdysseyOptions options;
+  options.num_nodes = num_nodes;
+  options.num_groups = num_nodes;  // EQUALLY-SPLIT: every node answers all
+  options.partitioning = PartitioningScheme::kEquallySplit;
+  options.index_options = index;
+  options.query_options = query;
+  // STATIC degenerates to "each (single-node) group runs the whole batch in
+  // order" — i.e., no scheduling, as in the baseline.
+  options.scheduling = SchedulingPolicy::kStatic;
+  options.worksteal.enabled = false;
+  options.share_bsf = system_wide_bsf;
+  return options;
+}
+
+}  // namespace odyssey

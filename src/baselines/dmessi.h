@@ -1,0 +1,28 @@
+#ifndef ODYSSEY_BASELINES_DMESSI_H_
+#define ODYSSEY_BASELINES_DMESSI_H_
+
+#include "src/core/driver.h"
+
+namespace odyssey {
+
+/// The paper's DMESSI baselines (Section 5, "Algorithms"): one independent
+/// MESSI index per node over a disjoint equal split of the data; every node
+/// answers every query on its chunk; the coordinator merges partial
+/// answers. There is no scheduling (there is nothing to schedule — all
+/// nodes process the whole batch), no work-stealing, and:
+///
+///   DMESSI         no BSF exchange between nodes;
+///   DMESSI-SW-BSF  system-wide BSF sharing added on top.
+///
+/// Both are realized as restricted OdysseyCluster configurations —
+/// EQUALLY-SPLIT with one node per group — which is exactly the "run a SotA
+/// single-node index per node" construction the paper describes.
+
+/// Options for DMESSI. Pass to OdysseyCluster.
+OdysseyOptions MakeDMessiOptions(int num_nodes, const IndexOptions& index,
+                                 const QueryOptions& query,
+                                 bool system_wide_bsf);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_BASELINES_DMESSI_H_

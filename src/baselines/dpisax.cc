@@ -1,0 +1,101 @@
+#include "src/baselines/dpisax.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace odyssey {
+namespace {
+
+/// Lexicographic order on full-cardinality SAX words.
+struct WordLess {
+  size_t width;
+  bool operator()(const uint8_t* a, const uint8_t* b) const {
+    return std::memcmp(a, b, width) < 0;
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<uint32_t>> DpisaxPartition(
+    const SeriesCollection& data, int num_chunks, const IsaxConfig& config,
+    double sample_fraction, uint64_t seed) {
+  ODYSSEY_CHECK(num_chunks >= 1);
+  ODYSSEY_CHECK(sample_fraction > 0.0 && sample_fraction <= 1.0);
+  ODYSSEY_CHECK(data.size() >= static_cast<size_t>(num_chunks));
+  const size_t w = static_cast<size_t>(config.segments());
+
+  // 1. Sample the collection and summarize the sample.
+  const size_t sample_size = std::max<size_t>(
+      num_chunks,
+      static_cast<size_t>(sample_fraction * static_cast<double>(data.size())));
+  Rng rng(seed);
+  std::vector<uint8_t> sample_words(sample_size * w);
+  for (size_t i = 0; i < sample_size; ++i) {
+    const size_t id = rng.NextBounded(data.size());
+    ComputeSax(data.data(id), config, sample_words.data() + i * w);
+  }
+
+  // 2. Cut the sampled word space into equal-frequency regions: the
+  //    boundaries are the words at the sample's chunk quantiles.
+  std::vector<const uint8_t*> sorted(sample_size);
+  for (size_t i = 0; i < sample_size; ++i) {
+    sorted[i] = sample_words.data() + i * w;
+  }
+  std::sort(sorted.begin(), sorted.end(), WordLess{w});
+  std::vector<std::vector<uint8_t>> boundaries;  // num_chunks - 1 words
+  for (int c = 1; c < num_chunks; ++c) {
+    const uint8_t* word = sorted[c * sample_size / num_chunks];
+    boundaries.emplace_back(word, word + w);
+  }
+
+  // 3. Route every series to the region containing its word.
+  std::vector<std::vector<uint32_t>> chunks(num_chunks);
+  std::vector<uint8_t> word(w);
+  for (size_t id = 0; id < data.size(); ++id) {
+    ComputeSax(data.data(id), config, word.data());
+    int chunk = 0;
+    while (chunk < num_chunks - 1 &&
+           std::memcmp(word.data(), boundaries[chunk].data(), w) >= 0) {
+      ++chunk;
+    }
+    chunks[chunk].push_back(static_cast<uint32_t>(id));
+  }
+
+  // Sample-boundary skew can leave a region empty on tiny inputs; steal one
+  // series from the largest region so every node has data to index.
+  for (auto& chunk : chunks) {
+    if (!chunk.empty()) continue;
+    auto largest = std::max_element(
+        chunks.begin(), chunks.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    chunk.push_back(largest->back());
+    largest->pop_back();
+  }
+  for (auto& chunk : chunks) std::sort(chunk.begin(), chunk.end());
+  return chunks;
+}
+
+OdysseyOptions MakeDpisaxOptions(const SeriesCollection& dataset,
+                                 int num_nodes, const IndexOptions& index,
+                                 const QueryOptions& query,
+                                 double sample_fraction, uint64_t seed) {
+  OdysseyOptions options;
+  options.num_nodes = num_nodes;
+  options.num_groups = num_nodes;
+  options.custom_chunks = DpisaxPartition(dataset, num_nodes, index.config,
+                                          sample_fraction, seed);
+  options.index_options = index;
+  options.query_options = query;
+  options.scheduling = SchedulingPolicy::kStatic;
+  options.worksteal.enabled = false;
+  // The paper's DPiSAX re-implementation exchanges only final partial
+  // answers through the coordinator, not intermediate BSFs.
+  options.share_bsf = false;
+  options.seed = seed;
+  return options;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,38 @@
+#ifndef ODYSSEY_BASELINES_DPISAX_H_
+#define ODYSSEY_BASELINES_DPISAX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/driver.h"
+
+namespace odyssey {
+
+/// The DPiSAX baseline (Yagoubi et al., TKDE 2020), as re-implemented by
+/// the paper for its comparison: DPiSAX's sample-based data partitioning,
+/// with MESSI-style query answering per node and coordinator-side merging
+/// of partial exact answers.
+///
+/// Partitioning: a random sample of the collection is summarized with iSAX;
+/// the sample's word space is cut into `num_chunks` equal-frequency regions
+/// (by lexicographic word order), and every series is routed to the region
+/// containing its word. Unlike DENSITY-AWARE this *concentrates* similar
+/// series on the same node — the behaviour the paper's Figure 17d shows
+/// losing to Odyssey.
+
+/// Computes the DPiSAX chunk assignment. Chunks are disjoint, exhaustive,
+/// and sorted ascending. `sample_fraction` in (0, 1].
+std::vector<std::vector<uint32_t>> DpisaxPartition(
+    const SeriesCollection& data, int num_chunks, const IsaxConfig& config,
+    double sample_fraction, uint64_t seed);
+
+/// Options for the full DPiSAX baseline over `dataset`.
+OdysseyOptions MakeDpisaxOptions(const SeriesCollection& dataset,
+                                 int num_nodes, const IndexOptions& index,
+                                 const QueryOptions& query,
+                                 double sample_fraction = 0.1,
+                                 uint64_t seed = 42);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_BASELINES_DPISAX_H_

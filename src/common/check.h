@@ -1,0 +1,41 @@
+#ifndef ODYSSEY_COMMON_CHECK_H_
+#define ODYSSEY_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// CHECK-style invariant macros. A failed check indicates a programming
+/// error (API misuse or broken internal invariant), never a data-dependent
+/// condition, so the process aborts with a location message. Data-dependent
+/// failures use Status instead.
+#define ODYSSEY_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "ODYSSEY_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define ODYSSEY_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "ODYSSEY_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Aborts if a Status-returning expression fails. For use in tools,
+/// examples, and tests where propagating the error adds nothing.
+#define ODYSSEY_CHECK_OK(expr)                                               \
+  do {                                                                       \
+    const ::odyssey::Status _status = (expr);                                \
+    if (!_status.ok()) {                                                     \
+      std::fprintf(stderr, "ODYSSEY_CHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, _status.ToString().c_str());          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // ODYSSEY_COMMON_CHECK_H_

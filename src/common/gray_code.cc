@@ -1,0 +1,16 @@
+#include "src/common/gray_code.h"
+
+namespace odyssey {
+
+uint64_t GrayRank(uint64_t g) {
+  // Prefix-XOR: b_k = g_k ^ g_{k+1} ^ ... ^ g_63 computed by folding.
+  g ^= g >> 32;
+  g ^= g >> 16;
+  g ^= g >> 8;
+  g ^= g >> 4;
+  g ^= g >> 2;
+  g ^= g >> 1;
+  return g;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,22 @@
+#ifndef ODYSSEY_COMMON_GRAY_CODE_H_
+#define ODYSSEY_COMMON_GRAY_CODE_H_
+
+#include <cstdint>
+
+namespace odyssey {
+
+/// Reflected binary Gray code, used by the DENSITY-AWARE partitioner
+/// (Section 3.4.1): ordering iSAX summarization buffers by Gray-code rank
+/// places buffers whose keys differ in a single bit next to each other, so
+/// that round-robin assignment spreads similar series across system nodes.
+
+/// The i-th codeword of the reflected Gray code sequence.
+inline uint64_t BinaryToGray(uint64_t i) { return i ^ (i >> 1); }
+
+/// Inverse of BinaryToGray: the rank of codeword `g` in the Gray sequence.
+/// Sorting keys by GrayRank(key) enumerates them in Gray-code order.
+uint64_t GrayRank(uint64_t g);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_COMMON_GRAY_CODE_H_

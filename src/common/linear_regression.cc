@@ -1,0 +1,55 @@
+#include "src/common/linear_regression.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace odyssey {
+
+Status LinearRegression::Fit(const std::vector<double>& x,
+                             const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("x and y must have the same size");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("need at least 2 samples");
+  }
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx < 1e-30) {
+    return Status::InvalidArgument("x is constant; slope undefined");
+  }
+  slope_ = sxy / sxx;
+  intercept_ = my - slope_ * mx;
+  // R^2 = 1 - SS_res / SS_tot (define as 1 when y is constant and the fit
+  // is exact).
+  double ss_res = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - (slope_ * x[i] + intercept_);
+    ss_res += r * r;
+  }
+  r_squared_ = (syy < 1e-30) ? 1.0 : 1.0 - ss_res / syy;
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double LinearRegression::Predict(double x) const {
+  ODYSSEY_CHECK_MSG(fitted_, "Predict before Fit");
+  return slope_ * x + intercept_;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,43 @@
+#ifndef ODYSSEY_COMMON_LINEAR_REGRESSION_H_
+#define ODYSSEY_COMMON_LINEAR_REGRESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace odyssey {
+
+/// Ordinary-least-squares simple linear regression y = slope * x + intercept.
+///
+/// The paper (Section 3.1, Figure 4) predicts each query's execution time
+/// from its initial best-so-far distance with exactly this model; the fitted
+/// instance lives inside core::CostModel.
+class LinearRegression {
+ public:
+  LinearRegression() = default;
+
+  /// Fits the model on paired samples. Needs at least 2 samples and
+  /// non-constant x; returns InvalidArgument otherwise.
+  Status Fit(const std::vector<double>& x, const std::vector<double>& y);
+
+  bool fitted() const { return fitted_; }
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+
+  /// Coefficient of determination of the fit (1 = perfect).
+  double r_squared() const { return r_squared_; }
+
+  /// Predicted y for `x`. The model must be fitted.
+  double Predict(double x) const;
+
+ private:
+  bool fitted_ = false;
+  double slope_ = 0.0;
+  double intercept_ = 0.0;
+  double r_squared_ = 0.0;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_COMMON_LINEAR_REGRESSION_H_

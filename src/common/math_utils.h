@@ -1,0 +1,30 @@
+#ifndef ODYSSEY_COMMON_MATH_UTILS_H_
+#define ODYSSEY_COMMON_MATH_UTILS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace odyssey {
+
+/// Arithmetic mean of `n` floats; 0 when n == 0.
+double Mean(const float* values, size_t n);
+
+/// Population standard deviation; 0 when n == 0.
+double StdDev(const float* values, size_t n);
+
+/// Z-normalizes `values` in place: (x - mean) / stddev. If the standard
+/// deviation is (near) zero the series is constant and all points become 0.
+/// Data-series indexes assume z-normalized input because the iSAX
+/// breakpoints are quantiles of N(0, 1).
+void ZNormalize(float* values, size_t n);
+
+/// Median of a copy of `values` (does not mutate the input); 0 when empty.
+double Median(std::vector<double> values);
+
+/// The p-th percentile (p in [0, 100]) by linear interpolation between
+/// order statistics; 0 when empty.
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_COMMON_MATH_UTILS_H_

@@ -1,0 +1,128 @@
+#include "src/common/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace odyssey {
+namespace {
+
+// Standard Nelder-Mead coefficients.
+constexpr double kReflect = 1.0;
+constexpr double kExpand = 2.0;
+constexpr double kContract = 0.5;
+constexpr double kShrink = 0.5;
+
+std::vector<double> Centroid(const std::vector<std::vector<double>>& simplex,
+                             size_t exclude) {
+  const size_t dim = simplex[0].size();
+  std::vector<double> c(dim, 0.0);
+  for (size_t i = 0; i < simplex.size(); ++i) {
+    if (i == exclude) continue;
+    for (size_t d = 0; d < dim; ++d) c[d] += simplex[i][d];
+  }
+  const double inv = 1.0 / static_cast<double>(simplex.size() - 1);
+  for (double& v : c) v *= inv;
+  return c;
+}
+
+std::vector<double> Combine(const std::vector<double>& a,
+                            const std::vector<double>& b, double t) {
+  // a + t * (a - b)
+  std::vector<double> out(a.size());
+  for (size_t d = 0; d < a.size(); ++d) out[d] = a[d] + t * (a[d] - b[d]);
+  return out;
+}
+
+}  // namespace
+
+NelderMeadResult NelderMeadMinimize(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& x0, const NelderMeadOptions& options) {
+  ODYSSEY_CHECK(!x0.empty());
+  const size_t dim = x0.size();
+
+  // Initial simplex: x0 plus one perturbed vertex per dimension.
+  std::vector<std::vector<double>> simplex;
+  simplex.reserve(dim + 1);
+  simplex.push_back(x0);
+  for (size_t d = 0; d < dim; ++d) {
+    std::vector<double> v = x0;
+    const double step =
+        (std::fabs(v[d]) > 1e-12) ? options.initial_step * v[d]
+                                  : options.initial_step;
+    v[d] += step;
+    simplex.push_back(std::move(v));
+  }
+  std::vector<double> values(simplex.size());
+  for (size_t i = 0; i < simplex.size(); ++i) values[i] = objective(simplex[i]);
+
+  NelderMeadResult result;
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Order vertices by objective value.
+    std::vector<size_t> order(simplex.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return values[a] < values[b]; });
+    const size_t best = order.front();
+    const size_t worst = order.back();
+    const size_t second_worst = order[order.size() - 2];
+
+    if (std::fabs(values[worst] - values[best]) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    const std::vector<double> centroid = Centroid(simplex, worst);
+    const std::vector<double> reflected =
+        Combine(centroid, simplex[worst], kReflect);
+    const double f_reflected = objective(reflected);
+
+    if (f_reflected < values[best]) {
+      const std::vector<double> expanded =
+          Combine(centroid, simplex[worst], kExpand);
+      const double f_expanded = objective(expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = expanded;
+        values[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = f_reflected;
+      }
+    } else if (f_reflected < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = f_reflected;
+    } else {
+      const std::vector<double> contracted =
+          Combine(centroid, simplex[worst], -kContract);
+      const double f_contracted = objective(contracted);
+      if (f_contracted < values[worst]) {
+        simplex[worst] = contracted;
+        values[worst] = f_contracted;
+      } else {
+        // Shrink all vertices toward the best.
+        for (size_t i = 0; i < simplex.size(); ++i) {
+          if (i == best) continue;
+          for (size_t d = 0; d < dim; ++d) {
+            simplex[i][d] =
+                simplex[best][d] + kShrink * (simplex[i][d] - simplex[best][d]);
+          }
+          values[i] = objective(simplex[i]);
+        }
+      }
+    }
+  }
+
+  size_t best = 0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  result.x = simplex[best];
+  result.value = values[best];
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,35 @@
+#ifndef ODYSSEY_COMMON_NELDER_MEAD_H_
+#define ODYSSEY_COMMON_NELDER_MEAD_H_
+
+#include <functional>
+#include <vector>
+
+namespace odyssey {
+
+/// Options for the downhill-simplex minimizer.
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  /// Convergence threshold on the simplex's function-value spread.
+  double tolerance = 1e-10;
+  /// Relative size of the initial simplex around the starting point.
+  double initial_step = 0.1;
+};
+
+/// Result of a NelderMeadMinimize call.
+struct NelderMeadResult {
+  std::vector<double> x;   ///< best parameter vector found
+  double value = 0.0;      ///< objective at x
+  int iterations = 0;      ///< iterations performed
+  bool converged = false;  ///< whether tolerance was reached
+};
+
+/// Minimizes `objective` starting from `x0` using the Nelder-Mead downhill
+/// simplex method (no gradients required). Used by SigmoidFit, which powers
+/// the paper's priority-queue threshold model (Figure 6a).
+NelderMeadResult NelderMeadMinimize(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& x0, const NelderMeadOptions& options = {});
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_COMMON_NELDER_MEAD_H_

@@ -1,0 +1,60 @@
+#include "src/common/sigmoid_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/nelder_mead.h"
+
+namespace odyssey {
+
+double SigmoidParams::Evaluate(double z) const {
+  return m + (M - m) / (1.0 + b * std::exp(-c * (z - d)));
+}
+
+Status FitSigmoid(const std::vector<double>& z, const std::vector<double>& y,
+                  SigmoidParams* params, double* rmse) {
+  if (z.size() != y.size()) {
+    return Status::InvalidArgument("z and y must have the same size");
+  }
+  if (z.size() < 5) {
+    return Status::InvalidArgument("need at least 5 samples to fit 5 params");
+  }
+
+  const auto [ymin_it, ymax_it] = std::minmax_element(y.begin(), y.end());
+  const auto [zmin_it, zmax_it] = std::minmax_element(z.begin(), z.end());
+  const double ymin = *ymin_it, ymax = *ymax_it;
+  const double zmid = 0.5 * (*zmin_it + *zmax_it);
+  const double zspan = std::max(1e-6, *zmax_it - *zmin_it);
+
+  auto objective = [&](const std::vector<double>& p) {
+    SigmoidParams s{p[0], p[1], p[2], p[3], p[4]};
+    // Keep b positive; the family is degenerate otherwise.
+    if (s.b <= 1e-9) return 1e30;
+    double ss = 0.0;
+    for (size_t i = 0; i < z.size(); ++i) {
+      const double r = s.Evaluate(z[i]) - y[i];
+      ss += r * r;
+    }
+    return ss;
+  };
+
+  // Initial guess: asymptotes at the observed extremes, midpoint at the
+  // center of the z range, slope scaled to the range.
+  const std::vector<double> x0 = {ymin, ymax, 1.0, 4.0 / zspan, zmid};
+  NelderMeadOptions options;
+  options.max_iterations = 5000;
+  options.initial_step = 0.25;
+  const NelderMeadResult result = NelderMeadMinimize(objective, x0, options);
+
+  params->m = result.x[0];
+  params->M = result.x[1];
+  params->b = result.x[2];
+  params->c = result.x[3];
+  params->d = result.x[4];
+  if (rmse != nullptr) {
+    *rmse = std::sqrt(result.value / static_cast<double>(z.size()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace odyssey

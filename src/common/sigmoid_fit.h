@@ -1,0 +1,36 @@
+#ifndef ODYSSEY_COMMON_SIGMOID_FIT_H_
+#define ODYSSEY_COMMON_SIGMOID_FIT_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace odyssey {
+
+/// Parameters of the paper's sigmoid family (Section 3.2.1):
+///
+///   f(Z) = m + (M - m) / (1 + b * exp(-c * (Z - d)))
+///
+/// fitted to (initial BSF, median priority-queue size) samples to predict a
+/// good priority-queue size threshold TH for each query.
+struct SigmoidParams {
+  double m = 0.0;  ///< lower asymptote
+  double M = 1.0;  ///< upper asymptote
+  double b = 1.0;  ///< shape
+  double c = 1.0;  ///< slope
+  double d = 0.0;  ///< midpoint
+
+  /// Evaluates f(z).
+  double Evaluate(double z) const;
+};
+
+/// Least-squares sigmoid fit via Nelder-Mead. Requires at least 5 samples
+/// (the family has 5 parameters); returns InvalidArgument otherwise.
+/// On success `*params` holds the fitted parameters and `*rmse` (optional)
+/// the root-mean-square error of the fit.
+Status FitSigmoid(const std::vector<double>& z, const std::vector<double>& y,
+                  SigmoidParams* params, double* rmse = nullptr);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_COMMON_SIGMOID_FIT_H_

@@ -1,0 +1,98 @@
+#ifndef ODYSSEY_COMMON_STATUS_H_
+#define ODYSSEY_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace odyssey {
+
+/// Error codes used across the library. Mirrors the usual database-engine
+/// convention (no exceptions across API boundaries; fallible operations
+/// return Status or StatusOr<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result. Cheap to copy in the OK case
+/// (no allocation), carries a message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. The value may only be
+/// accessed when ok(). Intentionally minimal: enough for the library's
+/// fallible constructors and I/O paths.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversions from T and Status keep call sites terse, matching
+  /// the absl::StatusOr idiom.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_COMMON_STATUS_H_

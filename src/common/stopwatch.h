@@ -1,0 +1,31 @@
+#ifndef ODYSSEY_COMMON_STOPWATCH_H_
+#define ODYSSEY_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace odyssey {
+
+/// Monotonic wall-clock stopwatch used for all experiment timings
+/// (buffer time, tree time, query-answering time in the paper's
+/// terminology).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_COMMON_STOPWATCH_H_

@@ -1,0 +1,93 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace odyssey {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  ODYSSEY_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ODYSSEY_CHECK_MSG(!stop_, "Submit after shutdown");
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  const size_t workers = std::min(count, threads_.size());
+  const size_t chunk = (count + workers - 1) / workers;
+  // `pending` is guarded by done_mu (not an atomic): the final decrement
+  // must happen-before the waiter can destroy done_mu/done_cv, which only a
+  // mutex-held handoff guarantees.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t pending = 0;
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t begin = w * chunk;
+    const size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++pending;
+    }
+    Submit([&, begin, end] {
+      fn(begin, end);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--pending == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace odyssey

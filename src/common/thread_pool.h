@@ -1,0 +1,58 @@
+#ifndef ODYSSEY_COMMON_THREAD_POOL_H_
+#define ODYSSEY_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace odyssey {
+
+/// Fixed-size worker pool. Used by index construction and by each simulated
+/// system node's query-answering workers. Tasks are arbitrary closures;
+/// WaitIdle() blocks until every submitted task has finished, which is how
+/// the builder separates its "buffer" and "tree" phases.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void WaitIdle();
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for
+  /// completion. Static contiguous-block partitioning: each worker receives
+  /// one range, matching the embarrassingly-parallel phases of the paper's
+  /// index construction.
+  void ParallelFor(size_t count, const std::function<void(size_t begin, size_t end)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;       // signals workers: work available / stop
+  std::condition_variable idle_cv_;  // signals WaitIdle: everything drained
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_COMMON_THREAD_POOL_H_

@@ -1,0 +1,39 @@
+#include "src/core/cost_model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace odyssey {
+
+Status CostModel::Fit(const std::vector<double>& initial_bsf,
+                      const std::vector<double>& exec_seconds) {
+  return regression_.Fit(initial_bsf, exec_seconds);
+}
+
+double CostModel::PredictSeconds(double initial_bsf) const {
+  ODYSSEY_CHECK_MSG(fitted(), "PredictSeconds before Fit");
+  return std::max(0.0, regression_.Predict(initial_bsf));
+}
+
+std::vector<CalibrationSample> CollectCalibrationSamples(
+    const Index& index, const SeriesCollection& queries,
+    const QueryOptions& options) {
+  QueryOptions calibration_options = options;
+  calibration_options.queue_threshold = 0;  // unbounded: observe natural sizes
+  std::vector<CalibrationSample> samples;
+  samples.reserve(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryExecution exec(&index, queries.data(q), calibration_options);
+    CalibrationSample sample;
+    sample.initial_bsf = exec.Initialize();
+    exec.Run();
+    const QueryStats stats = exec.stats();
+    sample.exec_seconds = stats.elapsed_seconds;
+    sample.median_pq_size = stats.median_queue_size;
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,426 @@
+#include "src/core/driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
+
+namespace odyssey {
+
+QueryAnswer MergeAnswers(const std::vector<Neighbor>& candidates, int k) {
+  // Deduplicate by global id, keeping each series' best distance, then take
+  // the k smallest.
+  std::unordered_map<uint32_t, float> best;
+  best.reserve(candidates.size());
+  for (const Neighbor& n : candidates) {
+    auto [it, inserted] = best.emplace(n.id, n.squared_distance);
+    if (!inserted && n.squared_distance < it->second) {
+      it->second = n.squared_distance;
+    }
+  }
+  QueryAnswer merged;
+  merged.reserve(best.size());
+  for (const auto& [id, dist] : best) merged.push_back({dist, id});
+  std::sort(merged.begin(), merged.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.squared_distance != b.squared_distance) {
+                return a.squared_distance < b.squared_distance;
+              }
+              return a.id < b.id;
+            });
+  if (merged.size() > static_cast<size_t>(k)) merged.resize(k);
+  return merged;
+}
+
+OdysseyCluster::OdysseyCluster(const SeriesCollection& dataset,
+                               const OdysseyOptions& options)
+    : options_(options),
+      layout_([&] {
+        auto layout = ReplicationLayout::Make(options.num_nodes,
+                                              options.num_groups);
+        ODYSSEY_CHECK_MSG(layout.ok(), layout.status().ToString().c_str());
+        return *layout;
+      }()) {
+  ODYSSEY_CHECK(dataset.length() == options.index_options.config.series_length());
+
+  // Stage 1: the coordinator partitions the collection into num_groups
+  // chunks.
+  Stopwatch watch;
+  std::vector<std::vector<uint32_t>> chunks;
+  if (!options_.custom_chunks.empty()) {
+    ODYSSEY_CHECK(static_cast<int>(options_.custom_chunks.size()) ==
+                  layout_.num_groups());
+    chunks = options_.custom_chunks;
+  } else {
+    ThreadPool pool(options_.build_threads_per_node);
+    chunks = PartitionSeries(dataset, layout_.num_groups(),
+                             options_.partitioning,
+                             options_.index_options.config, options_.seed,
+                             &pool, options_.density_options);
+  }
+  partition_seconds_ = watch.ElapsedSeconds();
+
+  // Stage 2: every node loads its group's chunk and builds its index. Nodes
+  // build concurrently, as on a real cluster.
+  nodes_.reserve(layout_.num_nodes());
+  for (int n = 0; n < layout_.num_nodes(); ++n) {
+    nodes_.push_back(std::make_unique<NodeRuntime>(n, layout_));
+  }
+  {
+    std::vector<std::thread> builders;
+    builders.reserve(layout_.num_nodes());
+    for (int n = 0; n < layout_.num_nodes(); ++n) {
+      builders.emplace_back([&, n] {
+        const std::vector<uint32_t>& chunk_ids = chunks[layout_.GroupOf(n)];
+        nodes_[n]->LoadChunk(dataset.Subset(chunk_ids), chunk_ids);
+        nodes_[n]->BuildIndex(options_.index_options,
+                              options_.build_threads_per_node);
+      });
+    }
+    for (auto& t : builders) t.join();
+  }
+}
+
+OdysseyCluster::~OdysseyCluster() = default;
+
+double OdysseyCluster::max_buffer_seconds() const {
+  double out = 0.0;
+  for (const auto& node : nodes_) {
+    out = std::max(out, node->build_timings().buffer_seconds);
+  }
+  return out;
+}
+
+double OdysseyCluster::max_tree_seconds() const {
+  double out = 0.0;
+  for (const auto& node : nodes_) {
+    out = std::max(out, node->build_timings().tree_seconds);
+  }
+  return out;
+}
+
+size_t OdysseyCluster::total_index_bytes() const {
+  size_t out = 0;
+  for (const auto& node : nodes_) out += node->index().IndexMemoryBytes();
+  return out;
+}
+
+size_t OdysseyCluster::total_data_bytes() const {
+  size_t out = 0;
+  for (const auto& node : nodes_) out += node->index().DataMemoryBytes();
+  return out;
+}
+
+std::vector<double> OdysseyCluster::EstimateGroupQueries(
+    int group, const SeriesCollection& queries) {
+  // Stage 3a (on behalf of the group coordinator): per-query execution-time
+  // estimates from the initial BSF of an approximate search on the group's
+  // chunk (Figure 4). Without a fitted cost model, the initial BSF itself
+  // serves as the estimate (the regression is monotone, so ordering and
+  // greedy assignment behave identically).
+  const Index& index = nodes_[layout_.GroupCoordinator(group)]->index();
+  const IsaxConfig& config = index.config();
+  std::vector<double> estimates(queries.size());
+  // The group coordinator is itself a multi-core node: estimation uses its
+  // worker threads, keeping the scheduling stage's overhead negligible
+  // relative to query answering (as in the paper).
+  ThreadPool pool(options_.build_threads_per_node);
+  pool.ParallelFor(queries.size(), [&](size_t begin, size_t end) {
+    std::vector<double> paa(config.segments());
+    std::vector<uint8_t> sax(config.segments());
+    for (size_t q = begin; q < end; ++q) {
+      const float* query = queries.data(q);
+      ComputePaa(query, config.paa, paa.data());
+      ComputeSax(query, config, sax.data());
+      float sq;
+      if (options_.query_options.use_dtw) {
+        sq = ApproximateSearchSquaredDtw(index, query, paa.data(), sax.data(),
+                                         options_.query_options.dtw_window);
+      } else {
+        sq = ApproximateSearchSquared(index, query, paa.data(), sax.data());
+      }
+      const double initial_bsf = std::sqrt(static_cast<double>(sq));
+      estimates[q] =
+          (options_.cost_model != nullptr && options_.cost_model->fitted())
+              ? options_.cost_model->PredictSeconds(initial_bsf)
+              : initial_bsf;
+    }
+  });
+  return estimates;
+}
+
+BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
+  ODYSSEY_CHECK(!queries.empty());
+  const int num_queries = static_cast<int>(queries.size());
+
+  // A fresh transport per batch: stale messages cannot leak across runs.
+  SimCluster cluster(layout_.num_nodes());
+
+  NodeBatchOptions node_options;
+  node_options.policy = options_.scheduling;
+  node_options.worksteal = options_.worksteal;
+  // Work-stealing requires a peer with identical data: disable when groups
+  // have a single member (EQUALLY-SPLIT), matching the paper's constraint.
+  if (layout_.replication_degree() <= 1) node_options.worksteal.enabled = false;
+  node_options.query_options = options_.query_options;
+  node_options.threshold_model = options_.threshold_model;
+  node_options.share_bsf = options_.share_bsf;
+  node_options.seed = options_.seed;
+
+  Stopwatch batch_watch;
+  for (auto& node : nodes_) {
+    node->StartBatch(&cluster, &queries, node_options);
+  }
+
+  // Stage 3: scheduling, per replication group (the driver acts for each
+  // group coordinator; assignment travels as kAssignQuery messages and
+  // dynamic requests as kQueryRequest round-trips).
+  Stopwatch scheduling_watch;
+  const bool dynamic = PolicyIsDynamic(options_.scheduling);
+  // Per-group execution-time estimates, computed concurrently — on the real
+  // system each group coordinator estimates on its own node. Groups with a
+  // single member have nothing to schedule, so they skip estimation
+  // entirely (scheduling is a no-op without replication).
+  std::vector<std::vector<double>> group_estimates(layout_.num_groups());
+  if (PolicyNeedsPredictions(options_.scheduling) &&
+      layout_.replication_degree() > 1) {
+    std::vector<std::thread> estimators;
+    estimators.reserve(layout_.num_groups());
+    for (int g = 0; g < layout_.num_groups(); ++g) {
+      estimators.emplace_back(
+          [&, g] { group_estimates[g] = EstimateGroupQueries(g, queries); });
+    }
+    for (auto& t : estimators) t.join();
+  }
+  // Dynamic dispatch queues, per group.
+  std::vector<std::deque<int>> dispatch(layout_.num_groups());
+  for (int g = 0; g < layout_.num_groups(); ++g) {
+    const std::vector<int> members = layout_.GroupMembers(g);
+    const std::vector<double>& estimates = group_estimates[g];
+    SchedulingPolicy effective = options_.scheduling;
+    if (estimates.empty() && PolicyNeedsPredictions(effective)) {
+      // Single-member group: degrade to the prediction-free equivalent.
+      effective = PolicyIsDynamic(effective) ? SchedulingPolicy::kDynamic
+                                             : SchedulingPolicy::kStatic;
+    }
+    switch (effective) {
+      case SchedulingPolicy::kStatic: {
+        const auto assignment =
+            StaticSplit(num_queries, static_cast<int>(members.size()));
+        for (size_t w = 0; w < members.size(); ++w) {
+          for (int q : assignment[w]) {
+            Message m;
+            m.type = MessageType::kAssignQuery;
+            m.from = cluster.coordinator_id();
+            m.query_id = q;
+            cluster.Send(members[w], std::move(m));
+          }
+        }
+        break;
+      }
+      case SchedulingPolicy::kPredictStaticUnsorted:
+      case SchedulingPolicy::kPredictStatic: {
+        const bool sorted = effective == SchedulingPolicy::kPredictStatic;
+        const auto assignment = PredictionGreedySplit(
+            estimates, static_cast<int>(members.size()), sorted);
+        for (size_t w = 0; w < members.size(); ++w) {
+          for (int q : assignment[w]) {
+            Message m;
+            m.type = MessageType::kAssignQuery;
+            m.from = cluster.coordinator_id();
+            m.query_id = q;
+            cluster.Send(members[w], std::move(m));
+          }
+        }
+        break;
+      }
+      case SchedulingPolicy::kDynamic:
+      case SchedulingPolicy::kPredictDynamic: {
+        const bool sorted = effective == SchedulingPolicy::kPredictDynamic;
+        const std::vector<int> order =
+            DynamicDispatchOrder(estimates, num_queries, sorted);
+        dispatch[g].assign(order.begin(), order.end());
+        break;
+      }
+    }
+    if (!dynamic) {
+      for (int member : members) {
+        Message m;
+        m.type = MessageType::kNoMoreQueries;
+        m.from = cluster.coordinator_id();
+        cluster.Send(member, std::move(m));
+      }
+    }
+  }
+  const double scheduling_seconds = scheduling_watch.ElapsedSeconds();
+
+  // Stage 4-5: serve dynamic requests, collect local answers, and wait for
+  // every node to finish its work-stealing phase.
+  BatchReport report;
+  report.answers.resize(num_queries);
+  std::vector<std::vector<Neighbor>> candidates(num_queries);
+  int terminated = 0;
+  while (terminated < layout_.num_nodes()) {
+    Message m = cluster.mailbox(cluster.coordinator_id()).Receive();
+    switch (m.type) {
+      case MessageType::kQueryRequest: {
+        std::deque<int>& queue = dispatch[layout_.GroupOf(m.from)];
+        Message reply;
+        reply.from = cluster.coordinator_id();
+        if (queue.empty()) {
+          reply.type = MessageType::kNoMoreQueries;
+        } else {
+          reply.type = MessageType::kAssignQuery;
+          reply.query_id = queue.front();
+          queue.pop_front();
+        }
+        cluster.Send(m.from, std::move(reply));
+        break;
+      }
+      case MessageType::kLocalAnswer: {
+        std::vector<Neighbor>& bucket = candidates[m.query_id];
+        bucket.insert(bucket.end(), m.neighbors.begin(), m.neighbors.end());
+        break;
+      }
+      case MessageType::kNodeTerminated:
+        ++terminated;
+        break;
+      default:
+        break;  // kDone copies etc. are informational here
+    }
+  }
+
+  // Merge the per-node partial answers into the final ones.
+  for (int q = 0; q < num_queries; ++q) {
+    report.answers[q] = MergeAnswers(candidates[q], options_.query_options.k);
+  }
+  report.query_seconds = batch_watch.ElapsedSeconds();
+  report.scheduling_seconds = scheduling_seconds;
+
+  Message shutdown;
+  shutdown.type = MessageType::kShutdown;
+  shutdown.from = cluster.coordinator_id();
+  cluster.Broadcast(shutdown);
+  for (auto& node : nodes_) node->JoinBatch();
+
+  for (auto& node : nodes_) report.node_stats.push_back(node->batch_stats());
+  report.messages_sent = cluster.messages_sent();
+  report.bsf_updates = cluster.messages_sent(MessageType::kBsfUpdate);
+  report.steal_requests = cluster.messages_sent(MessageType::kStealRequest);
+  return report;
+}
+
+BatchReport OdysseyCluster::AnswerStream(
+    const SeriesCollection& queries,
+    const std::vector<double>& arrival_seconds) {
+  ODYSSEY_CHECK(!queries.empty());
+  ODYSSEY_CHECK(arrival_seconds.size() == queries.size());
+  ODYSSEY_CHECK(std::is_sorted(arrival_seconds.begin(),
+                               arrival_seconds.end()));
+  const int num_queries = static_cast<int>(queries.size());
+
+  SimCluster cluster(layout_.num_nodes());
+
+  NodeBatchOptions node_options;
+  // Streaming always dispatches dynamically: a query cannot be assigned (or
+  // sorted by estimate) before it exists.
+  node_options.policy = SchedulingPolicy::kDynamic;
+  node_options.worksteal = options_.worksteal;
+  if (layout_.replication_degree() <= 1) node_options.worksteal.enabled = false;
+  node_options.query_options = options_.query_options;
+  node_options.threshold_model = options_.threshold_model;
+  node_options.share_bsf = options_.share_bsf;
+  node_options.seed = options_.seed;
+
+  Stopwatch batch_watch;
+  for (auto& node : nodes_) {
+    node->StartBatch(&cluster, &queries, node_options);
+  }
+
+  // Per-group released-query queues and parked dynamic requests: a request
+  // that finds the queue empty while more queries are still to arrive is
+  // deferred until the next release.
+  std::vector<std::deque<int>> dispatch(layout_.num_groups());
+  std::vector<std::deque<int>> parked(layout_.num_groups());
+  int released = 0;
+
+  BatchReport report;
+  report.answers.resize(num_queries);
+  std::vector<std::vector<Neighbor>> candidates(num_queries);
+  int terminated = 0;
+
+  auto serve = [&](int group) {
+    while (!parked[group].empty()) {
+      std::deque<int>& queue = dispatch[group];
+      Message reply;
+      reply.from = cluster.coordinator_id();
+      if (!queue.empty()) {
+        reply.type = MessageType::kAssignQuery;
+        reply.query_id = queue.front();
+        queue.pop_front();
+      } else if (released == num_queries) {
+        reply.type = MessageType::kNoMoreQueries;
+      } else {
+        return;  // wait for the next arrival
+      }
+      const int node = parked[group].front();
+      parked[group].pop_front();
+      cluster.Send(node, std::move(reply));
+    }
+  };
+
+  while (terminated < layout_.num_nodes()) {
+    // Release every query whose arrival time has passed.
+    while (released < num_queries &&
+           batch_watch.ElapsedSeconds() >= arrival_seconds[released]) {
+      for (int g = 0; g < layout_.num_groups(); ++g) {
+        dispatch[g].push_back(released);
+      }
+      ++released;
+      for (int g = 0; g < layout_.num_groups(); ++g) serve(g);
+    }
+    Message m;
+    if (!cluster.mailbox(cluster.coordinator_id())
+             .ReceiveFor(std::chrono::microseconds(200), &m)) {
+      continue;
+    }
+    switch (m.type) {
+      case MessageType::kQueryRequest:
+        parked[layout_.GroupOf(m.from)].push_back(m.from);
+        serve(layout_.GroupOf(m.from));
+        break;
+      case MessageType::kLocalAnswer: {
+        std::vector<Neighbor>& bucket = candidates[m.query_id];
+        bucket.insert(bucket.end(), m.neighbors.begin(), m.neighbors.end());
+        break;
+      }
+      case MessageType::kNodeTerminated:
+        ++terminated;
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (int q = 0; q < num_queries; ++q) {
+    report.answers[q] = MergeAnswers(candidates[q], options_.query_options.k);
+  }
+  report.query_seconds = batch_watch.ElapsedSeconds();
+
+  Message shutdown;
+  shutdown.type = MessageType::kShutdown;
+  shutdown.from = cluster.coordinator_id();
+  cluster.Broadcast(shutdown);
+  for (auto& node : nodes_) node->JoinBatch();
+
+  for (auto& node : nodes_) report.node_stats.push_back(node->batch_stats());
+  report.messages_sent = cluster.messages_sent();
+  report.bsf_updates = cluster.messages_sent(MessageType::kBsfUpdate);
+  report.steal_requests = cluster.messages_sent(MessageType::kStealRequest);
+  return report;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,136 @@
+#ifndef ODYSSEY_CORE_DRIVER_H_
+#define ODYSSEY_CORE_DRIVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/core/node_runtime.h"
+#include "src/core/partitioning.h"
+
+namespace odyssey {
+
+/// Everything that configures one Odyssey deployment (Figure 3).
+struct OdysseyOptions {
+  /// Cluster shape: PARTIAL-num_groups over num_nodes nodes. num_groups = 1
+  /// is FULL replication, num_groups = num_nodes is EQUALLY-SPLIT.
+  int num_nodes = 4;
+  int num_groups = 1;
+
+  /// Stage-1 partitioning of the raw collection into num_groups chunks.
+  PartitioningScheme partitioning = PartitioningScheme::kEquallySplit;
+  DensityAwareOptions density_options;
+  /// Overrides the partitioner with precomputed chunks (used by the DPiSAX
+  /// baseline). Must contain exactly num_groups disjoint, exhaustive chunks.
+  std::vector<std::vector<uint32_t>> custom_chunks;
+
+  /// Stage-2 index construction.
+  IndexOptions index_options;
+  int build_threads_per_node = 4;
+
+  /// Stage-3/4 query answering.
+  SchedulingPolicy scheduling = SchedulingPolicy::kPredictDynamic;
+  WorkStealConfig worksteal;
+  QueryOptions query_options;
+  bool share_bsf = true;
+  /// Optional models (owned by the caller, must outlive the cluster).
+  const CostModel* cost_model = nullptr;
+  const ThresholdModel* threshold_model = nullptr;
+
+  uint64_t seed = 42;
+};
+
+/// The merged result of one query: up to k (distance, global id) pairs,
+/// ascending by distance. Distances are squared (like the whole library);
+/// use std::sqrt for reporting.
+using QueryAnswer = std::vector<Neighbor>;
+
+/// What one AnswerBatch run measured.
+struct BatchReport {
+  std::vector<QueryAnswer> answers;
+  /// Makespan of the query-answering stages (scheduling + execution +
+  /// work-stealing), the paper's "query answering time".
+  double query_seconds = 0.0;
+  /// Time the driver spent on estimation + assignment (included in
+  /// query_seconds).
+  double scheduling_seconds = 0.0;
+  std::vector<NodeBatchStats> node_stats;
+  size_t messages_sent = 0;
+  size_t bsf_updates = 0;
+  size_t steal_requests = 0;
+
+  int total_steals() const {
+    int total = 0;
+    for (const auto& s : node_stats) total += s.successful_steals;
+    return total;
+  }
+};
+
+/// An Odyssey deployment: builds the distributed index at construction
+/// (stages 1-2 of Figure 3) and answers query batches on demand (stages
+/// 3-5). The object plays the paper's coordinator-node role; the system
+/// nodes are NodeRuntime instances communicating over a SimCluster.
+class OdysseyCluster {
+ public:
+  /// Partitions `dataset` and builds every node's index. Aborts on invalid
+  /// layout (use ReplicationLayout::Make to validate beforehand).
+  OdysseyCluster(const SeriesCollection& dataset, const OdysseyOptions& options);
+  ~OdysseyCluster();
+
+  OdysseyCluster(const OdysseyCluster&) = delete;
+  OdysseyCluster& operator=(const OdysseyCluster&) = delete;
+
+  /// Stage 3-5: schedules, executes and merges one query batch. Can be
+  /// called repeatedly (the index is reused).
+  BatchReport AnswerBatch(const SeriesCollection& queries);
+
+  /// Streaming variant (the paper's dynamically-arriving-queries setting):
+  /// query q becomes visible to the schedulers only `arrival_seconds[q]`
+  /// seconds after the call. Queries are dispatched dynamically in arrival
+  /// order — pre-sorting the batch is impossible, which is precisely the
+  /// regime work-stealing is designed to cover. `arrival_seconds` must be
+  /// non-decreasing and parallel to `queries`.
+  BatchReport AnswerStream(const SeriesCollection& queries,
+                           const std::vector<double>& arrival_seconds);
+
+  const ReplicationLayout& layout() const { return layout_; }
+  const OdysseyOptions& options() const { return options_; }
+
+  /// Stage-1 cost: partitioning the raw collection.
+  double partition_seconds() const { return partition_seconds_; }
+  /// Paper's index-time measures: the maximum across nodes.
+  double max_buffer_seconds() const;
+  double max_tree_seconds() const;
+  double index_seconds() const {
+    return max_buffer_seconds() + max_tree_seconds();
+  }
+
+  /// Total index-structure bytes across nodes (Figure 14's quantity).
+  size_t total_index_bytes() const;
+  /// Total raw-data bytes across nodes (grows with the replication degree).
+  size_t total_data_bytes() const;
+
+  int num_nodes() const { return layout_.num_nodes(); }
+  const NodeRuntime& node(int i) const { return *nodes_[i]; }
+
+ private:
+  /// Per-group query-time estimates for prediction-based policies: initial
+  /// BSF via approximate search on the group's data, mapped through the
+  /// cost model when one is fitted.
+  std::vector<double> EstimateGroupQueries(int group,
+                                           const SeriesCollection& queries);
+
+  OdysseyOptions options_;
+  ReplicationLayout layout_;
+  double partition_seconds_ = 0.0;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+};
+
+/// Merges per-node partial answers into the global k-NN answer: deduplicates
+/// by global id (work-stealing can report the same series twice) and keeps
+/// the k smallest. Exposed for the baselines and tests.
+QueryAnswer MergeAnswers(const std::vector<Neighbor>& candidates, int k);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_CORE_DRIVER_H_

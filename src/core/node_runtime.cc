@@ -1,0 +1,308 @@
+#include "src/core/node_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
+
+namespace odyssey {
+namespace {
+constexpr float kInf = std::numeric_limits<float>::infinity();
+}  // namespace
+
+NodeRuntime::NodeRuntime(int node_id, const ReplicationLayout& layout)
+    : id_(node_id), layout_(layout) {
+  ODYSSEY_CHECK(node_id >= 0 && node_id < layout.num_nodes());
+}
+
+NodeRuntime::~NodeRuntime() { JoinBatch(); }
+
+void NodeRuntime::LoadChunk(SeriesCollection chunk,
+                            std::vector<uint32_t> global_ids) {
+  ODYSSEY_CHECK(chunk.size() == global_ids.size());
+  ODYSSEY_CHECK_MSG(!chunk.empty(), "node received an empty chunk");
+  global_ids_ = std::move(global_ids);
+  // The chunk is stashed inside the index at BuildIndex time; keep it here
+  // until then.
+  pending_chunk_ = std::make_unique<SeriesCollection>(std::move(chunk));
+}
+
+BuildTimings NodeRuntime::BuildIndex(const IndexOptions& options,
+                                     int build_threads) {
+  ODYSSEY_CHECK_MSG(pending_chunk_ != nullptr, "LoadChunk before BuildIndex");
+  ThreadPool pool(static_cast<size_t>(std::max(1, build_threads)));
+  index_ = std::make_unique<Index>(Index::Build(
+      std::move(*pending_chunk_), options, &pool, &build_timings_));
+  pending_chunk_.reset();
+  return build_timings_;
+}
+
+const Index& NodeRuntime::index() const {
+  ODYSSEY_CHECK(index_ != nullptr);
+  return *index_;
+}
+
+void NodeRuntime::StartBatch(SimCluster* cluster,
+                             const SeriesCollection* queries,
+                             const NodeBatchOptions& options) {
+  ODYSSEY_CHECK(index_ != nullptr);
+  ODYSSEY_CHECK(!comms_thread_.joinable() && !main_thread_.joinable());
+  cluster_ = cluster;
+  queries_ = queries;
+  options_ = options;
+  batch_stats_ = NodeBatchStats();
+  bsf_board_ = std::make_unique<std::atomic<float>[]>(queries->size());
+  for (size_t q = 0; q < queries->size(); ++q) bsf_board_[q].store(kInf);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    assigned_.clear();
+    no_more_queries_ = false;
+    done_nodes_.clear();
+    steal_replies_.clear();
+  }
+  comms_thread_ = std::thread([this] { CommsLoop(); });
+  main_thread_ = std::thread([this] { MainLoop(); });
+}
+
+void NodeRuntime::JoinBatch() {
+  if (main_thread_.joinable()) main_thread_.join();
+  if (comms_thread_.joinable()) comms_thread_.join();
+}
+
+void NodeRuntime::CommsLoop() {
+  // The comms thread doubles as the paper's work-stealing manager
+  // (Algorithm 3) and as the keeper of the BSF book-keeping array
+  // (Section 3.4): every received BSF improvement is folded into the
+  // per-query cell that running executions prune against.
+  for (;;) {
+    Message m = cluster_->mailbox(id_).Receive();
+    switch (m.type) {
+      case MessageType::kShutdown:
+        return;
+      case MessageType::kAssignQuery: {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        assigned_.push_back(m.query_id);
+        state_cv_.notify_all();
+        break;
+      }
+      case MessageType::kNoMoreQueries: {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        no_more_queries_ = true;
+        state_cv_.notify_all();
+        break;
+      }
+      case MessageType::kBsfUpdate:
+        AtomicFetchMinFloat(&bsf_board_[m.query_id], m.bsf);
+        break;
+      case MessageType::kDone: {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        done_nodes_.insert(m.from);
+        state_cv_.notify_all();
+        break;
+      }
+      case MessageType::kStealRequest:
+        HandleStealRequest(m.from);
+        break;
+      case MessageType::kStealReply: {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        steal_replies_.push_back(std::move(m));
+        state_cv_.notify_all();
+        break;
+      }
+      default:
+        break;  // coordinator-bound messages never arrive here
+    }
+  }
+}
+
+void NodeRuntime::HandleStealRequest(int thief) {
+  // Algorithm 3: give away up to Nsend RS-batches of the active query that
+  // satisfy the Take-Away property; always reply (an empty reply tells the
+  // thief to look elsewhere).
+  Message reply;
+  reply.type = MessageType::kStealReply;
+  reply.from = id_;
+  {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    if (current_exec_ != nullptr && options_.worksteal.enabled) {
+      std::vector<int> ids =
+          current_exec_->StealBatches(options_.worksteal.nsend);
+      if (!ids.empty()) {
+        reply.query_id = current_query_;
+        reply.bsf = bsf_board_[current_query_].load(std::memory_order_acquire);
+        reply.batch_ids = std::move(ids);
+        batch_stats_.batches_given_away +=
+            static_cast<int>(reply.batch_ids.size());
+      }
+    }
+  }
+  cluster_->Send(thief, std::move(reply));
+}
+
+int NodeRuntime::NextQuery() {
+  if (PolicyIsDynamic(options_.policy)) {
+    // DQS: request a query from the coordinator, then wait for the reply.
+    Message request;
+    request.type = MessageType::kQueryRequest;
+    request.from = id_;
+    cluster_->Send(cluster_->coordinator_id(), std::move(request));
+  }
+  std::unique_lock<std::mutex> lock(state_mu_);
+  state_cv_.wait(lock, [this] { return !assigned_.empty() || no_more_queries_; });
+  if (!assigned_.empty()) {
+    const int qid = assigned_.front();
+    assigned_.pop_front();
+    return qid;
+  }
+  return -1;
+}
+
+void NodeRuntime::MainLoop() {
+  // Algorithm 1: answer assigned queries one by one...
+  for (;;) {
+    const int qid = NextQuery();
+    if (qid < 0) break;
+    ExecuteQuery(qid);
+  }
+  // ... then announce completion to every node and start stealing.
+  Message done;
+  done.type = MessageType::kDone;
+  done.from = id_;
+  cluster_->Broadcast(done, /*except=*/id_);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    done_nodes_.insert(id_);
+  }
+  PerformWorkStealing();
+  Message terminated;
+  terminated.type = MessageType::kNodeTerminated;
+  terminated.from = id_;
+  cluster_->Send(cluster_->coordinator_id(), std::move(terminated));
+}
+
+void NodeRuntime::ExecuteQuery(int query_id) {
+  Stopwatch watch;
+  std::atomic<float>* cell =
+      options_.share_bsf ? &bsf_board_[query_id] : nullptr;
+  std::function<void(float)> on_improve;
+  if (options_.share_bsf) {
+    on_improve = [this, query_id](float threshold) {
+      Message update;
+      update.type = MessageType::kBsfUpdate;
+      update.from = id_;
+      update.query_id = query_id;
+      update.bsf = threshold;
+      cluster_->Broadcast(update, /*except=*/id_);
+    };
+  }
+  QueryExecution exec(index_.get(), queries_->data(query_id),
+                      options_.query_options, cell, on_improve);
+  const float initial_bsf = exec.Initialize();
+  if (options_.threshold_model != nullptr &&
+      options_.threshold_model->calibrated()) {
+    exec.set_queue_threshold(
+        options_.threshold_model->PredictThreshold(initial_bsf));
+  }
+  {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    current_exec_ = &exec;
+    current_query_ = query_id;
+  }
+  exec.Run();
+  {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    current_exec_ = nullptr;
+    current_query_ = -1;
+  }
+  SendLocalAnswer(query_id, exec.results().SortedResults());
+  ++batch_stats_.queries_executed;
+  batch_stats_.busy_seconds += watch.ElapsedSeconds();
+}
+
+void NodeRuntime::PerformWorkStealing() {
+  // Algorithm 4: while some group peer is still working, pick one at random,
+  // request work, and run whatever RS-batches it gives away.
+  if (!options_.worksteal.enabled || layout_.replication_degree() <= 1) {
+    return;
+  }
+  const std::vector<int> group = layout_.GroupMembers(layout_.GroupOf(id_));
+  uint64_t rng_state = options_.seed ^ (0x9E3779B97f4A7C15ULL * (id_ + 1));
+  for (;;) {
+    std::vector<int> peers;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      for (int n : group) {
+        if (n != id_ && done_nodes_.count(n) == 0) peers.push_back(n);
+      }
+    }
+    const int victim = ChooseStealVictim(peers, &rng_state);
+    if (victim < 0) return;  // every group peer is done
+    ++batch_stats_.steal_attempts;
+    Message request;
+    request.type = MessageType::kStealRequest;
+    request.from = id_;
+    cluster_->Send(victim, std::move(request));
+    Message reply;
+    {
+      std::unique_lock<std::mutex> lock(state_mu_);
+      state_cv_.wait(lock, [this] { return !steal_replies_.empty(); });
+      reply = std::move(steal_replies_.front());
+      steal_replies_.pop_front();
+    }
+    if (reply.batch_ids.empty()) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.worksteal.retry_backoff_us));
+      continue;
+    }
+    ++batch_stats_.successful_steals;
+    RunStolenWork(reply);
+  }
+}
+
+void NodeRuntime::RunStolenWork(const Message& reply) {
+  Stopwatch watch;
+  const int query_id = reply.query_id;
+  AtomicFetchMinFloat(&bsf_board_[query_id], reply.bsf);
+  std::function<void(float)> on_improve;
+  if (options_.share_bsf) {
+    on_improve = [this, query_id](float threshold) {
+      Message update;
+      update.type = MessageType::kBsfUpdate;
+      update.from = id_;
+      update.query_id = query_id;
+      update.bsf = threshold;
+      cluster_->Broadcast(update, /*except=*/id_);
+    };
+  }
+  QueryExecution exec(index_.get(), queries_->data(query_id),
+                      options_.query_options, &bsf_board_[query_id],
+                      on_improve);
+  const float initial_bsf = exec.Initialize();
+  if (options_.threshold_model != nullptr &&
+      options_.threshold_model->calibrated()) {
+    exec.set_queue_threshold(
+        options_.threshold_model->PredictThreshold(initial_bsf));
+  }
+  exec.RunBatchSubset(reply.batch_ids);
+  batch_stats_.batches_stolen_run += static_cast<int>(reply.batch_ids.size());
+  SendLocalAnswer(query_id, exec.results().SortedResults());
+  batch_stats_.busy_seconds += watch.ElapsedSeconds();
+}
+
+void NodeRuntime::SendLocalAnswer(int query_id,
+                                  const std::vector<Neighbor>& local) {
+  Message answer;
+  answer.type = MessageType::kLocalAnswer;
+  answer.from = id_;
+  answer.query_id = query_id;
+  answer.neighbors.reserve(local.size());
+  for (const Neighbor& n : local) {
+    answer.neighbors.push_back({n.squared_distance, global_ids_[n.id]});
+  }
+  cluster_->Send(cluster_->coordinator_id(), std::move(answer));
+}
+
+}  // namespace odyssey

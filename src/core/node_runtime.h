@@ -1,0 +1,133 @@
+#ifndef ODYSSEY_CORE_NODE_RUNTIME_H_
+#define ODYSSEY_CORE_NODE_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/core/replication.h"
+#include "src/core/scheduler.h"
+#include "src/core/worksteal.h"
+#include "src/index/threshold_model.h"
+#include "src/net/sim_cluster.h"
+
+namespace odyssey {
+
+/// Per-batch configuration a node receives from the driver.
+struct NodeBatchOptions {
+  SchedulingPolicy policy = SchedulingPolicy::kPredictDynamic;
+  WorkStealConfig worksteal;
+  QueryOptions query_options;
+  /// When set, each query's queue threshold TH is predicted from its
+  /// initial BSF (Section 3.2.1); otherwise query_options.queue_threshold
+  /// applies as-is.
+  const ThresholdModel* threshold_model = nullptr;
+  /// System-wide BSF sharing (Section 3.4). Off only for the DMESSI
+  /// baseline.
+  bool share_bsf = true;
+  uint64_t seed = 0;
+};
+
+/// Per-node, per-batch observability counters.
+struct NodeBatchStats {
+  int queries_executed = 0;
+  int steal_attempts = 0;     ///< steal requests sent
+  int successful_steals = 0;  ///< replies that carried batches
+  int batches_given_away = 0; ///< RS-batches this node handed to thieves
+  int batches_stolen_run = 0; ///< RS-batches this node ran for others
+  double busy_seconds = 0.0;  ///< time spent executing (own + stolen) work
+};
+
+/// One simulated system node (Figure 3's stages 2 and 4): owns a data
+/// chunk and its index, executes the queries it is assigned, shares BSF
+/// improvements, and participates in the work-stealing protocol
+/// (Algorithms 1, 3 and 4). All interaction with other nodes and with the
+/// coordinator goes through the SimCluster mailboxes.
+///
+/// Threads per active batch: a *comms thread* (the paper's work-stealing
+/// manager, which also maintains the BSF book-keeping array) and a *main
+/// thread* (query answering + the PerformWorkStealing loop); each query
+/// additionally spawns `query_options.num_threads` search workers.
+class NodeRuntime {
+ public:
+  NodeRuntime(int node_id, const ReplicationLayout& layout);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  int id() const { return id_; }
+
+  /// Stage 2a: receives this node's chunk. `global_ids[i]` is the original
+  /// dataset id of local series i (answers are reported globally).
+  void LoadChunk(SeriesCollection chunk, std::vector<uint32_t> global_ids);
+
+  /// Stage 2b-c: builds the local index with `build_threads` workers.
+  BuildTimings BuildIndex(const IndexOptions& options, int build_threads);
+
+  const Index& index() const;
+  size_t chunk_size() const { return global_ids_.size(); }
+  const BuildTimings& build_timings() const { return build_timings_; }
+
+  /// Starts the node's threads for one query batch. `cluster` and `queries`
+  /// must outlive the batch. The node runs until the driver sends
+  /// kShutdown; call JoinBatch() afterwards.
+  void StartBatch(SimCluster* cluster, const SeriesCollection* queries,
+                  const NodeBatchOptions& options);
+
+  /// Joins the batch threads (after the driver's kShutdown).
+  void JoinBatch();
+
+  const NodeBatchStats& batch_stats() const { return batch_stats_; }
+
+ private:
+  void CommsLoop();
+  void MainLoop();
+  void ExecuteQuery(int query_id);
+  void HandleStealRequest(int thief);
+  void PerformWorkStealing();
+  void RunStolenWork(const Message& reply);
+  void SendLocalAnswer(int query_id, const std::vector<Neighbor>& local);
+  /// Next query to run, or -1 when the batch is exhausted. Blocks.
+  int NextQuery();
+
+  const int id_;
+  const ReplicationLayout layout_;
+
+  // Immutable after BuildIndex.
+  std::vector<uint32_t> global_ids_;
+  std::unique_ptr<SeriesCollection> pending_chunk_;  // between Load and Build
+  std::unique_ptr<Index> index_;
+  BuildTimings build_timings_;
+
+  // Per-batch state.
+  SimCluster* cluster_ = nullptr;
+  const SeriesCollection* queries_ = nullptr;
+  NodeBatchOptions options_;
+  std::unique_ptr<std::atomic<float>[]> bsf_board_;  // one cell per query
+  std::thread comms_thread_;
+  std::thread main_thread_;
+  NodeBatchStats batch_stats_;
+
+  // Scheduling / protocol state shared between the two threads.
+  std::mutex state_mu_;
+  std::condition_variable state_cv_;
+  std::deque<int> assigned_;
+  bool no_more_queries_ = false;
+  std::set<int> done_nodes_;
+  std::deque<Message> steal_replies_;
+
+  // Work-stealing victim side: the currently running execution.
+  std::mutex exec_mu_;
+  QueryExecution* current_exec_ = nullptr;
+  int current_query_ = -1;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_CORE_NODE_RUNTIME_H_

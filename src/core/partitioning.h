@@ -1,0 +1,51 @@
+#ifndef ODYSSEY_CORE_PARTITIONING_H_
+#define ODYSSEY_CORE_PARTITIONING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/dataset/series_collection.h"
+#include "src/isax/isax_word.h"
+
+namespace odyssey {
+
+/// How the coordinator cuts the raw collection into chunks (Section 3.4).
+enum class PartitioningScheme {
+  /// Contiguous equal-size ranges.
+  kEquallySplit,
+  /// Random shuffle, then equal-size ranges (the paper's RS preprocessing).
+  kRandomShuffle,
+  /// Gray-code ordering of iSAX summarization buffers + round-robin
+  /// assignment, with large-buffer pre-splitting and rebalancing
+  /// (Section 3.4.1, Figures 8-9).
+  kDensityAware,
+};
+
+const char* PartitioningSchemeToString(PartitioningScheme scheme);
+
+/// DENSITY-AWARE knobs.
+struct DensityAwareOptions {
+  /// Number of largest buffers whose series are split individually before
+  /// whole-buffer assignment (the paper's lambda; it uses 400).
+  size_t lambda = 400;
+  /// Rebalancing stops when max/min chunk sizes are within this factor.
+  double balance_tolerance = 1.02;
+  /// Safety cap on rebalancing rounds.
+  int max_rebalance_rounds = 64;
+};
+
+/// Cuts `data` into `num_chunks` disjoint, exhaustive chunks of series ids.
+/// Every returned chunk is sorted ascending (determinism: replicas loading
+/// the same chunk must build identical indexes). `config` is needed only by
+/// kDensityAware (it summarizes the collection); `pool` parallelizes that
+/// summarization and may be null.
+std::vector<std::vector<uint32_t>> PartitionSeries(
+    const SeriesCollection& data, int num_chunks, PartitioningScheme scheme,
+    const IsaxConfig& config, uint64_t seed, ThreadPool* pool = nullptr,
+    const DensityAwareOptions& density_options = {});
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_CORE_PARTITIONING_H_

@@ -1,0 +1,39 @@
+#include "src/core/replication.h"
+
+namespace odyssey {
+
+StatusOr<ReplicationLayout> ReplicationLayout::Make(int num_nodes,
+                                                    int num_groups) {
+  if (num_nodes < 1) {
+    return Status::InvalidArgument("num_nodes must be >= 1");
+  }
+  if (num_groups < 1 || num_groups > num_nodes) {
+    return Status::InvalidArgument("num_groups must be in [1, num_nodes]");
+  }
+  if (num_nodes % num_groups != 0) {
+    return Status::InvalidArgument(
+        "num_groups must divide num_nodes (equal-size replication groups)");
+  }
+  return ReplicationLayout(num_nodes, num_groups);
+}
+
+std::vector<int> ReplicationLayout::GroupMembers(int group) const {
+  std::vector<int> members;
+  for (int n = group; n < num_nodes_; n += num_groups_) members.push_back(n);
+  return members;
+}
+
+std::vector<int> ReplicationLayout::ClusterMembers(int cluster) const {
+  std::vector<int> members;
+  const int begin = cluster * num_groups_;
+  for (int n = begin; n < begin + num_groups_; ++n) members.push_back(n);
+  return members;
+}
+
+std::string ReplicationLayout::ToString() const {
+  if (is_full()) return "FULL";
+  if (is_equally_split()) return "EQUALLY-SPLIT";
+  return "PARTIAL-" + std::to_string(num_groups_);
+}
+
+}  // namespace odyssey

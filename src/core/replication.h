@@ -1,0 +1,63 @@
+#ifndef ODYSSEY_CORE_REPLICATION_H_
+#define ODYSSEY_CORE_REPLICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace odyssey {
+
+/// The paper's PARTIAL-k replication scheme (Section 3.3, Figure 7): the
+/// dataset is cut into k chunks; a system with Nsn nodes forms k
+/// *replication groups* (every node of group g stores chunk g) organized in
+/// Nsn/k *clusters* (each cluster collectively stores the whole dataset).
+///
+///   PARTIAL-1   == FULL          (every node stores the full dataset)
+///   PARTIAL-Nsn == EQUALLY-SPLIT (no replication)
+///
+/// Group g's members are {g, g+k, g+2k, ...}; cluster c's members are
+/// {c*k, ..., c*k + k - 1}. Scheduling and work-stealing operate inside a
+/// replication group (its nodes hold identical data and therefore identical
+/// indexes).
+class ReplicationLayout {
+ public:
+  /// `num_groups` is the k of PARTIAL-k and must divide `num_nodes`.
+  static StatusOr<ReplicationLayout> Make(int num_nodes, int num_groups);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_groups() const { return num_groups_; }
+  /// The replication degree = number of clusters = copies of each chunk.
+  int replication_degree() const { return num_nodes_ / num_groups_; }
+
+  bool is_full() const { return num_groups_ == 1; }
+  bool is_equally_split() const { return num_groups_ == num_nodes_; }
+
+  /// The replication group (== chunk id) node `node` belongs to.
+  int GroupOf(int node) const { return node % num_groups_; }
+  /// The cluster node `node` belongs to.
+  int ClusterOf(int node) const { return node / num_groups_; }
+
+  /// Members of group g, ascending.
+  std::vector<int> GroupMembers(int group) const;
+  /// Members of cluster c, ascending.
+  std::vector<int> ClusterMembers(int cluster) const;
+  /// The group coordinator: the lowest-id member.
+  int GroupCoordinator(int group) const { return group; }
+
+  bool SameGroup(int a, int b) const { return GroupOf(a) == GroupOf(b); }
+
+  /// "FULL", "EQUALLY-SPLIT" or "PARTIAL-k".
+  std::string ToString() const;
+
+ private:
+  ReplicationLayout(int num_nodes, int num_groups)
+      : num_nodes_(num_nodes), num_groups_(num_groups) {}
+
+  int num_nodes_;
+  int num_groups_;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_CORE_REPLICATION_H_

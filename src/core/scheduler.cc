@@ -1,0 +1,82 @@
+#include "src/core/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace odyssey {
+
+const char* SchedulingPolicyToString(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kStatic:
+      return "STATIC";
+    case SchedulingPolicy::kDynamic:
+      return "DYNAMIC";
+    case SchedulingPolicy::kPredictStaticUnsorted:
+      return "PREDICT-ST-UNSORTED";
+    case SchedulingPolicy::kPredictStatic:
+      return "PREDICT-ST";
+    case SchedulingPolicy::kPredictDynamic:
+      return "PREDICT-DN";
+  }
+  return "Unknown";
+}
+
+bool PolicyIsDynamic(SchedulingPolicy policy) {
+  return policy == SchedulingPolicy::kDynamic ||
+         policy == SchedulingPolicy::kPredictDynamic;
+}
+
+bool PolicyNeedsPredictions(SchedulingPolicy policy) {
+  return policy == SchedulingPolicy::kPredictStaticUnsorted ||
+         policy == SchedulingPolicy::kPredictStatic ||
+         policy == SchedulingPolicy::kPredictDynamic;
+}
+
+std::vector<std::vector<int>> StaticSplit(int num_queries, int num_workers) {
+  ODYSSEY_CHECK(num_workers >= 1);
+  std::vector<std::vector<int>> assignment(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    const int begin = w * num_queries / num_workers;
+    const int end = (w + 1) * num_queries / num_workers;
+    for (int q = begin; q < end; ++q) assignment[w].push_back(q);
+  }
+  return assignment;
+}
+
+std::vector<std::vector<int>> PredictionGreedySplit(
+    const std::vector<double>& estimates, int num_workers, bool sorted) {
+  ODYSSEY_CHECK(num_workers >= 1);
+  std::vector<int> order(estimates.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (sorted) {
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return estimates[a] > estimates[b];
+    });
+  }
+  std::vector<std::vector<int>> assignment(num_workers);
+  std::vector<double> load(num_workers, 0.0);
+  for (int q : order) {
+    const int w = static_cast<int>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    assignment[w].push_back(q);
+    load[w] += estimates[q];
+  }
+  return assignment;
+}
+
+std::vector<int> DynamicDispatchOrder(const std::vector<double>& estimates,
+                                      int num_queries, bool sorted) {
+  std::vector<int> order(num_queries);
+  std::iota(order.begin(), order.end(), 0);
+  if (sorted) {
+    ODYSSEY_CHECK(static_cast<int>(estimates.size()) == num_queries);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return estimates[a] > estimates[b];
+    });
+  }
+  return order;
+}
+
+}  // namespace odyssey

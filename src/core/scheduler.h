@@ -1,0 +1,51 @@
+#ifndef ODYSSEY_CORE_SCHEDULER_H_
+#define ODYSSEY_CORE_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+namespace odyssey {
+
+/// The paper's query-scheduling algorithms (Sections 2 and 3.1), applied
+/// inside each replication group:
+///
+///   STATIC               split the query sequence into equal contiguous
+///                        subsequences (SQS).
+///   DYNAMIC              coordinator hands out queries in sequence order on
+///                        request (DQS).
+///   PREDICT-ST-UNSORTED  greedy least-loaded static assignment using
+///                        predicted times, in sequence order.
+///   PREDICT-ST           same, after sorting by descending prediction (LPT).
+///   PREDICT-DN           dynamic, after sorting by descending prediction —
+///                        the paper's best policy; with work-stealing on top
+///                        it becomes WORK-STEAL-PREDICT.
+enum class SchedulingPolicy {
+  kStatic,
+  kDynamic,
+  kPredictStaticUnsorted,
+  kPredictStatic,
+  kPredictDynamic,
+};
+
+const char* SchedulingPolicyToString(SchedulingPolicy policy);
+bool PolicyIsDynamic(SchedulingPolicy policy);
+bool PolicyNeedsPredictions(SchedulingPolicy policy);
+
+/// STATIC: cuts [0, num_queries) into `num_workers` contiguous equal
+/// subsequences; result[w] lists worker w's query ids in order.
+std::vector<std::vector<int>> StaticSplit(int num_queries, int num_workers);
+
+/// PREDICT-ST / PREDICT-ST-UNSORTED: greedy assignment to the currently
+/// least-loaded worker (by summed estimates). When `sorted`, queries are
+/// first ordered by descending estimate (classic LPT).
+std::vector<std::vector<int>> PredictionGreedySplit(
+    const std::vector<double>& estimates, int num_workers, bool sorted);
+
+/// The dispatch order a dynamic coordinator serves: sequence order for
+/// DYNAMIC, descending-estimate order for PREDICT-DN.
+std::vector<int> DynamicDispatchOrder(const std::vector<double>& estimates,
+                                      int num_queries, bool sorted);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_CORE_SCHEDULER_H_

@@ -1,0 +1,15 @@
+#include "src/core/worksteal.h"
+
+namespace odyssey {
+
+int ChooseStealVictim(const std::vector<int>& peers, uint64_t* rng_state) {
+  if (peers.empty()) return -1;
+  // SplitMix64 step: cheap, stateless-friendly randomness for victim choice.
+  uint64_t z = (*rng_state += 0x9E3779B97f4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  return peers[z % peers.size()];
+}
+
+}  // namespace odyssey

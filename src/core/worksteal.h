@@ -1,0 +1,26 @@
+#ifndef ODYSSEY_CORE_WORKSTEAL_H_
+#define ODYSSEY_CORE_WORKSTEAL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace odyssey {
+
+/// Inter-node work-stealing configuration (Section 3.2.2, Algorithms 3-4).
+struct WorkStealConfig {
+  bool enabled = true;
+  /// RS-batches given away per steal request (the paper fixes Nsend = 4).
+  int nsend = 4;
+  /// Back-off (microseconds) after an empty steal reply before retrying
+  /// another victim, so an idle node does not flood a group with requests.
+  int retry_backoff_us = 200;
+};
+
+/// Chooses a steal victim uniformly at random among still-active group
+/// peers. `peers` are the candidate node ids (same replication group,
+/// not DONE, not self); returns -1 when none remain.
+int ChooseStealVictim(const std::vector<int>& peers, uint64_t* rng_state);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_CORE_WORKSTEAL_H_

@@ -1,0 +1,102 @@
+#include "src/dataset/file_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace odyssey {
+namespace {
+
+constexpr char kMagic[4] = {'O', 'D', 'S', 'Y'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status WriteCollection(const SeriesCollection& collection,
+                       const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const uint32_t count = static_cast<uint32_t>(collection.size());
+  const uint32_t length = static_cast<uint32_t>(collection.length());
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
+      std::fwrite(&count, sizeof(count), 1, f.get()) != 1 ||
+      std::fwrite(&length, sizeof(length), 1, f.get()) != 1) {
+    return Status::IoError("short header write: " + path);
+  }
+  for (size_t i = 0; i < collection.size(); ++i) {
+    if (std::fwrite(collection.data(i), sizeof(float), length, f.get()) !=
+        length) {
+      return Status::IoError("short data write: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<SeriesCollection> ReadCollection(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  char magic[4];
+  uint32_t version = 0, count = 0, length = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      std::fread(&count, sizeof(count), 1, f.get()) != 1 ||
+      std::fread(&length, sizeof(length), 1, f.get()) != 1) {
+    return Status::IoError("short header read: " + path);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported version in " + path);
+  }
+  if (length == 0) {
+    return Status::InvalidArgument("zero series length in " + path);
+  }
+  SeriesCollection out(length);
+  float* dst = out.AppendUninitialized(count);
+  if (std::fread(dst, sizeof(float), static_cast<size_t>(count) * length,
+                 f.get()) != static_cast<size_t>(count) * length) {
+    return Status::IoError("short data read: " + path);
+  }
+  return out;
+}
+
+StatusOr<SeriesCollection> ReadRawFloats(const std::string& path,
+                                         size_t length) {
+  if (length == 0) return Status::InvalidArgument("length must be positive");
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::fseek(f.get(), 0, SEEK_END);
+  const long bytes = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (bytes < 0) return Status::IoError("cannot stat: " + path);
+  const size_t total_floats = static_cast<size_t>(bytes) / sizeof(float);
+  if (total_floats % length != 0) {
+    return Status::InvalidArgument(
+        "file size is not a multiple of the series length: " + path);
+  }
+  SeriesCollection out(length);
+  const size_t count = total_floats / length;
+  float* dst = out.AppendUninitialized(count);
+  if (std::fread(dst, sizeof(float), total_floats, f.get()) != total_floats) {
+    return Status::IoError("short data read: " + path);
+  }
+  return out;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,30 @@
+#ifndef ODYSSEY_DATASET_FILE_IO_H_
+#define ODYSSEY_DATASET_FILE_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/dataset/series_collection.h"
+
+namespace odyssey {
+
+/// Binary collection format: a 16-byte header (magic "ODSY", version u32,
+/// count u32, length u32) followed by count*length little-endian floats.
+/// Matches the flat raw-float layout of the public data-series archives the
+/// paper uses, plus a small header for safety.
+
+/// Writes `collection` to `path`, overwriting any existing file.
+Status WriteCollection(const SeriesCollection& collection,
+                       const std::string& path);
+
+/// Reads a collection previously written by WriteCollection.
+StatusOr<SeriesCollection> ReadCollection(const std::string& path);
+
+/// Reads a headerless raw-float file (the archive format: count*length
+/// floats). `length` must be supplied by the caller.
+StatusOr<SeriesCollection> ReadRawFloats(const std::string& path,
+                                         size_t length);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_DATASET_FILE_IO_H_

@@ -1,0 +1,153 @@
+#include "src/dataset/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/math_utils.h"
+#include "src/common/rng.h"
+
+namespace odyssey {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+SeriesCollection GenerateRandomWalk(size_t count, size_t length,
+                                    uint64_t seed) {
+  SeriesCollection out(length);
+  float* dst = out.AppendUninitialized(count);
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    float* s = dst + i * length;
+    double acc = 0.0;
+    for (size_t t = 0; t < length; ++t) {
+      acc += rng.NextGaussian();
+      s[t] = static_cast<float>(acc);
+    }
+    ZNormalize(s, length);
+  }
+  return out;
+}
+
+SeriesCollection GenerateSeismicLike(size_t count, size_t length,
+                                     uint64_t seed) {
+  SeriesCollection out(length);
+  float* dst = out.AppendUninitialized(count);
+  Rng rng(seed);
+  // A small dictionary of "event shapes" shared by many records produces the
+  // high inter-series similarity seen in seismic archives.
+  constexpr size_t kTemplates = 32;
+  std::vector<double> template_freq(kTemplates), template_decay(kTemplates);
+  for (size_t k = 0; k < kTemplates; ++k) {
+    template_freq[k] = 2.0 + 14.0 * rng.NextDouble();   // cycles per series
+    template_decay[k] = 2.0 + 6.0 * rng.NextDouble();   // burst damping
+  }
+  for (size_t i = 0; i < count; ++i) {
+    float* s = dst + i * length;
+    const size_t k = rng.NextBounded(kTemplates);
+    const double onset = 0.1 + 0.5 * rng.NextDouble();  // burst start (frac)
+    const double amp = 0.5 + 2.5 * rng.NextDouble();
+    const double noise = 0.05 + 0.4 * rng.NextDouble();
+    double ar = 0.0;  // AR(1) correlated background noise
+    for (size_t t = 0; t < length; ++t) {
+      const double x = static_cast<double>(t) / static_cast<double>(length);
+      ar = 0.9 * ar + noise * rng.NextGaussian();
+      double v = ar;
+      if (x >= onset) {
+        const double u = x - onset;
+        v += amp * std::exp(-template_decay[k] * u) *
+             std::sin(2.0 * kPi * template_freq[k] * u);
+      }
+      s[t] = static_cast<float>(v);
+    }
+    ZNormalize(s, length);
+  }
+  return out;
+}
+
+SeriesCollection GenerateAstroLike(size_t count, size_t length,
+                                   uint64_t seed) {
+  SeriesCollection out(length);
+  float* dst = out.AppendUninitialized(count);
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    float* s = dst + i * length;
+    // Slowly varying baseline (long-term AGN variability) plus a heavy-tailed
+    // number of flares. Many series are near-flat (dense iSAX buffers) while
+    // a few are dominated by large flares (sparse buffers).
+    const double slope = 0.5 * rng.NextGaussian();
+    const size_t flares = static_cast<size_t>(
+        std::floor(std::pow(rng.NextDouble(), 3.0) * 6.0));  // skewed 0..5
+    std::vector<double> flare_pos(flares), flare_amp(flares), flare_w(flares);
+    for (size_t f = 0; f < flares; ++f) {
+      flare_pos[f] = rng.NextDouble();
+      // Pareto-ish amplitudes: heavy tail.
+      flare_amp[f] = 1.0 / std::pow(1.0 - 0.95 * rng.NextDouble(), 0.8);
+      flare_w[f] = 0.01 + 0.05 * rng.NextDouble();
+    }
+    for (size_t t = 0; t < length; ++t) {
+      const double x = static_cast<double>(t) / static_cast<double>(length);
+      double v = slope * x + 0.2 * rng.NextGaussian();
+      for (size_t f = 0; f < flares; ++f) {
+        const double u = (x - flare_pos[f]) / flare_w[f];
+        v += flare_amp[f] * std::exp(-0.5 * u * u);
+      }
+      s[t] = static_cast<float>(v);
+    }
+    ZNormalize(s, length);
+  }
+  return out;
+}
+
+SeriesCollection GenerateEmbeddingLike(size_t count, size_t length,
+                                       size_t clusters, uint64_t seed) {
+  SeriesCollection out(length);
+  float* dst = out.AppendUninitialized(count);
+  Rng rng(seed);
+  // Cluster centroids drawn once; members are centroid + isotropic noise.
+  std::vector<float> centroids(clusters * length);
+  for (float& v : centroids) v = static_cast<float>(rng.NextGaussian());
+  for (size_t i = 0; i < count; ++i) {
+    float* s = dst + i * length;
+    const size_t c = rng.NextBounded(clusters);
+    const float* mu = centroids.data() + c * length;
+    for (size_t t = 0; t < length; ++t) {
+      s[t] = mu[t] + static_cast<float>(0.7 * rng.NextGaussian());
+    }
+    ZNormalize(s, length);
+  }
+  return out;
+}
+
+SeriesCollection GenerateCrossModalLike(size_t count, size_t length,
+                                        uint64_t seed) {
+  SeriesCollection out(length);
+  float* dst = out.AppendUninitialized(count);
+  Rng rng(seed);
+  // Two modalities sharing one space: "image" embeddings form tight clusters,
+  // "text" embeddings form fewer, much more diffuse clusters.
+  constexpr size_t kImageClusters = 64;
+  constexpr size_t kTextClusters = 8;
+  std::vector<float> image_centroids(kImageClusters * length);
+  std::vector<float> text_centroids(kTextClusters * length);
+  for (float& v : image_centroids) v = static_cast<float>(rng.NextGaussian());
+  for (float& v : text_centroids) v = static_cast<float>(rng.NextGaussian());
+  for (size_t i = 0; i < count; ++i) {
+    float* s = dst + i * length;
+    const bool image = rng.NextDouble() < 0.5;
+    const float* mu = image
+                          ? image_centroids.data() +
+                                rng.NextBounded(kImageClusters) * length
+                          : text_centroids.data() +
+                                rng.NextBounded(kTextClusters) * length;
+    const double sigma = image ? 0.3 : 1.2;
+    for (size_t t = 0; t < length; ++t) {
+      s[t] = mu[t] + static_cast<float>(sigma * rng.NextGaussian());
+    }
+    ZNormalize(s, length);
+  }
+  return out;
+}
+
+}  // namespace odyssey

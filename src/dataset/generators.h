@@ -1,0 +1,48 @@
+#ifndef ODYSSEY_DATASET_GENERATORS_H_
+#define ODYSSEY_DATASET_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/dataset/series_collection.h"
+
+namespace odyssey {
+
+/// Synthetic data generators. `Random` reproduces the paper's synthetic
+/// dataset exactly (random walks with N(0,1) steps). The others are
+/// distribution-preserving stand-ins for the paper's real datasets
+/// (Table 1), built so that the *property each experiment depends on*
+/// survives the substitution — see DESIGN.md §2 for the mapping.
+///
+/// All generators z-normalize every series (the iSAX breakpoints are
+/// quantiles of N(0,1), so indexes assume z-normalized input) and are
+/// bit-deterministic for a given seed.
+
+/// Random walk: cumulative sum of Gaussian steps, as in the paper's Random
+/// dataset (models stock-market-like sequences).
+SeriesCollection GenerateRandomWalk(size_t count, size_t length, uint64_t seed);
+
+/// Seismic stand-in: damped oscillation bursts over correlated noise.
+/// Key property: clustered, highly self-similar records, so query difficulty
+/// varies widely (this skew drives the paper's scheduling experiments).
+SeriesCollection GenerateSeismicLike(size_t count, size_t length, uint64_t seed);
+
+/// Astro stand-in: heavy-tailed bursty light curves (baseline + flares).
+/// Key property: density skew in iSAX space (a few summarization buffers
+/// hold an outsized share of the series), exercising DENSITY-AWARE.
+SeriesCollection GenerateAstroLike(size_t count, size_t length, uint64_t seed);
+
+/// Deep/Sift stand-in: cluster-structured embedding vectors (mixture of
+/// `clusters` Gaussians in series space). Key property: near-isotropic
+/// high-dimensional vectors with low pruning power.
+SeriesCollection GenerateEmbeddingLike(size_t count, size_t length,
+                                       size_t clusters, uint64_t seed);
+
+/// Yan-TtI stand-in: two-modality embedding mixture (image-like tight
+/// clusters + text-like diffuse clusters in the same space). Key property:
+/// bimodal density, typical of cross-modal retrieval.
+SeriesCollection GenerateCrossModalLike(size_t count, size_t length,
+                                        uint64_t seed);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_DATASET_GENERATORS_H_

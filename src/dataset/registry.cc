@@ -1,0 +1,43 @@
+#include "src/dataset/registry.h"
+
+#include "src/common/check.h"
+#include "src/dataset/generators.h"
+
+namespace odyssey {
+
+std::vector<DatasetSpec> Table1Datasets(double scale) {
+  auto scaled = [scale](size_t base) {
+    const size_t n = static_cast<size_t>(static_cast<double>(base) * scale);
+    return n < 128 ? 128 : n;
+  };
+  std::vector<DatasetSpec> specs;
+  specs.push_back({"Seismic", "seismic records (stand-in)", 256,
+                   scaled(40000), 100'000'000, 100.0,
+                   [](size_t c, uint64_t s) { return GenerateSeismicLike(c, 256, s); }});
+  specs.push_back({"Astro", "astronomical data (stand-in)", 256,
+                   scaled(40000), 270'000'000, 265.0,
+                   [](size_t c, uint64_t s) { return GenerateAstroLike(c, 256, s); }});
+  specs.push_back({"Deep", "deep embeddings (stand-in)", 96,
+                   scaled(100000), 1'000'000'000, 358.0,
+                   [](size_t c, uint64_t s) { return GenerateEmbeddingLike(c, 96, 256, s); }});
+  specs.push_back({"Sift", "image descriptors (stand-in)", 128,
+                   scaled(80000), 1'000'000'000, 477.0,
+                   [](size_t c, uint64_t s) { return GenerateEmbeddingLike(c, 128, 512, s); }});
+  specs.push_back({"Yan-TtI", "image and text embeddings (stand-in)", 200,
+                   scaled(50000), 1'000'000'000, 800.0,
+                   [](size_t c, uint64_t s) { return GenerateCrossModalLike(c, 200, s); }});
+  specs.push_back({"Random", "random walks (as in the paper)", 256,
+                   scaled(40000), 100'000'000, 100.0,
+                   [](size_t c, uint64_t s) { return GenerateRandomWalk(c, 256, s); }});
+  return specs;
+}
+
+DatasetSpec Table1Dataset(const std::string& name, double scale) {
+  for (auto& spec : Table1Datasets(scale)) {
+    if (spec.name == name) return spec;
+  }
+  ODYSSEY_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
+  return {};
+}
+
+}  // namespace odyssey

@@ -1,0 +1,37 @@
+#ifndef ODYSSEY_DATASET_REGISTRY_H_
+#define ODYSSEY_DATASET_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/dataset/series_collection.h"
+
+namespace odyssey {
+
+/// One row of the paper's Table 1, scaled to in-memory reproduction size.
+/// `paper_count`/`paper_size_gb` record what the paper used; `Generate`
+/// produces our stand-in at `count` series (a configurable fraction).
+struct DatasetSpec {
+  std::string name;
+  std::string description;
+  size_t length;              ///< series length in floats
+  size_t count;               ///< reproduction size (series)
+  size_t paper_count;         ///< paper size (series)
+  double paper_size_gb;       ///< paper on-disk size
+  std::function<SeriesCollection(size_t count, uint64_t seed)> generate;
+
+  SeriesCollection Generate(uint64_t seed) const { return generate(count, seed); }
+};
+
+/// The Table-1 datasets (Seismic, Astro, Deep, Sift, Yan-TtI, Random) as
+/// scaled stand-ins. `scale` multiplies the default reproduction counts
+/// (default counts are sized so every Table-1 bench finishes in seconds).
+std::vector<DatasetSpec> Table1Datasets(double scale = 1.0);
+
+/// Looks up one dataset by (case-sensitive) name; aborts if absent.
+DatasetSpec Table1Dataset(const std::string& name, double scale = 1.0);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_DATASET_REGISTRY_H_

@@ -1,0 +1,15 @@
+#include "src/dataset/series_collection.h"
+
+namespace odyssey {
+
+SeriesCollection SeriesCollection::Subset(
+    const std::vector<uint32_t>& indices) const {
+  SeriesCollection out(length_);
+  out.Reserve(indices.size());
+  for (uint32_t idx : indices) {
+    out.Append(data(idx));
+  }
+  return out;
+}
+
+}  // namespace odyssey

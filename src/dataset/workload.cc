@@ -1,0 +1,51 @@
+#include "src/dataset/workload.h"
+
+#include "src/common/check.h"
+#include "src/common/math_utils.h"
+#include "src/common/rng.h"
+
+namespace odyssey {
+
+SeriesCollection GenerateQueries(const SeriesCollection& data,
+                                 const WorkloadOptions& options) {
+  ODYSSEY_CHECK(!data.empty());
+  const size_t length = data.length();
+  SeriesCollection out(length);
+  float* dst = out.AppendUninitialized(options.count);
+  Rng rng(options.seed);
+  for (size_t i = 0; i < options.count; ++i) {
+    float* q = dst + i * length;
+    if (rng.NextDouble() < options.unrelated_fraction) {
+      // Unrelated random walk: worst-case pruning.
+      double acc = 0.0;
+      for (size_t t = 0; t < length; ++t) {
+        acc += rng.NextGaussian();
+        q[t] = static_cast<float>(acc);
+      }
+    } else {
+      const size_t src = rng.NextBounded(data.size());
+      const double noise =
+          options.min_noise +
+          (options.max_noise - options.min_noise) * rng.NextDouble();
+      const float* s = data.data(src);
+      for (size_t t = 0; t < length; ++t) {
+        q[t] = s[t] + static_cast<float>(noise * rng.NextGaussian());
+      }
+    }
+    ZNormalize(q, length);
+  }
+  return out;
+}
+
+SeriesCollection GenerateUniformQueries(const SeriesCollection& data,
+                                        size_t count, double noise,
+                                        uint64_t seed) {
+  WorkloadOptions options;
+  options.count = count;
+  options.min_noise = noise;
+  options.max_noise = noise;
+  options.seed = seed;
+  return GenerateQueries(data, options);
+}
+
+}  // namespace odyssey

@@ -1,0 +1,41 @@
+#ifndef ODYSSEY_DATASET_WORKLOAD_H_
+#define ODYSSEY_DATASET_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "src/dataset/series_collection.h"
+
+namespace odyssey {
+
+/// Query workload generation, following the established data-series
+/// benchmarking methodology (Zoumpatianos et al., "Query workloads for data
+/// series indexes"): a query of controlled difficulty is a dataset member
+/// perturbed by noise — small noise keeps the nearest neighbor close (easy,
+/// heavy pruning), large noise pushes the query away from the collection
+/// (hard, little pruning).
+struct WorkloadOptions {
+  size_t count = 100;
+  /// Minimum/maximum noise standard deviation added to the sampled series
+  /// (before re-z-normalization). The i-th query's noise level is drawn
+  /// uniformly from this range, yielding a batch of mixed difficulty like
+  /// the paper's Seismic query batches.
+  double min_noise = 0.0;
+  double max_noise = 2.0;
+  /// Fraction of queries that are pure random walks unrelated to the data
+  /// (the hardest kind; Figure 10's discussion of skewed batches).
+  double unrelated_fraction = 0.0;
+  uint64_t seed = 7;
+};
+
+/// Builds a query batch against `data`.
+SeriesCollection GenerateQueries(const SeriesCollection& data,
+                                 const WorkloadOptions& options);
+
+/// Convenience: a batch of uniform difficulty (noise == `noise` for all).
+SeriesCollection GenerateUniformQueries(const SeriesCollection& data,
+                                        size_t count, double noise,
+                                        uint64_t seed);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_DATASET_WORKLOAD_H_

@@ -1,0 +1,73 @@
+#include "src/distance/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace odyssey {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+inline float PointCost(float x, float y) {
+  const float d = x - y;
+  return d * d;
+}
+
+// Shared band DP. When `threshold` is finite, abandons as soon as a full row
+// exceeds it (every warping path must pass through each row's band, so the
+// row minimum lower-bounds the final value).
+float BandDtw(const float* a, const float* b, size_t n, size_t window,
+              float threshold) {
+  if (n == 0) return 0.0f;
+  window = std::min(window, n - 1);
+
+  // Two rolling DP rows over the full length; cells outside the band stay
+  // +inf. For the window sizes the paper uses (<= 15% of n) the wasted cells
+  // are cheap and the code stays simple.
+  std::vector<float> prev(n, kInf), cur(n, kInf);
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t jlo = (i >= window) ? i - window : 0;
+    const size_t jhi = std::min(n - 1, i + window);
+    float row_min = kInf;
+    for (size_t j = jlo; j <= jhi; ++j) {
+      const float cost = PointCost(a[i], b[j]);
+      float best;
+      if (i == 0 && j == 0) {
+        best = 0.0f;
+      } else {
+        best = kInf;
+        if (i > 0) best = std::min(best, prev[j]);                 // insertion
+        if (j > 0) best = std::min(best, cur[j - 1]);              // deletion
+        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);    // match
+      }
+      cur[j] = best + cost;
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (row_min >= threshold) return row_min;
+    std::swap(prev, cur);
+    std::fill(cur.begin(), cur.end(), kInf);
+  }
+  return prev[n - 1];
+}
+
+}  // namespace
+
+float SquaredDtw(const float* a, const float* b, size_t n, size_t window) {
+  return BandDtw(a, b, n, window, kInf);
+}
+
+float SquaredDtwEarlyAbandon(const float* a, const float* b, size_t n,
+                             size_t window, float threshold) {
+  return BandDtw(a, b, n, window, threshold);
+}
+
+size_t WarpingWindowFromFraction(size_t length, double fraction) {
+  if (fraction <= 0.0) return 0;
+  const double w = std::ceil(fraction * static_cast<double>(length));
+  return std::max<size_t>(1, static_cast<size_t>(w));
+}
+
+}  // namespace odyssey

@@ -1,0 +1,29 @@
+#ifndef ODYSSEY_DISTANCE_DTW_H_
+#define ODYSSEY_DISTANCE_DTW_H_
+
+#include <cstddef>
+
+namespace odyssey {
+
+/// Dynamic Time Warping under a Sakoe-Chiba band (the paper's Section 4
+/// extension). All values are *squared* accumulated point costs, mirroring
+/// the squared-Euclidean convention of the rest of the library: the true
+/// DTW distance is sqrt(SquaredDtw(...)).
+
+/// Squared DTW between two length-n series with warping window `window`
+/// (in points; 0 reduces to squared Euclidean). O(n * window) time.
+float SquaredDtw(const float* a, const float* b, size_t n, size_t window);
+
+/// Early-abandoning variant: returns the exact squared DTW if it is
+/// < `threshold`, otherwise returns some value >= `threshold` once every
+/// cell of a DP row is provably above it.
+float SquaredDtwEarlyAbandon(const float* a, const float* b, size_t n,
+                             size_t window, float threshold);
+
+/// Converts a warping fraction (e.g. 0.05 for the paper's "5% warping") to
+/// a window in points, rounding up, minimum 1 when fraction > 0.
+size_t WarpingWindowFromFraction(size_t length, double fraction);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_DISTANCE_DTW_H_

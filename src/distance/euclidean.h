@@ -1,0 +1,34 @@
+#ifndef ODYSSEY_DISTANCE_EUCLIDEAN_H_
+#define ODYSSEY_DISTANCE_EUCLIDEAN_H_
+
+#include <cstddef>
+
+namespace odyssey {
+
+/// Euclidean ("real") distance kernels. The library works in *squared*
+/// distance internally (monotone in the true distance, saves the sqrt in the
+/// hot loop); public results are reported as true distances by the callers.
+
+/// Squared Euclidean distance between two length-n series. Dispatches to the
+/// AVX2 kernel when the library was built with AVX2 support.
+float SquaredEuclidean(const float* a, const float* b, size_t n);
+
+/// Early-abandoning squared Euclidean distance: returns the exact squared
+/// distance if it is < `threshold`, otherwise returns some value >=
+/// `threshold` as soon as the running sum crosses it. This is the
+/// best-so-far pruning primitive of every data-series index.
+float SquaredEuclideanEarlyAbandon(const float* a, const float* b, size_t n,
+                                   float threshold);
+
+/// Portable scalar reference implementations (exposed for testing the SIMD
+/// kernels against).
+float SquaredEuclideanScalar(const float* a, const float* b, size_t n);
+float SquaredEuclideanEarlyAbandonScalar(const float* a, const float* b,
+                                         size_t n, float threshold);
+
+/// True if this build dispatches to AVX2 kernels.
+bool HasAvx2Kernels();
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_DISTANCE_EUCLIDEAN_H_

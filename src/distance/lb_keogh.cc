@@ -1,0 +1,69 @@
+#include "src/distance/lb_keogh.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/common/check.h"
+
+namespace odyssey {
+
+Envelope BuildEnvelope(const float* q, size_t n, size_t window) {
+  Envelope env;
+  env.upper.resize(n);
+  env.lower.resize(n);
+  // Lemire's streaming min/max over the sliding window [i-window, i+window].
+  std::deque<size_t> maxq, minq;
+  const size_t w = window;
+  for (size_t i = 0; i < n + w; ++i) {
+    if (i < n) {
+      while (!maxq.empty() && q[maxq.back()] <= q[i]) maxq.pop_back();
+      maxq.push_back(i);
+      while (!minq.empty() && q[minq.back()] >= q[i]) minq.pop_back();
+      minq.push_back(i);
+    }
+    if (i >= w) {
+      const size_t center = i - w;  // envelope position now fully covered
+      while (!maxq.empty() && maxq.front() + w < center) maxq.pop_front();
+      while (!minq.empty() && minq.front() + w < center) minq.pop_front();
+      env.upper[center] = q[maxq.front()];
+      env.lower[center] = q[minq.front()];
+    }
+  }
+  return env;
+}
+
+float SquaredLbKeogh(const Envelope& envelope, const float* candidate) {
+  const size_t n = envelope.length();
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float c = candidate[i];
+    if (c > envelope.upper[i]) {
+      const float d = c - envelope.upper[i];
+      sum += d * d;
+    } else if (c < envelope.lower[i]) {
+      const float d = envelope.lower[i] - c;
+      sum += d * d;
+    }
+  }
+  return sum;
+}
+
+float SquaredLbKeoghEarlyAbandon(const Envelope& envelope,
+                                 const float* candidate, float threshold) {
+  const size_t n = envelope.length();
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float c = candidate[i];
+    if (c > envelope.upper[i]) {
+      const float d = c - envelope.upper[i];
+      sum += d * d;
+    } else if (c < envelope.lower[i]) {
+      const float d = envelope.lower[i] - c;
+      sum += d * d;
+    }
+    if (sum >= threshold) return sum;
+  }
+  return sum;
+}
+
+}  // namespace odyssey

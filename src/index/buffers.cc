@@ -1,0 +1,69 @@
+#include "src/index/buffers.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace odyssey {
+
+std::vector<uint8_t> ComputeSaxTable(const SeriesCollection& data,
+                                     const IsaxConfig& config,
+                                     ThreadPool* pool) {
+  ODYSSEY_CHECK(data.length() == config.series_length());
+  const size_t w = static_cast<size_t>(config.segments());
+  std::vector<uint8_t> table(data.size() * w);
+  auto compute_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ComputeSax(data.data(i), config, table.data() + i * w);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(data.size(), compute_range);
+  } else {
+    compute_range(0, data.size());
+  }
+  return table;
+}
+
+SummarizationBuffers BuildBuffers(const std::vector<uint8_t>& sax_table,
+                                  size_t series_count,
+                                  const IsaxConfig& config, ThreadPool* pool) {
+  const size_t w = static_cast<size_t>(config.segments());
+  ODYSSEY_CHECK(sax_table.size() == series_count * w);
+
+  // Per-series root keys, computed in parallel.
+  std::vector<uint32_t> keys(series_count);
+  auto key_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      keys[i] = RootKey(sax_table.data() + i * w, config);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(series_count, key_range);
+  } else {
+    key_range(0, series_count);
+  }
+
+  // Group ids by key. A counting pass followed by bucket fill keeps ids in
+  // ascending order within each buffer (determinism for replicas).
+  std::vector<uint32_t> order(series_count);
+  for (size_t i = 0; i < series_count; ++i) order[i] = static_cast<uint32_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return keys[a] < keys[b];
+  });
+
+  SummarizationBuffers buffers;
+  for (size_t i = 0; i < series_count;) {
+    const uint32_t key = keys[order[i]];
+    buffers.keys.push_back(key);
+    std::vector<uint32_t> ids;
+    while (i < series_count && keys[order[i]] == key) {
+      ids.push_back(order[i]);
+      ++i;
+    }
+    buffers.series.push_back(std::move(ids));
+  }
+  return buffers;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,39 @@
+#ifndef ODYSSEY_INDEX_BUFFERS_H_
+#define ODYSSEY_INDEX_BUFFERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/dataset/series_collection.h"
+#include "src/isax/isax_word.h"
+
+namespace odyssey {
+
+/// The flat table of full-cardinality SAX summaries for a chunk: one row of
+/// config.segments() bytes per series. Computed in parallel; this is the
+/// first half of the paper's "buffer time".
+std::vector<uint8_t> ComputeSaxTable(const SeriesCollection& data,
+                                     const IsaxConfig& config,
+                                     ThreadPool* pool);
+
+/// Summarization buffers: series ids grouped by root key (the top bit of
+/// each segment), i.e., by root subtree. Keys are sorted ascending and ids
+/// within a buffer are ascending — both deterministic so replicas group
+/// identically. This is the second half of "buffer time", and the structure
+/// the DENSITY-AWARE partitioner operates on.
+struct SummarizationBuffers {
+  std::vector<uint32_t> keys;                    ///< sorted distinct root keys
+  std::vector<std::vector<uint32_t>> series;     ///< ids per key (parallel)
+
+  size_t buffer_count() const { return keys.size(); }
+};
+
+/// Groups all series of `sax_table` by root key.
+SummarizationBuffers BuildBuffers(const std::vector<uint8_t>& sax_table,
+                                  size_t series_count,
+                                  const IsaxConfig& config, ThreadPool* pool);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_INDEX_BUFFERS_H_

@@ -1,0 +1,36 @@
+#include "src/index/builder.h"
+
+#include "src/common/stopwatch.h"
+#include "src/index/buffers.h"
+
+namespace odyssey {
+
+Index Index::Build(SeriesCollection chunk, const IndexOptions& options,
+                   ThreadPool* pool, BuildTimings* timings) {
+  ODYSSEY_CHECK(chunk.length() == options.config.series_length());
+  Index index(std::move(chunk), options);
+
+  Stopwatch watch;
+  index.sax_table_ =
+      ComputeSaxTable(index.data_, options.config, pool);
+  const SummarizationBuffers buffers = BuildBuffers(
+      index.sax_table_, index.data_.size(), options.config, pool);
+  const double buffer_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  index.tree_ = IndexTree::Build(buffers, index.sax_table_, options.config,
+                                 options.leaf_capacity, pool);
+  const double tree_seconds = watch.ElapsedSeconds();
+
+  if (timings != nullptr) {
+    timings->buffer_seconds = buffer_seconds;
+    timings->tree_seconds = tree_seconds;
+  }
+  return index;
+}
+
+size_t Index::IndexMemoryBytes() const {
+  return sax_table_.capacity() * sizeof(uint8_t) + tree_.MemoryBytes();
+}
+
+}  // namespace odyssey

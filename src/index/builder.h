@@ -1,0 +1,81 @@
+#ifndef ODYSSEY_INDEX_BUILDER_H_
+#define ODYSSEY_INDEX_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/dataset/series_collection.h"
+#include "src/index/tree.h"
+#include "src/isax/isax_word.h"
+
+namespace odyssey {
+
+/// Index construction knobs.
+struct IndexOptions {
+  IsaxConfig config;
+  /// Leaf split threshold in series.
+  size_t leaf_capacity = 128;
+};
+
+/// Timing breakdown of index construction, matching the paper's evaluation
+/// measures: "buffer time" (summaries + summarization buffers) and
+/// "tree time" (building the subtrees). Their sum is the index time.
+struct BuildTimings {
+  double buffer_seconds = 0.0;
+  double tree_seconds = 0.0;
+
+  double index_seconds() const { return buffer_seconds + tree_seconds; }
+};
+
+/// A complete single-node index over one data chunk: the raw series, their
+/// full-cardinality SAX table, and the iSAX tree. This is what every system
+/// node holds, and what the QueryEngine executes against.
+class Index {
+ public:
+  /// Builds an index over `chunk` (taking ownership). `pool` may be null
+  /// for single-threaded construction; `timings` (optional) receives the
+  /// buffer/tree breakdown.
+  static Index Build(SeriesCollection chunk, const IndexOptions& options,
+                     ThreadPool* pool = nullptr,
+                     BuildTimings* timings = nullptr);
+
+  Index(Index&&) = default;
+  Index& operator=(Index&&) = default;
+
+  const IsaxConfig& config() const { return options_.config; }
+  const IndexOptions& options() const { return options_; }
+  const SeriesCollection& data() const { return data_; }
+  const IndexTree& tree() const { return tree_; }
+
+  /// Full-cardinality SAX summary of series `id` (config().segments() bytes).
+  const uint8_t* sax(uint32_t id) const {
+    return sax_table_.data() +
+           static_cast<size_t>(id) * static_cast<size_t>(config().segments());
+  }
+
+  /// Index-structure footprint (SAX table + tree), excluding the raw data —
+  /// the quantity of the paper's Figure 14.
+  size_t IndexMemoryBytes() const;
+  /// Raw-data footprint.
+  size_t DataMemoryBytes() const { return data_.MemoryBytes(); }
+
+ private:
+  Index(SeriesCollection data, IndexOptions options)
+      : data_(std::move(data)), options_(options) {}
+
+  // Index persistence (index/serialize.h) reads/writes the private state.
+  friend Status SaveIndexToFile(const Index& index, const std::string& path);
+  friend StatusOr<Index> LoadIndexFromFile(const std::string& path);
+
+  SeriesCollection data_;
+  IndexOptions options_;
+  std::vector<uint8_t> sax_table_;
+  IndexTree tree_;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_INDEX_BUILDER_H_

@@ -1,0 +1,125 @@
+#include "src/index/node.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace odyssey {
+
+void TreeNode::Insert(uint32_t id, const uint8_t* sax,
+                      const IsaxConfig& config, size_t leaf_capacity) {
+  TreeNode* node = this;
+  for (;;) {
+    ++node->subtree_size_;
+    if (node->is_leaf()) {
+      const size_t w = node->word_.symbols.size();
+      node->ids_.push_back(id);
+      node->leaf_sax_.insert(node->leaf_sax_.end(), sax, sax + w);
+      if (node->ids_.size() > leaf_capacity) {
+        node->Split(config, leaf_capacity);
+      }
+      return;
+    }
+    node = node->ChildFor(sax, config);
+  }
+}
+
+TreeNode* TreeNode::ChildFor(const uint8_t* sax,
+                             const IsaxConfig& config) const {
+  const int s = split_segment_;
+  const int child_bits = left_->word_.bits[s];
+  const uint8_t bit =
+      static_cast<uint8_t>(sax[s] >> (config.max_bits - child_bits)) & 1u;
+  return bit == 0 ? left_.get() : right_.get();
+}
+
+void TreeNode::Split(const IsaxConfig& config, size_t leaf_capacity) {
+  // Deterministic split choice: the segment with the fewest bits that can
+  // still be refined; lowest index breaks ties.
+  int seg = -1;
+  int best_bits = config.max_bits;
+  for (size_t i = 0; i < word_.bits.size(); ++i) {
+    if (word_.bits[i] < best_bits) {
+      best_bits = word_.bits[i];
+      seg = static_cast<int>(i);
+    }
+  }
+  if (seg < 0) return;  // fully refined: oversized leaf allowed
+
+  IsaxWord left_word = word_;
+  left_word.bits[seg] = static_cast<uint8_t>(word_.bits[seg] + 1);
+  left_word.symbols[seg] = static_cast<uint8_t>(word_.symbols[seg] << 1);
+  IsaxWord right_word = left_word;
+  right_word.symbols[seg] = static_cast<uint8_t>(right_word.symbols[seg] | 1u);
+
+  left_ = std::make_unique<TreeNode>(std::move(left_word));
+  right_ = std::make_unique<TreeNode>(std::move(right_word));
+  split_segment_ = seg;
+
+  std::vector<uint32_t> ids = std::move(ids_);
+  std::vector<uint8_t> sax = std::move(leaf_sax_);
+  ids_.clear();
+  leaf_sax_.clear();
+  const size_t w = word_.symbols.size();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    TreeNode* child = ChildFor(sax.data() + i * w, config);
+    // Children inherit the payload directly (not via Insert) so the parent's
+    // subtree_size_ is not double counted.
+    child->ids_.push_back(ids[i]);
+    child->leaf_sax_.insert(child->leaf_sax_.end(), sax.data() + i * w,
+                            sax.data() + (i + 1) * w);
+    ++child->subtree_size_;
+  }
+  // A pathological split can leave one child oversized (all summaries
+  // identical at the refined bit). Recurse until balanced or fully refined.
+  for (TreeNode* child : {left_.get(), right_.get()}) {
+    if (child->ids_.size() > leaf_capacity) {
+      child->Split(config, leaf_capacity);
+    }
+  }
+}
+
+void TreeNode::AdoptChildren(int split_segment,
+                             std::unique_ptr<TreeNode> left,
+                             std::unique_ptr<TreeNode> right) {
+  ODYSSEY_CHECK(is_leaf() && ids_.empty());
+  ODYSSEY_CHECK(left != nullptr && right != nullptr);
+  split_segment_ = split_segment;
+  left_ = std::move(left);
+  right_ = std::move(right);
+  subtree_size_ = left_->subtree_size_ + right_->subtree_size_;
+}
+
+void TreeNode::SetLeafPayload(std::vector<uint32_t> ids,
+                              std::vector<uint8_t> sax) {
+  ODYSSEY_CHECK(is_leaf() && ids_.empty());
+  ODYSSEY_CHECK(sax.size() == ids.size() * word_.symbols.size());
+  ids_ = std::move(ids);
+  leaf_sax_ = std::move(sax);
+  subtree_size_ = ids_.size();
+}
+
+size_t TreeNode::CountNodes() const {
+  if (is_leaf()) return 1;
+  return 1 + left_->CountNodes() + right_->CountNodes();
+}
+
+size_t TreeNode::CountLeaves() const {
+  if (is_leaf()) return 1;
+  return left_->CountLeaves() + right_->CountLeaves();
+}
+
+size_t TreeNode::MaxDepth() const {
+  if (is_leaf()) return 1;
+  return 1 + std::max(left_->MaxDepth(), right_->MaxDepth());
+}
+
+size_t TreeNode::MemoryBytes() const {
+  size_t bytes = sizeof(TreeNode) + word_.symbols.capacity() +
+                 word_.bits.capacity() +
+                 ids_.capacity() * sizeof(uint32_t) + leaf_sax_.capacity();
+  if (!is_leaf()) bytes += left_->MemoryBytes() + right_->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace odyssey

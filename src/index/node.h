@@ -1,0 +1,90 @@
+#ifndef ODYSSEY_INDEX_NODE_H_
+#define ODYSSEY_INDEX_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/isax/isax_word.h"
+
+namespace odyssey {
+
+/// One node of an iSAX index tree. Nodes are labelled with an iSAX word;
+/// splitting a full leaf refines one segment of the word by one bit,
+/// producing a binary internal node (the classic iSAX2/MESSI scheme).
+///
+/// Split choice is deterministic (the segment with the fewest bits, lowest
+/// index on ties) and insertion order is deterministic (ascending series id),
+/// so two replicas indexing the same chunk build bit-identical trees — the
+/// property Odyssey's data-free work-stealing relies on (DESIGN.md §5).
+class TreeNode {
+ public:
+  explicit TreeNode(IsaxWord word) : word_(std::move(word)) {}
+
+  TreeNode(const TreeNode&) = delete;
+  TreeNode& operator=(const TreeNode&) = delete;
+
+  const IsaxWord& word() const { return word_; }
+  bool is_leaf() const { return left_ == nullptr; }
+  size_t subtree_size() const { return subtree_size_; }
+
+  /// Children (internal nodes only): left holds the refined bit 0, right
+  /// the refined bit 1.
+  const TreeNode* left() const { return left_.get(); }
+  const TreeNode* right() const { return right_.get(); }
+  int split_segment() const { return split_segment_; }
+
+  /// Leaf payload: series ids and their full-cardinality SAX summaries,
+  /// stored contiguously (ids_[i] owns leaf_sax_[i*segments .. )).
+  const std::vector<uint32_t>& ids() const { return ids_; }
+  const uint8_t* leaf_sax(size_t i) const {
+    return leaf_sax_.data() + i * word_.symbols.size();
+  }
+
+  /// Inserts a series into the subtree rooted here. `sax` must point at the
+  /// series' full-cardinality summary (config.segments() bytes) and remain
+  /// valid for the call only (the leaf copies it).
+  void Insert(uint32_t id, const uint8_t* sax, const IsaxConfig& config,
+              size_t leaf_capacity);
+
+  /// Deserialization support (index persistence; see index/serialize.h):
+  /// turns this fresh node into an internal node with the given children.
+  /// The children's subtree sizes must already be final.
+  void AdoptChildren(int split_segment, std::unique_ptr<TreeNode> left,
+                     std::unique_ptr<TreeNode> right);
+  /// Deserialization support: installs a leaf payload (ids plus their
+  /// full-cardinality SAX rows, ids.size() * segments bytes).
+  void SetLeafPayload(std::vector<uint32_t> ids, std::vector<uint8_t> sax);
+
+  /// Number of nodes in this subtree (for stats / memory accounting).
+  size_t CountNodes() const;
+  /// Number of leaves in this subtree.
+  size_t CountLeaves() const;
+  /// Maximum depth (a lone leaf has depth 1).
+  size_t MaxDepth() const;
+  /// Approximate heap bytes held by this subtree.
+  size_t MemoryBytes() const;
+
+ private:
+  /// Splits this (full) leaf into two children, refining the segment with
+  /// the fewest bits. No-op when every segment is at max cardinality (the
+  /// leaf is then allowed to exceed capacity).
+  void Split(const IsaxConfig& config, size_t leaf_capacity);
+
+  /// Which child of this internal node a summary descends into.
+  TreeNode* ChildFor(const uint8_t* sax, const IsaxConfig& config) const;
+
+  IsaxWord word_;
+  size_t subtree_size_ = 0;
+
+  std::unique_ptr<TreeNode> left_;
+  std::unique_ptr<TreeNode> right_;
+  int split_segment_ = -1;
+
+  std::vector<uint32_t> ids_;
+  std::vector<uint8_t> leaf_sax_;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_INDEX_NODE_H_

@@ -1,0 +1,413 @@
+#include "src/index/query_engine.h"
+
+#include <algorithm>
+#include <barrier>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "src/common/check.h"
+#include "src/common/math_utils.h"
+#include "src/common/stopwatch.h"
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+
+namespace odyssey {
+
+namespace {
+constexpr float kInf = std::numeric_limits<float>::infinity();
+}  // namespace
+
+bool AtomicFetchMinFloat(std::atomic<float>* cell, float value) {
+  float current = cell->load(std::memory_order_relaxed);
+  while (value < current) {
+    if (cell->compare_exchange_weak(current, value,
+                                    std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+KnnSet::KnnSet(int k) : k_(k), threshold_(kInf) { ODYSSEY_CHECK(k >= 1); }
+
+bool KnnSet::Offer(float squared_distance, uint32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto compare = [](const Neighbor& a, const Neighbor& b) {
+    return a.squared_distance < b.squared_distance;
+  };
+  // The same series can be offered more than once (approximate search plus
+  // leaf scan; work-stealing can even process a leaf on two nodes). A
+  // duplicate id must not consume a second k-slot.
+  for (const Neighbor& n : heap_) {
+    if (n.id == id) return false;
+  }
+  if (heap_.size() < static_cast<size_t>(k_)) {
+    heap_.push_back({squared_distance, id});
+    std::push_heap(heap_.begin(), heap_.end(), compare);
+    if (heap_.size() == static_cast<size_t>(k_)) {
+      threshold_.store(heap_.front().squared_distance,
+                       std::memory_order_release);
+    }
+    return true;
+  }
+  if (squared_distance >= heap_.front().squared_distance) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), compare);
+  heap_.back() = {squared_distance, id};
+  std::push_heap(heap_.begin(), heap_.end(), compare);
+  threshold_.store(heap_.front().squared_distance, std::memory_order_release);
+  return true;
+}
+
+std::vector<Neighbor> KnnSet::SortedResults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Neighbor> out = heap_;
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.squared_distance < b.squared_distance;
+  });
+  return out;
+}
+
+/// Builds a batch's bounded queues on behalf of one worker thread: pushes
+/// seal into the batch's queue list when a queue fills up (the paper's
+/// "give up this queue, initiate a new one").
+struct QueryExecution::QueueBuilder {
+  RsBatch* batch = nullptr;
+  size_t capacity = 0;
+  std::unique_ptr<BoundedPq> current;
+
+  void Push(PqItem item) {
+    if (current == nullptr) current = std::make_unique<BoundedPq>(capacity);
+    if (current->Push(item)) Seal();
+  }
+  void Seal() {
+    if (current == nullptr || current->empty()) return;
+    std::lock_guard<std::mutex> lock(batch->mu);
+    batch->queues.push_back(std::move(current));
+  }
+};
+
+QueryExecution::QueryExecution(const Index* index, const float* query,
+                               const QueryOptions& options,
+                               std::atomic<float>* shared_bsf,
+                               std::function<void(float)> on_bsf_improve)
+    : index_(index),
+      query_(query),
+      options_(options),
+      shared_bsf_(shared_bsf),
+      local_bsf_(kInf),
+      on_bsf_improve_(std::move(on_bsf_improve)),
+      knn_(options.k) {
+  ODYSSEY_CHECK(index_ != nullptr && query_ != nullptr);
+  ODYSSEY_CHECK(options_.num_threads >= 1);
+  if (shared_bsf_ == nullptr) shared_bsf_ = &local_bsf_;
+  batch_ranges_ = PartitionRsBatches(index_->tree().root_count(),
+                                     options_.EffectiveBatches());
+  batch_stolen_.assign(batch_ranges_.size(), false);
+}
+
+QueryExecution::~QueryExecution() = default;
+
+float QueryExecution::Initialize() {
+  ODYSSEY_CHECK_MSG(!index_->data().empty(), "query against an empty index");
+  const IsaxConfig& config = index_->config();
+  query_paa_.resize(config.segments());
+  ComputePaa(query_, config.paa, query_paa_.data());
+  query_sax_.resize(config.segments());
+  ComputeSax(query_, config, query_sax_.data());
+
+  uint32_t approx_id = 0;
+  float approx_sq = kInf;
+  if (options_.use_dtw) {
+    envelope_ =
+        BuildEnvelope(query_, config.series_length(), options_.dtw_window);
+    envelope_paa_ = ComputeEnvelopePaa(envelope_, config);
+    approx_sq = ApproximateSearchSquaredDtw(*index_, query_, query_paa_.data(),
+                                            query_sax_.data(),
+                                            options_.dtw_window, &approx_id);
+  } else {
+    approx_sq = ApproximateSearchSquared(*index_, query_, query_paa_.data(),
+                                         query_sax_.data(), &approx_id);
+  }
+  OfferCandidate(approx_sq, approx_id);
+  if (options_.approximate && options_.k > 1) {
+    // Approximate k-NN: the whole best-matching leaf feeds the answer set
+    // (the single best is already in).
+    ScanLeaf(ApproximateSearchLeaf(*index_, query_paa_.data(),
+                                   query_sax_.data()));
+  }
+  initialized_ = true;
+  stat_initial_bsf_ = std::sqrt(static_cast<double>(approx_sq));
+  return static_cast<float>(stat_initial_bsf_);
+}
+
+void QueryExecution::Run() {
+  std::vector<int> all(batch_ranges_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  RunWorkers(all);
+}
+
+void QueryExecution::RunBatchSubset(const std::vector<int>& batch_ids) {
+  RunWorkers(batch_ids);
+}
+
+void QueryExecution::RunWorkers(const std::vector<int>& batch_ids) {
+  ODYSSEY_CHECK_MSG(initialized_, "Run before Initialize");
+  if (options_.approximate) {
+    // Approximate mode: the Initialize() leaf scan is the whole answer.
+    phase_.store(static_cast<int>(Phase::kDone), std::memory_order_release);
+    return;
+  }
+  Stopwatch watch;
+
+  // (Re)arm the traversal state for this subset. Batch objects are indexed
+  // by global batch id so steal replies stay meaningful.
+  {
+    std::lock_guard<std::mutex> lock(steal_mu_);
+    batches_.clear();
+    batches_.resize(batch_ranges_.size());
+    for (int id : batch_ids) {
+      ODYSSEY_CHECK(id >= 0 &&
+                    static_cast<size_t>(id) < batch_ranges_.size());
+      auto batch = std::make_unique<RsBatch>();
+      batch->begin_root = batch_ranges_[id].first;
+      batch->end_root = batch_ranges_[id].second;
+      batches_[id] = std::move(batch);
+    }
+    active_batch_ids_ = batch_ids;
+    pq_refs_.clear();
+    pq_cursor_.store(0, std::memory_order_relaxed);
+    batch_cursor_.store(0, std::memory_order_relaxed);
+    phase_.store(static_cast<int>(Phase::kTraversal),
+                 std::memory_order_release);
+  }
+
+  const int num_threads = options_.num_threads;
+  std::barrier barrier(num_threads);
+
+  auto worker = [&](int tid) {
+    // --- Phase 1: tree traversal over RS-batches (Fetch&Add claims). ---
+    for (;;) {
+      const size_t i = batch_cursor_.fetch_add(1, std::memory_order_acq_rel);
+      if (i >= active_batch_ids_.size()) break;
+      TraverseBatch(batches_[active_batch_ids_[i]].get());
+    }
+    // Helping: join batches that are still incomplete, at most
+    // help_threshold helpers per batch.
+    for (int id : active_batch_ids_) {
+      RsBatch* batch = batches_[id].get();
+      if (!batch->complete() &&
+          batch->helped.fetch_add(1, std::memory_order_acq_rel) <
+              options_.help_threshold) {
+        TraverseBatch(batch);
+      }
+    }
+    barrier.arrive_and_wait();
+
+    // --- Phase 2: priority-queue preprocessing (thread 0 only). ---
+    if (tid == 0) {
+      std::vector<std::pair<float, std::pair<BoundedPq*, int>>> sortable;
+      for (int id : active_batch_ids_) {
+        RsBatch* batch = batches_[id].get();
+        std::lock_guard<std::mutex> lock(batch->mu);
+        for (auto& q : batch->queues) {
+          if (q->empty()) continue;
+          sortable.push_back({q->MinLowerBound(), {q.get(), id}});
+        }
+      }
+      std::sort(sortable.begin(), sortable.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::lock_guard<std::mutex> lock(steal_mu_);
+      pq_refs_.clear();
+      pq_refs_.reserve(sortable.size());
+      stat_queue_sizes_.clear();
+      for (auto& entry : sortable) {
+        auto ref = std::make_unique<PqRef>();
+        ref->queue = entry.second.first;
+        ref->batch_id = entry.second.second;
+        pq_refs_.push_back(std::move(ref));
+        stat_queue_sizes_.push_back(
+            static_cast<double>(entry.second.first->size()));
+      }
+      phase_.store(static_cast<int>(Phase::kProcessing),
+                   std::memory_order_release);
+    }
+    barrier.arrive_and_wait();
+
+    // --- Phase 3: priority-queue processing (Fetch&Add claims). ---
+    for (;;) {
+      const size_t i = pq_cursor_.fetch_add(1, std::memory_order_acq_rel);
+      if (i >= pq_refs_.size()) break;
+      if (pq_refs_[i]->stolen.load(std::memory_order_acquire)) continue;
+      ProcessQueue(pq_refs_[i]->queue);
+    }
+  };
+
+  if (num_threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+    for (auto& t : threads) t.join();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(steal_mu_);
+    phase_.store(static_cast<int>(Phase::kDone), std::memory_order_release);
+  }
+  stat_elapsed_seconds_ += watch.ElapsedSeconds();
+}
+
+void QueryExecution::TraverseBatch(RsBatch* batch) {
+  QueueBuilder builder;
+  builder.batch = batch;
+  builder.capacity = options_.queue_threshold;
+  const size_t count = batch->root_count();
+  for (;;) {
+    const size_t r = batch->cursor.fetch_add(1, std::memory_order_acq_rel);
+    if (r >= count) break;
+    TraverseNode(index_->tree().root(batch->begin_root + r), &builder);
+    batch->roots_done.fetch_add(1, std::memory_order_acq_rel);
+  }
+  builder.Seal();
+}
+
+void QueryExecution::TraverseNode(const TreeNode* node,
+                                  QueueBuilder* builder) {
+  if (node->subtree_size() == 0) return;
+  const float lb = LeafLowerBound(node);
+  if (lb >= PruneThreshold()) return;
+  if (node->is_leaf()) {
+    builder->Push({lb, node});
+    stat_leaves_inserted_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraverseNode(node->left(), builder);
+  TraverseNode(node->right(), builder);
+}
+
+void QueryExecution::ProcessQueue(BoundedPq* queue) {
+  while (!queue->empty()) {
+    const PqItem item = queue->Pop();
+    // The queue is ordered by lower bound: once the head cannot beat the
+    // BSF, nothing behind it can either.
+    if (item.lower_bound >= PruneThreshold()) break;
+    ScanLeaf(item.leaf);
+  }
+}
+
+void QueryExecution::ScanLeaf(const TreeNode* leaf) {
+  stat_leaves_processed_.fetch_add(1, std::memory_order_relaxed);
+  const auto& ids = leaf->ids();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float threshold = PruneThreshold();
+    // Per-series summary filter at full cardinality before the real
+    // distance (the tightest summary-level bound).
+    if (SeriesLowerBound(leaf->leaf_sax(i)) >= threshold) continue;
+    const float d = RealDistance(index_->data().data(ids[i]), threshold);
+    stat_real_distances_.fetch_add(1, std::memory_order_relaxed);
+    if (d < threshold) OfferCandidate(d, ids[i]);
+  }
+}
+
+void QueryExecution::OfferCandidate(float squared_distance, uint32_t id) {
+  if (!knn_.Offer(squared_distance, id)) return;
+  const float threshold = knn_.Threshold();
+  if (threshold == kInf) return;
+  if (AtomicFetchMinFloat(shared_bsf_, threshold) &&
+      on_bsf_improve_ != nullptr) {
+    on_bsf_improve_(threshold);
+  }
+}
+
+float QueryExecution::PruneThreshold() const {
+  // The node's book-keeping cell already folds in every broadcast BSF; the
+  // local k-NN threshold can be momentarily tighter for k > 1 before the
+  // k-th best is shared.
+  return std::min(shared_bsf_->load(std::memory_order_acquire),
+                  knn_.Threshold());
+}
+
+float QueryExecution::LeafLowerBound(const TreeNode* node) const {
+  if (options_.use_dtw) {
+    return MindistEnvelopeToWord(envelope_paa_, node->word(),
+                                 index_->config());
+  }
+  return MindistPaaToWord(query_paa_.data(), node->word(), index_->config());
+}
+
+float QueryExecution::SeriesLowerBound(const uint8_t* sax) const {
+  if (options_.use_dtw) {
+    return MindistEnvelopeToSax(envelope_paa_, sax, index_->config());
+  }
+  return MindistPaaToSax(query_paa_.data(), sax, index_->config());
+}
+
+float QueryExecution::RealDistance(const float* series,
+                                   float threshold) const {
+  const size_t n = index_->config().series_length();
+  if (options_.use_dtw) {
+    // LB_Keogh at full resolution first; only survivors pay the DTW DP.
+    const float lb = SquaredLbKeoghEarlyAbandon(envelope_, series, threshold);
+    if (lb >= threshold) return lb;
+    return SquaredDtwEarlyAbandon(series, query_, n, options_.dtw_window,
+                                  threshold);
+  }
+  return SquaredEuclideanEarlyAbandon(query_, series, n, threshold);
+}
+
+std::vector<int> QueryExecution::StealBatches(int nsend) {
+  std::lock_guard<std::mutex> lock(steal_mu_);
+  std::vector<int> given;
+  if (phase_.load(std::memory_order_acquire) !=
+      static_cast<int>(Phase::kProcessing)) {
+    return given;
+  }
+  for (int round = 0; round < nsend; ++round) {
+    const size_t cursor = pq_cursor_.load(std::memory_order_acquire);
+    // Take-Away property: among batches not yet stolen that still have
+    // unclaimed queues, pick the one whose first (leftmost) unclaimed queue
+    // sits at the rightmost position — the batch least likely to have been
+    // processed.
+    int best_batch = -1;
+    size_t best_first = 0;
+    std::vector<size_t> first_unclaimed(batch_ranges_.size(),
+                                        pq_refs_.size());
+    for (size_t i = cursor; i < pq_refs_.size(); ++i) {
+      const int b = pq_refs_[i]->batch_id;
+      if (i < first_unclaimed[b]) first_unclaimed[b] = i;
+    }
+    for (size_t b = 0; b < batch_ranges_.size(); ++b) {
+      if (batch_stolen_[b]) continue;
+      if (first_unclaimed[b] == pq_refs_.size()) continue;  // no work left
+      if (best_batch < 0 || first_unclaimed[b] > best_first) {
+        best_batch = static_cast<int>(b);
+        best_first = first_unclaimed[b];
+      }
+    }
+    if (best_batch < 0) break;
+    batch_stolen_[best_batch] = true;
+    for (size_t i = cursor; i < pq_refs_.size(); ++i) {
+      if (pq_refs_[i]->batch_id == best_batch) {
+        pq_refs_[i]->stolen.store(true, std::memory_order_release);
+      }
+    }
+    given.push_back(best_batch);
+  }
+  return given;
+}
+
+QueryStats QueryExecution::stats() const {
+  QueryStats stats;
+  stats.initial_bsf = stat_initial_bsf_;
+  stats.leaves_inserted = stat_leaves_inserted_.load();
+  stats.leaves_processed = stat_leaves_processed_.load();
+  stats.real_distances = stat_real_distances_.load();
+  stats.queue_count = stat_queue_sizes_.size();
+  stats.median_queue_size = Median(stat_queue_sizes_);
+  stats.elapsed_seconds = stat_elapsed_seconds_;
+  return stats;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,223 @@
+#ifndef ODYSSEY_INDEX_QUERY_ENGINE_H_
+#define ODYSSEY_INDEX_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/distance/lb_keogh.h"
+#include "src/index/approx_search.h"
+#include "src/index/builder.h"
+#include "src/index/rs_batch.h"
+#include "src/isax/mindist.h"
+
+namespace odyssey {
+
+/// Atomically lowers `*cell` to `value` if `value` is smaller. Returns true
+/// when the cell was lowered. The basis of BSF sharing between threads and
+/// (via the BSF channel) between nodes.
+bool AtomicFetchMinFloat(std::atomic<float>* cell, float value);
+
+/// One answer candidate: squared distance + series id local to the chunk.
+struct Neighbor {
+  float squared_distance = 0.0f;
+  uint32_t id = 0;
+};
+
+/// Thread-safe k-nearest set. Threshold() is the pruning bound: the k-th
+/// best squared distance once k candidates are known, +inf before. With
+/// k = 1 this degenerates to the classic single BSF.
+class KnnSet {
+ public:
+  explicit KnnSet(int k);
+
+  /// Offers a candidate; returns true if it entered the set (and therefore
+  /// possibly lowered the threshold).
+  bool Offer(float squared_distance, uint32_t id);
+
+  /// Current pruning threshold (squared).
+  float Threshold() const {
+    return threshold_.load(std::memory_order_acquire);
+  }
+
+  int k() const { return k_; }
+
+  /// Results sorted by ascending distance (at most k entries).
+  std::vector<Neighbor> SortedResults() const;
+
+ private:
+  const int k_;
+  mutable std::mutex mu_;
+  std::vector<Neighbor> heap_;  // max-heap on squared_distance
+  std::atomic<float> threshold_;
+};
+
+/// Per-query execution knobs. For work-stealing to be meaningful,
+/// `num_batches` must be identical on every node of a replication group
+/// (batch ids are exchanged between nodes).
+struct QueryOptions {
+  int num_threads = 4;
+  /// Number of RS-batches (Nsb). 0 means num_threads, the paper's best
+  /// setting.
+  size_t num_batches = 0;
+  /// Priority-queue size threshold TH in leaves; 0 means unbounded.
+  size_t queue_threshold = 0;
+  /// Max helper threads per RS-batch (HelpTH).
+  int help_threshold = 2;
+  /// Number of nearest neighbors (k-NN extension; 1 = classic search).
+  int k = 1;
+  /// DTW extension: when true, all bounds and distances are DTW-based.
+  bool use_dtw = false;
+  /// Sakoe-Chiba warping window in points (only with use_dtw).
+  size_t dtw_window = 0;
+  /// Approximate mode (the paper's future-work extension): answer with the
+  /// k best series of the single best-matching leaf — the classic iSAX
+  /// approximate search — skipping the exact phases entirely.
+  bool approximate = false;
+
+  size_t EffectiveBatches() const {
+    return num_batches == 0 ? static_cast<size_t>(num_threads) : num_batches;
+  }
+};
+
+/// Observability counters for one query execution (feeds the cost and
+/// threshold models and the benchmarks).
+struct QueryStats {
+  double initial_bsf = 0.0;       ///< true (non-squared) initial BSF
+  size_t leaves_inserted = 0;     ///< leaves pushed into priority queues
+  size_t leaves_processed = 0;    ///< leaves popped and scanned
+  size_t real_distances = 0;      ///< full distance computations
+  size_t queue_count = 0;         ///< priority queues produced
+  double median_queue_size = 0.0; ///< median queue size in leaves
+  double elapsed_seconds = 0.0;   ///< Run() wall time
+};
+
+/// Executes one similarity-search query against one Index with the paper's
+/// three-phase multi-threaded algorithm (Figure 5 / Algorithms 1-2):
+///
+///   1. tree traversal — threads claim RS-batches with Fetch&Add, traverse
+///      their root subtrees, and fill size-bounded priority queues with
+///      unprunable leaves; idle threads help incomplete batches (<= HelpTH
+///      helpers each);
+///   2. priority-queue preprocessing — the queue array is sorted by each
+///      queue's minimum lower bound;
+///   3. priority-queue processing — threads claim queues with Fetch&Add,
+///      skip stolen ones, and scan leaf series (summary filter, then
+///      early-abandoning real distance), updating the shared BSF.
+///
+/// Work-stealing hooks: a work-stealing manager thread calls StealBatches()
+/// to give away RS-batches per the Take-Away property; the thief rebuilds
+/// and processes those batches on its own replica via RunBatchSubset().
+class QueryExecution {
+ public:
+  /// `index` and `query` must outlive the execution. `shared_bsf` (optional)
+  /// is the node's BSF book-keeping cell for this query: it is read for
+  /// pruning and lowered on improvement; `on_bsf_improve` (optional) fires
+  /// after each lowering with the new squared threshold (the node runtime
+  /// broadcasts it on the BSF channel).
+  QueryExecution(const Index* index, const float* query,
+                 const QueryOptions& options,
+                 std::atomic<float>* shared_bsf = nullptr,
+                 std::function<void(float)> on_bsf_improve = nullptr);
+  ~QueryExecution();
+
+  QueryExecution(const QueryExecution&) = delete;
+  QueryExecution& operator=(const QueryExecution&) = delete;
+
+  /// Computes the query summaries and the approximate-search initial BSF.
+  /// Returns the initial BSF as a true (non-squared) distance — the
+  /// regressor of the paper's cost model. Must be called before Run*.
+  float Initialize();
+
+  /// Overrides the queue threshold TH after Initialize (the per-query value
+  /// predicted by the ThresholdModel from the initial BSF). Must be called
+  /// before Run*.
+  void set_queue_threshold(size_t threshold) {
+    options_.queue_threshold = threshold;
+  }
+
+  /// Runs the full three-phase search over all RS-batches.
+  void Run();
+
+  /// Thief-side entry: traverses and processes only the given batch ids
+  /// (obtained from a victim's StealBatches) on this node's own index.
+  void RunBatchSubset(const std::vector<int>& batch_ids);
+
+  /// Work-stealing-manager side: selects up to `nsend` RS-batches per the
+  /// Take-Away property, marks their queues stolen, and returns their ids.
+  /// Returns an empty vector outside the PQ-processing phase. Thread-safe
+  /// with respect to the running workers.
+  std::vector<int> StealBatches(int nsend);
+
+  /// Total number of RS-batches (same on every replica).
+  size_t batch_count() const { return batch_ranges_.size(); }
+
+  const KnnSet& results() const { return knn_; }
+  QueryStats stats() const;
+
+ private:
+  enum class Phase { kInit, kTraversal, kProcessing, kDone };
+
+  struct PqRef {
+    BoundedPq* queue = nullptr;
+    int batch_id = -1;
+    std::atomic<bool> stolen{false};
+  };
+
+  /// Worker-thread-local bounded-queue builder for one batch.
+  struct QueueBuilder;
+
+  void RunWorkers(const std::vector<int>& batch_ids);
+  void TraverseBatch(RsBatch* batch);
+  void TraverseNode(const TreeNode* node, QueueBuilder* builder);
+  void ProcessQueue(BoundedPq* queue);
+  void ScanLeaf(const TreeNode* leaf);
+  void OfferCandidate(float squared_distance, uint32_t id);
+  float PruneThreshold() const;
+  float LeafLowerBound(const TreeNode* node) const;
+  float SeriesLowerBound(const uint8_t* sax) const;
+  float RealDistance(const float* series, float threshold) const;
+
+  const Index* index_;
+  const float* query_;
+  QueryOptions options_;
+  std::atomic<float>* shared_bsf_;
+  std::atomic<float> local_bsf_;  // used when shared_bsf == nullptr
+  std::function<void(float)> on_bsf_improve_;
+
+  // Query summaries (filled by Initialize).
+  std::vector<double> query_paa_;
+  std::vector<uint8_t> query_sax_;
+  Envelope envelope_;       // DTW only
+  EnvelopePaa envelope_paa_;  // DTW only
+  bool initialized_ = false;
+
+  // RS-batch state. batch_ranges_ is identical across replicas; batches_
+  // holds the live traversal state of the currently running subset.
+  std::vector<std::pair<size_t, size_t>> batch_ranges_;
+  std::vector<std::unique_ptr<RsBatch>> batches_;  // indexed by batch id
+  std::atomic<size_t> batch_cursor_{0};
+  std::vector<int> active_batch_ids_;
+
+  // Sorted priority-queue array (phase 2 output) and processing cursor.
+  std::vector<std::unique_ptr<PqRef>> pq_refs_;
+  std::atomic<size_t> pq_cursor_{0};
+  std::vector<bool> batch_stolen_;  // guarded by steal_mu_
+  std::mutex steal_mu_;
+  std::atomic<int> phase_{static_cast<int>(Phase::kInit)};
+
+  KnnSet knn_;
+  // Stats (relaxed atomics; read after Run).
+  std::atomic<size_t> stat_leaves_inserted_{0};
+  std::atomic<size_t> stat_leaves_processed_{0};
+  std::atomic<size_t> stat_real_distances_{0};
+  double stat_initial_bsf_ = 0.0;
+  double stat_elapsed_seconds_ = 0.0;
+  std::vector<double> stat_queue_sizes_;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_INDEX_QUERY_ENGINE_H_

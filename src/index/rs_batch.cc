@@ -1,0 +1,20 @@
+#include "src/index/rs_batch.h"
+
+#include "src/common/check.h"
+
+namespace odyssey {
+
+std::vector<std::pair<size_t, size_t>> PartitionRsBatches(size_t root_count,
+                                                          size_t num_batches) {
+  ODYSSEY_CHECK(num_batches >= 1);
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.reserve(num_batches);
+  for (size_t b = 0; b < num_batches; ++b) {
+    const size_t begin = b * root_count / num_batches;
+    const size_t end = (b + 1) * root_count / num_batches;
+    ranges.emplace_back(begin, end);
+  }
+  return ranges;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,50 @@
+#ifndef ODYSSEY_INDEX_RS_BATCH_H_
+#define ODYSSEY_INDEX_RS_BATCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/index/pqueue.h"
+
+namespace odyssey {
+
+/// A root-subtree (RS) batch: a contiguous range of the ordered root array
+/// (Section 3.2.1, Figure 5). Batches are the unit of tree-traversal work
+/// inside a node and the unit of work-stealing between nodes: because
+/// replicas build identical root arrays and cut them into the same number
+/// of batches, a batch id alone tells another node exactly which part of
+/// the tree to re-traverse — no data needs to move.
+struct RsBatch {
+  size_t begin_root = 0;  ///< first root index (inclusive)
+  size_t end_root = 0;    ///< one past the last root index
+
+  /// Traversal progress. Threads claim roots with Fetch&Add on `cursor`;
+  /// `roots_done` counts finished traversals; the batch is complete when
+  /// roots_done == end_root - begin_root.
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> roots_done{0};
+  /// Number of helper threads that joined this batch (bounded by HelpTH).
+  std::atomic<int> helped{0};
+
+  /// Sealed priority queues produced for this batch (guarded by mu).
+  std::mutex mu;
+  std::vector<std::unique_ptr<BoundedPq>> queues;
+
+  size_t root_count() const { return end_root - begin_root; }
+  bool complete() const {
+    return roots_done.load(std::memory_order_acquire) == root_count();
+  }
+};
+
+/// Cuts `root_count` roots into `num_batches` contiguous, near-equal
+/// ranges. Returns the (begin, end) pairs; empty ranges are kept so batch
+/// ids are stable across nodes regardless of data skew.
+std::vector<std::pair<size_t, size_t>> PartitionRsBatches(size_t root_count,
+                                                          size_t num_batches);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_INDEX_RS_BATCH_H_

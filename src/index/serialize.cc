@@ -1,0 +1,231 @@
+#include "src/index/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+
+namespace odyssey {
+namespace {
+
+constexpr char kMagic[4] = {'O', 'D', 'I', 'X'};
+constexpr uint32_t kVersion = 1;
+constexpr uint8_t kLeafTag = 0;
+constexpr uint8_t kInternalTag = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t bytes) {
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+template <typename T>
+bool WriteValue(std::FILE* f, T value) {
+  return WriteBytes(f, &value, sizeof(T));
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t bytes) {
+  return std::fread(data, 1, bytes, f) == bytes;
+}
+
+template <typename T>
+bool ReadValue(std::FILE* f, T* value) {
+  return ReadBytes(f, value, sizeof(T));
+}
+
+bool WriteNode(std::FILE* f, const TreeNode* node) {
+  if (node->is_leaf()) {
+    if (!WriteValue<uint8_t>(f, kLeafTag)) return false;
+    const uint32_t n = static_cast<uint32_t>(node->ids().size());
+    if (!WriteValue(f, n)) return false;
+    return n == 0 ||
+           WriteBytes(f, node->ids().data(), n * sizeof(uint32_t));
+  }
+  if (!WriteValue<uint8_t>(f, kInternalTag)) return false;
+  if (!WriteValue<uint8_t>(
+          f, static_cast<uint8_t>(node->split_segment()))) {
+    return false;
+  }
+  return WriteNode(f, node->left()) && WriteNode(f, node->right());
+}
+
+/// Reads one pre-order subtree under the word `word`.
+std::unique_ptr<TreeNode> ReadNode(std::FILE* f, IsaxWord word,
+                                   const std::vector<uint8_t>& sax_table,
+                                   const IsaxConfig& config, bool* ok) {
+  uint8_t tag = 0;
+  if (!ReadValue(f, &tag)) {
+    *ok = false;
+    return nullptr;
+  }
+  auto node = std::make_unique<TreeNode>(word);
+  if (tag == kLeafTag) {
+    uint32_t n = 0;
+    if (!ReadValue(f, &n)) {
+      *ok = false;
+      return nullptr;
+    }
+    std::vector<uint32_t> ids(n);
+    if (n > 0 && !ReadBytes(f, ids.data(), n * sizeof(uint32_t))) {
+      *ok = false;
+      return nullptr;
+    }
+    const size_t w = static_cast<size_t>(config.segments());
+    std::vector<uint8_t> leaf_sax;
+    leaf_sax.reserve(n * w);
+    for (uint32_t id : ids) {
+      if (static_cast<size_t>(id) * w + w > sax_table.size()) {
+        *ok = false;
+        return nullptr;
+      }
+      leaf_sax.insert(leaf_sax.end(), sax_table.data() + id * w,
+                      sax_table.data() + (id + 1) * w);
+    }
+    node->SetLeafPayload(std::move(ids), std::move(leaf_sax));
+    return node;
+  }
+  if (tag != kInternalTag) {
+    *ok = false;
+    return nullptr;
+  }
+  uint8_t split = 0;
+  if (!ReadValue(f, &split) || split >= word.symbols.size() ||
+      word.bits[split] >= config.max_bits) {
+    *ok = false;
+    return nullptr;
+  }
+  IsaxWord left_word = word;
+  left_word.bits[split] = static_cast<uint8_t>(word.bits[split] + 1);
+  left_word.symbols[split] = static_cast<uint8_t>(word.symbols[split] << 1);
+  IsaxWord right_word = left_word;
+  right_word.symbols[split] =
+      static_cast<uint8_t>(right_word.symbols[split] | 1u);
+  auto left = ReadNode(f, std::move(left_word), sax_table, config, ok);
+  if (!*ok) return nullptr;
+  auto right = ReadNode(f, std::move(right_word), sax_table, config, ok);
+  if (!*ok) return nullptr;
+  node->AdoptChildren(split, std::move(left), std::move(right));
+  return node;
+}
+
+}  // namespace
+
+Status SaveIndexToFile(const Index& index, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const IsaxConfig& config = index.config();
+  const uint32_t length = static_cast<uint32_t>(config.series_length());
+  const uint32_t segments = static_cast<uint32_t>(config.segments());
+  const uint32_t max_bits = static_cast<uint32_t>(config.max_bits);
+  const uint32_t leaf_capacity =
+      static_cast<uint32_t>(index.options().leaf_capacity);
+  const uint32_t count = static_cast<uint32_t>(index.data_.size());
+  if (!WriteBytes(f.get(), kMagic, 4) || !WriteValue(f.get(), kVersion) ||
+      !WriteValue(f.get(), length) || !WriteValue(f.get(), segments) ||
+      !WriteValue(f.get(), max_bits) || !WriteValue(f.get(), leaf_capacity) ||
+      !WriteValue(f.get(), count)) {
+    return Status::IoError("short header write: " + path);
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!WriteBytes(f.get(), index.data_.data(i), length * sizeof(float))) {
+      return Status::IoError("short data write: " + path);
+    }
+  }
+  if (!WriteBytes(f.get(), index.sax_table_.data(),
+                  index.sax_table_.size())) {
+    return Status::IoError("short SAX-table write: " + path);
+  }
+  const IndexTree& tree = index.tree();
+  if (!WriteValue(f.get(), static_cast<uint32_t>(tree.root_count()))) {
+    return Status::IoError("short tree write: " + path);
+  }
+  for (size_t r = 0; r < tree.root_count(); ++r) {
+    if (!WriteValue(f.get(), tree.root_key(r)) ||
+        !WriteNode(f.get(), tree.root(r))) {
+      return Status::IoError("short tree write: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<Index> LoadIndexFromFile(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  char magic[4];
+  uint32_t version = 0, length = 0, segments = 0, max_bits = 0,
+           leaf_capacity = 0, count = 0;
+  if (!ReadBytes(f.get(), magic, 4) || !ReadValue(f.get(), &version) ||
+      !ReadValue(f.get(), &length) || !ReadValue(f.get(), &segments) ||
+      !ReadValue(f.get(), &max_bits) || !ReadValue(f.get(), &leaf_capacity) ||
+      !ReadValue(f.get(), &count)) {
+    return Status::IoError("short header read: " + path);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported index version in " + path);
+  }
+  if (length == 0 || segments == 0 || segments > length || max_bits == 0 ||
+      max_bits > static_cast<uint32_t>(kMaxSaxBits) || leaf_capacity == 0) {
+    return Status::InvalidArgument("corrupt index header in " + path);
+  }
+
+  IndexOptions options;
+  options.config = IsaxConfig(length, static_cast<int>(segments),
+                              static_cast<int>(max_bits));
+  options.leaf_capacity = leaf_capacity;
+
+  SeriesCollection data(length);
+  float* dst = data.AppendUninitialized(count);
+  if (!ReadBytes(f.get(), dst,
+                 static_cast<size_t>(count) * length * sizeof(float))) {
+    return Status::IoError("short data read: " + path);
+  }
+  Index index(std::move(data), options);
+  index.sax_table_.resize(static_cast<size_t>(count) * segments);
+  if (!ReadBytes(f.get(), index.sax_table_.data(),
+                 index.sax_table_.size())) {
+    return Status::IoError("short SAX-table read: " + path);
+  }
+
+  uint32_t root_count = 0;
+  if (!ReadValue(f.get(), &root_count)) {
+    return Status::IoError("short tree read: " + path);
+  }
+  std::vector<uint32_t> keys;
+  std::vector<std::unique_ptr<TreeNode>> roots;
+  keys.reserve(root_count);
+  roots.reserve(root_count);
+  for (uint32_t r = 0; r < root_count; ++r) {
+    uint32_t key = 0;
+    if (!ReadValue(f.get(), &key)) {
+      return Status::IoError("short tree read: " + path);
+    }
+    if (!keys.empty() && key <= keys.back()) {
+      return Status::InvalidArgument("root keys out of order in " + path);
+    }
+    bool ok = true;
+    auto root = ReadNode(f.get(), IsaxWord::Root(options.config, key),
+                         index.sax_table_, options.config, &ok);
+    if (!ok) {
+      return Status::InvalidArgument("corrupt subtree in " + path);
+    }
+    keys.push_back(key);
+    roots.push_back(std::move(root));
+  }
+  index.tree_ = IndexTree::FromRoots(std::move(keys), std::move(roots));
+  return index;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,32 @@
+#ifndef ODYSSEY_INDEX_SERIALIZE_H_
+#define ODYSSEY_INDEX_SERIALIZE_H_
+
+#include <string>
+
+#include "src/index/builder.h"
+
+namespace odyssey {
+
+/// Index persistence. A node can snapshot its built index and reload it on
+/// restart instead of re-summarizing and re-inserting its chunk — useful
+/// when the same deployment answers many batches across process lifetimes.
+///
+/// Format (little-endian): header (magic "ODIX", version, series length,
+/// segments, max bits, leaf capacity, series count), the raw chunk, the
+/// full-cardinality SAX table, then each root subtree (key + pre-order
+/// node stream; internal nodes carry their split segment, leaves their id
+/// lists — leaf SAX rows are reconstituted from the table).
+///
+/// A loaded index is bit-identical to the built one (the replica-
+/// determinism tests cover this), so it remains a valid work-stealing
+/// replica of any node that built the same chunk.
+
+/// Writes `index` to `path`, overwriting any existing file.
+Status SaveIndexToFile(const Index& index, const std::string& path);
+
+/// Reads an index previously written by SaveIndexToFile.
+StatusOr<Index> LoadIndexFromFile(const std::string& path);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_INDEX_SERIALIZE_H_

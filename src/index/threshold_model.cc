@@ -1,0 +1,26 @@
+#include "src/index/threshold_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace odyssey {
+
+Status ThresholdModel::Calibrate(const std::vector<double>& initial_bsf,
+                                 const std::vector<double>& median_pq_size) {
+  const Status status = FitSigmoid(initial_bsf, median_pq_size, &sigmoid_,
+                                   &rmse_);
+  if (!status.ok()) return status;
+  calibrated_ = true;
+  return Status::Ok();
+}
+
+size_t ThresholdModel::PredictThreshold(double initial_bsf) const {
+  ODYSSEY_CHECK_MSG(calibrated_, "PredictThreshold before Calibrate");
+  const double estimate = sigmoid_.Evaluate(initial_bsf) / division_factor_;
+  if (!(estimate > 1.0)) return 1;
+  return static_cast<size_t>(std::llround(estimate));
+}
+
+}  // namespace odyssey

@@ -1,0 +1,51 @@
+#ifndef ODYSSEY_INDEX_THRESHOLD_MODEL_H_
+#define ODYSSEY_INDEX_THRESHOLD_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/sigmoid_fit.h"
+#include "src/common/status.h"
+
+namespace odyssey {
+
+/// The paper's priority-queue size-threshold model (Section 3.2.1,
+/// Figure 6): the median priority-queue size a query produces correlates
+/// with its initial BSF; fitting a sigmoid to calibration samples and
+/// dividing the prediction by a dataset-specific factor (16 for Seismic)
+/// yields a per-query TH that keeps queue sizes — and therefore thread
+/// load — balanced.
+class ThresholdModel {
+ public:
+  ThresholdModel() = default;
+
+  /// Fits the sigmoid on calibration samples: `initial_bsf[i]` is query i's
+  /// initial best-so-far (true distance) and `median_pq_size[i]` the median
+  /// size (in leaves) of the priority queues produced while answering it
+  /// with unbounded queues. Requires >= 5 samples.
+  Status Calibrate(const std::vector<double>& initial_bsf,
+                   const std::vector<double>& median_pq_size);
+
+  bool calibrated() const { return calibrated_; }
+  const SigmoidParams& sigmoid() const { return sigmoid_; }
+  double rmse() const { return rmse_; }
+
+  /// Division factor applied to the sigmoid's median-size estimate
+  /// (Figure 6b; the paper uses 16 for Seismic).
+  void set_division_factor(double factor) { division_factor_ = factor; }
+  double division_factor() const { return division_factor_; }
+
+  /// Predicted queue threshold TH (in leaves, >= 1) for a query whose
+  /// initial BSF is `initial_bsf`. Must be calibrated.
+  size_t PredictThreshold(double initial_bsf) const;
+
+ private:
+  bool calibrated_ = false;
+  SigmoidParams sigmoid_;
+  double rmse_ = 0.0;
+  double division_factor_ = 16.0;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_INDEX_THRESHOLD_MODEL_H_

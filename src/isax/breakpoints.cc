@@ -1,0 +1,93 @@
+#include "src/isax/breakpoints.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace odyssey {
+
+double InverseNormalCdf(double p) {
+  ODYSSEY_CHECK(p > 0.0 && p < 1.0);
+  // Acklam's algorithm: rational approximations in three regions.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  double q, r, x;
+  if (p < kLow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - kLow) {
+    q = p - 0.5;
+    r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  return x;
+}
+
+BreakpointTable::BreakpointTable() {
+  by_bits_.resize(kMaxSaxBits + 1);
+  for (int bits = 1; bits <= kMaxSaxBits; ++bits) {
+    const uint32_t cardinality = 1u << bits;
+    std::vector<double>& bps = by_bits_[bits];
+    bps.reserve(cardinality - 1);
+    for (uint32_t i = 1; i < cardinality; ++i) {
+      bps.push_back(InverseNormalCdf(static_cast<double>(i) /
+                                     static_cast<double>(cardinality)));
+    }
+  }
+}
+
+const BreakpointTable& BreakpointTable::Get() {
+  // Function-local static reference; never destroyed (trivial shutdown).
+  static const BreakpointTable& table = *new BreakpointTable();
+  return table;
+}
+
+const std::vector<double>& BreakpointTable::ForBits(int bits) const {
+  ODYSSEY_CHECK(bits >= 1 && bits <= kMaxSaxBits);
+  return by_bits_[bits];
+}
+
+uint8_t BreakpointTable::MaxBitsSymbol(double value) const {
+  const std::vector<double>& bps = by_bits_[kMaxSaxBits];
+  // Symbol = number of breakpoints strictly below `value`: region r covers
+  // (bp[r-1], bp[r]].
+  const auto it = std::lower_bound(bps.begin(), bps.end(), value);
+  return static_cast<uint8_t>(it - bps.begin());
+}
+
+double BreakpointTable::RegionLower(int bits, uint32_t symbol) const {
+  const std::vector<double>& bps = ForBits(bits);
+  if (symbol == 0) return -std::numeric_limits<double>::infinity();
+  ODYSSEY_CHECK(symbol < (1u << bits));
+  return bps[symbol - 1];
+}
+
+double BreakpointTable::RegionUpper(int bits, uint32_t symbol) const {
+  const std::vector<double>& bps = ForBits(bits);
+  ODYSSEY_CHECK(symbol < (1u << bits));
+  if (symbol == (1u << bits) - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return bps[symbol];
+}
+
+}  // namespace odyssey

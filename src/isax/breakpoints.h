@@ -1,0 +1,51 @@
+#ifndef ODYSSEY_ISAX_BREAKPOINTS_H_
+#define ODYSSEY_ISAX_BREAKPOINTS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace odyssey {
+
+/// SAX breakpoints: the y-axis of a z-normalized series is cut into 2^bits
+/// regions of equal probability under N(0, 1); the 2^bits - 1 cut points are
+/// standard-normal quantiles. Because the b-bit quantile set is exactly the
+/// even-indexed subset of the (b+1)-bit set, the b-bit symbol of a value is
+/// always the (b+1)-bit symbol shifted right by one — the prefix property
+/// that makes the iSAX tree's cardinality refinement work.
+
+/// Maximum per-segment cardinality is 2^kMaxSaxBits (symbols fit a byte).
+inline constexpr int kMaxSaxBits = 8;
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, |relative error| < 1.2e-9). Exposed for tests.
+double InverseNormalCdf(double p);
+
+/// Precomputed breakpoint tables for every bit depth 1..kMaxSaxBits.
+class BreakpointTable {
+ public:
+  /// The process-wide table (built once, immutable afterwards).
+  static const BreakpointTable& Get();
+
+  /// Breakpoints for `bits`-bit symbols: sorted vector of 2^bits - 1 values.
+  /// Region r (symbol value r) covers (bp[r-1], bp[r]], with bp[-1] = -inf
+  /// and bp[2^bits - 1] = +inf; region 0 is the lowest.
+  const std::vector<double>& ForBits(int bits) const;
+
+  /// The symbol (region index, 0 = lowest) of `value` at kMaxSaxBits bits.
+  /// Symbols at fewer bits b are obtained as Symbol(v) >> (kMaxSaxBits - b).
+  uint8_t MaxBitsSymbol(double value) const;
+
+  /// Lower edge of region `symbol` at `bits` bits (-inf for symbol 0).
+  double RegionLower(int bits, uint32_t symbol) const;
+  /// Upper edge of region `symbol` at `bits` bits (+inf for the top region).
+  double RegionUpper(int bits, uint32_t symbol) const;
+
+ private:
+  BreakpointTable();
+
+  std::vector<std::vector<double>> by_bits_;  // index: bits (1..kMaxSaxBits)
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_ISAX_BREAKPOINTS_H_

@@ -1,0 +1,98 @@
+#include "src/isax/mindist.h"
+
+#include <algorithm>
+
+namespace odyssey {
+namespace {
+
+/// Squared, count-weighted gap between value `q` and region [lo, hi].
+inline double SegmentGapSq(double q, double lo, double hi, size_t count) {
+  double gap = 0.0;
+  if (q < lo) {
+    gap = lo - q;
+  } else if (q > hi) {
+    gap = q - hi;
+  }
+  return static_cast<double>(count) * gap * gap;
+}
+
+/// Squared, count-weighted gap between the band [ql, qu] and region
+/// [lo, hi]: positive only when the intervals are disjoint.
+inline double BandGapSq(double ql, double qu, double lo, double hi,
+                        size_t count) {
+  double gap = 0.0;
+  if (lo > qu) {
+    gap = lo - qu;
+  } else if (hi < ql) {
+    gap = ql - hi;
+  }
+  return static_cast<double>(count) * gap * gap;
+}
+
+}  // namespace
+
+float MindistPaaToWord(const double* query_paa, const IsaxWord& word,
+                       const IsaxConfig& config) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  double sum = 0.0;
+  for (int i = 0; i < config.segments(); ++i) {
+    const int bits = word.bits[i];
+    const uint32_t symbol = word.symbols[i];
+    sum += SegmentGapSq(query_paa[i], table.RegionLower(bits, symbol),
+                        table.RegionUpper(bits, symbol),
+                        config.paa.SegmentCount(i));
+  }
+  return static_cast<float>(sum);
+}
+
+float MindistPaaToSax(const double* query_paa, const uint8_t* sax,
+                      const IsaxConfig& config) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  const int bits = config.max_bits;
+  double sum = 0.0;
+  for (int i = 0; i < config.segments(); ++i) {
+    sum += SegmentGapSq(query_paa[i], table.RegionLower(bits, sax[i]),
+                        table.RegionUpper(bits, sax[i]),
+                        config.paa.SegmentCount(i));
+  }
+  return static_cast<float>(sum);
+}
+
+EnvelopePaa ComputeEnvelopePaa(const Envelope& envelope,
+                               const IsaxConfig& config) {
+  EnvelopePaa out;
+  out.upper = ComputePaa(envelope.upper.data(), config.paa);
+  out.lower = ComputePaa(envelope.lower.data(), config.paa);
+  return out;
+}
+
+float MindistEnvelopeToWord(const EnvelopePaa& env_paa, const IsaxWord& word,
+                            const IsaxConfig& config) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  double sum = 0.0;
+  for (int i = 0; i < config.segments(); ++i) {
+    const int bits = word.bits[i];
+    const uint32_t symbol = word.symbols[i];
+    sum += BandGapSq(env_paa.lower[i], env_paa.upper[i],
+                     table.RegionLower(bits, symbol),
+                     table.RegionUpper(bits, symbol),
+                     config.paa.SegmentCount(i));
+  }
+  return static_cast<float>(sum);
+}
+
+float MindistEnvelopeToSax(const EnvelopePaa& env_paa, const uint8_t* sax,
+                           const IsaxConfig& config) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  const int bits = config.max_bits;
+  double sum = 0.0;
+  for (int i = 0; i < config.segments(); ++i) {
+    sum += BandGapSq(env_paa.lower[i], env_paa.upper[i],
+                     table.RegionLower(bits, sax[i]),
+                     table.RegionUpper(bits, sax[i]),
+                     config.paa.SegmentCount(i));
+  }
+  return static_cast<float>(sum);
+}
+
+}  // namespace odyssey

@@ -1,0 +1,52 @@
+#ifndef ODYSSEY_ISAX_MINDIST_H_
+#define ODYSSEY_ISAX_MINDIST_H_
+
+#include "src/distance/lb_keogh.h"
+#include "src/isax/isax_word.h"
+
+namespace odyssey {
+
+/// Lower-bound ("mindist") distances between a query and iSAX summaries.
+/// All results are squared, consistent with the distance kernels, and are
+/// guaranteed <= the squared Euclidean (resp. DTW) distance between the
+/// query and ANY series summarized by the word — the invariant that makes
+/// pruning exact.
+
+/// Squared lower bound between a query PAA and a variable-cardinality iSAX
+/// word. Per segment: the gap between the query's PAA value and the
+/// breakpoint region of the word's symbol, squared, weighted by the
+/// segment's point count.
+float MindistPaaToWord(const double* query_paa, const IsaxWord& word,
+                       const IsaxConfig& config);
+
+/// Squared lower bound between a query PAA and a full-cardinality SAX
+/// summary (a leaf's per-series summary; the tightest summary-level filter
+/// applied before computing a real distance).
+float MindistPaaToSax(const double* query_paa, const uint8_t* sax,
+                      const IsaxConfig& config);
+
+/// Per-segment PAA of a DTW warping envelope: means of the upper and lower
+/// envelope over each segment. Precomputed once per query.
+struct EnvelopePaa {
+  std::vector<double> upper;
+  std::vector<double> lower;
+};
+
+/// Builds the per-segment envelope PAA.
+EnvelopePaa ComputeEnvelopePaa(const Envelope& envelope,
+                               const IsaxConfig& config);
+
+/// Squared DTW lower bound between a query envelope (segment-level) and an
+/// iSAX word: a segment contributes only when the word's whole breakpoint
+/// region lies outside the envelope band (LB_PAA of Keogh & Ratanamahatana
+/// lifted to iSAX regions). Guaranteed <= squared LB_Keogh <= squared DTW.
+float MindistEnvelopeToWord(const EnvelopePaa& env_paa, const IsaxWord& word,
+                            const IsaxConfig& config);
+
+/// Same bound against a full-cardinality SAX summary.
+float MindistEnvelopeToSax(const EnvelopePaa& env_paa, const uint8_t* sax,
+                           const IsaxConfig& config);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_ISAX_MINDIST_H_

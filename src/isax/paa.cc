@@ -1,0 +1,21 @@
+#include "src/isax/paa.h"
+
+namespace odyssey {
+
+void ComputePaa(const float* series, const PaaConfig& config, double* out) {
+  for (int i = 0; i < config.segments; ++i) {
+    const size_t begin = config.SegmentBegin(i);
+    const size_t end = config.SegmentEnd(i);
+    double sum = 0.0;
+    for (size_t t = begin; t < end; ++t) sum += series[t];
+    out[i] = sum / static_cast<double>(end - begin);
+  }
+}
+
+std::vector<double> ComputePaa(const float* series, const PaaConfig& config) {
+  std::vector<double> out(config.segments);
+  ComputePaa(series, config, out.data());
+  return out;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,46 @@
+#ifndef ODYSSEY_ISAX_PAA_H_
+#define ODYSSEY_ISAX_PAA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace odyssey {
+
+/// Piecewise Aggregate Approximation: the x-axis is split into `segments`
+/// contiguous ranges and each range is represented by its mean. Segment
+/// boundaries are the integer partition [floor(i*n/w), floor((i+1)*n/w));
+/// sizes may differ by one point when w does not divide n, and every lower
+/// bound in this library weights each segment by its exact point count, so
+/// the bounds remain valid for any (n, w).
+struct PaaConfig {
+  size_t series_length = 0;
+  int segments = 16;
+
+  PaaConfig() = default;
+  PaaConfig(size_t length, int segs) : series_length(length), segments(segs) {
+    ODYSSEY_CHECK(length > 0);
+    ODYSSEY_CHECK(segs >= 1 && static_cast<size_t>(segs) <= length);
+  }
+
+  /// First point of segment i.
+  size_t SegmentBegin(int i) const {
+    return static_cast<size_t>(i) * series_length /
+           static_cast<size_t>(segments);
+  }
+  /// One past the last point of segment i.
+  size_t SegmentEnd(int i) const { return SegmentBegin(i + 1); }
+  /// Number of points in segment i (>= 1).
+  size_t SegmentCount(int i) const { return SegmentEnd(i) - SegmentBegin(i); }
+};
+
+/// Computes the PAA of `series` into `out` (`config.segments` doubles).
+void ComputePaa(const float* series, const PaaConfig& config, double* out);
+
+/// Convenience overload returning a vector.
+std::vector<double> ComputePaa(const float* series, const PaaConfig& config);
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_ISAX_PAA_H_

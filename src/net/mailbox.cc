@@ -1,0 +1,45 @@
+#include "src/net/mailbox.h"
+
+namespace odyssey {
+
+void Mailbox::Send(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_one();
+}
+
+Message Mailbox::Receive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !queue_.empty(); });
+  Message message = std::move(queue_.front());
+  queue_.pop_front();
+  return message;
+}
+
+bool Mailbox::TryReceive(Message* message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  *message = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+bool Mailbox::ReceiveFor(std::chrono::microseconds timeout,
+                         Message* message) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [this] { return !queue_.empty(); })) {
+    return false;
+  }
+  *message = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+size_t Mailbox::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace odyssey

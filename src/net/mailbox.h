@@ -1,0 +1,47 @@
+#ifndef ODYSSEY_NET_MAILBOX_H_
+#define ODYSSEY_NET_MAILBOX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "src/net/message.h"
+
+namespace odyssey {
+
+/// A blocking multi-producer FIFO mailbox — the per-node receive queue of
+/// the simulated cluster. Delivery is asynchronous and FIFO per mailbox,
+/// matching the MPI point-to-point semantics the paper's implementation
+/// relies on.
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a message. Thread-safe; never blocks.
+  void Send(Message message);
+
+  /// Blocks until a message is available and returns it.
+  Message Receive();
+
+  /// Non-blocking receive; returns false when the mailbox is empty.
+  bool TryReceive(Message* message);
+
+  /// Receives with a deadline; returns false on timeout. Lets the
+  /// coordinator interleave message handling with wall-clock work (e.g.
+  /// releasing dynamically arriving queries).
+  bool ReceiveFor(std::chrono::microseconds timeout, Message* message);
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_NET_MAILBOX_H_

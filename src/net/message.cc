@@ -1,0 +1,31 @@
+#include "src/net/message.h"
+
+namespace odyssey {
+
+const char* MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kAssignQuery:
+      return "AssignQuery";
+    case MessageType::kNoMoreQueries:
+      return "NoMoreQueries";
+    case MessageType::kQueryRequest:
+      return "QueryRequest";
+    case MessageType::kBsfUpdate:
+      return "BsfUpdate";
+    case MessageType::kDone:
+      return "Done";
+    case MessageType::kStealRequest:
+      return "StealRequest";
+    case MessageType::kStealReply:
+      return "StealReply";
+    case MessageType::kLocalAnswer:
+      return "LocalAnswer";
+    case MessageType::kNodeTerminated:
+      return "NodeTerminated";
+    case MessageType::kShutdown:
+      return "Shutdown";
+  }
+  return "Unknown";
+}
+
+}  // namespace odyssey

@@ -1,0 +1,48 @@
+#ifndef ODYSSEY_NET_MESSAGE_H_
+#define ODYSSEY_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/index/query_engine.h"
+
+namespace odyssey {
+
+/// The message vocabulary of the distributed protocol. One deliberate
+/// property, mirrored from the paper: no message ever carries raw series
+/// data — answers carry (distance, id) pairs and steal replies carry
+/// RS-batch ids, which is exactly what makes Odyssey's work-stealing
+/// "data-free".
+enum class MessageType {
+  kAssignQuery,     ///< scheduler -> node: execute query `query_id`
+  kNoMoreQueries,   ///< scheduler -> node: nothing further will be assigned
+  kQueryRequest,    ///< node -> scheduler: dynamic request for the next query
+  kBsfUpdate,       ///< node -> all nodes: improved BSF for `query_id`
+  kDone,            ///< node -> all: finished its assigned queries (Alg. 1)
+  kStealRequest,    ///< idle node -> victim (Alg. 4)
+  kStealReply,      ///< victim -> thief: RS-batch ids + query + BSF (Alg. 3)
+  kLocalAnswer,     ///< node -> coordinator: local (partial) k-NN answer
+  kNodeTerminated,  ///< node -> coordinator: work-stealing phase over
+  kShutdown,        ///< coordinator -> node: batch finished, exit
+};
+
+const char* MessageTypeToString(MessageType type);
+
+/// A protocol message. Fields beyond `type`/`from` are used per type:
+/// query_id (kAssignQuery/kBsfUpdate/kStealReply/kLocalAnswer), bsf
+/// (kBsfUpdate/kStealReply, squared), batch_ids (kStealReply), neighbors
+/// (kLocalAnswer, with *global* series ids).
+struct Message {
+  MessageType type = MessageType::kShutdown;
+  int from = -1;
+  int query_id = -1;
+  float bsf = std::numeric_limits<float>::infinity();
+  std::vector<int> batch_ids;
+  std::vector<Neighbor> neighbors;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_NET_MESSAGE_H_

@@ -1,0 +1,47 @@
+#include "src/net/sim_cluster.h"
+
+#include "src/common/check.h"
+
+namespace odyssey {
+namespace {
+constexpr int kMessageTypeCount =
+    static_cast<int>(MessageType::kShutdown) + 1;
+}  // namespace
+
+SimCluster::SimCluster(int num_nodes) : num_nodes_(num_nodes) {
+  ODYSSEY_CHECK(num_nodes >= 1);
+  mailboxes_.reserve(num_nodes + 1);
+  for (int i = 0; i <= num_nodes; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  per_type_.reserve(kMessageTypeCount);
+  for (int i = 0; i < kMessageTypeCount; ++i) {
+    per_type_.push_back(std::make_unique<std::atomic<size_t>>(0));
+  }
+}
+
+void SimCluster::Send(int to, Message message) {
+  ODYSSEY_CHECK(to >= 0 && to <= num_nodes_);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  per_type_[static_cast<int>(message.type)]->fetch_add(
+      1, std::memory_order_relaxed);
+  mailboxes_[to]->Send(std::move(message));
+}
+
+void SimCluster::Broadcast(Message message, int except) {
+  for (int i = 0; i < num_nodes_; ++i) {
+    if (i == except) continue;
+    Send(i, message);
+  }
+}
+
+Mailbox& SimCluster::mailbox(int id) {
+  ODYSSEY_CHECK(id >= 0 && id <= num_nodes_);
+  return *mailboxes_[id];
+}
+
+size_t SimCluster::messages_sent(MessageType type) const {
+  return per_type_[static_cast<int>(type)]->load(std::memory_order_relaxed);
+}
+
+}  // namespace odyssey

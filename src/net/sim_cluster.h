@@ -1,0 +1,52 @@
+#ifndef ODYSSEY_NET_SIM_CLUSTER_H_
+#define ODYSSEY_NET_SIM_CLUSTER_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/net/mailbox.h"
+
+namespace odyssey {
+
+/// The in-process stand-in for the paper's MPI cluster (see DESIGN.md §2):
+/// `num_nodes` system-node mailboxes plus one coordinator mailbox. All
+/// inter-node interaction goes through Send/Broadcast — nodes never touch
+/// each other's memory, so the code paths match a real message-passing
+/// deployment; only the transport differs.
+class SimCluster {
+ public:
+  explicit SimCluster(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+  /// The coordinator's address (the paper's coordinator node; our driver).
+  int coordinator_id() const { return num_nodes_; }
+
+  /// Sends to a node id in [0, num_nodes] (num_nodes = coordinator).
+  void Send(int to, Message message);
+
+  /// Sends a copy to every system node (not the coordinator), optionally
+  /// excluding one (typically the sender).
+  void Broadcast(Message message, int except = -1);
+
+  /// The mailbox of `id` (system node or coordinator).
+  Mailbox& mailbox(int id);
+
+  /// Total messages sent so far (observability; the "no data moves" claim
+  /// is auditable because messages structurally cannot carry raw series).
+  size_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  /// Messages sent of one type.
+  size_t messages_sent(MessageType type) const;
+
+ private:
+  int num_nodes_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<size_t> messages_sent_{0};
+  std::vector<std::unique_ptr<std::atomic<size_t>>> per_type_;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_NET_SIM_CLUSTER_H_

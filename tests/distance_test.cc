@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dataset/generators.h"
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+#include "src/distance/lb_keogh.h"
+#include "tests/testing_utils.h"
+
+namespace odyssey {
+namespace {
+
+using testing_utils::NearlyEqual;
+
+std::vector<float> RandomSeries(Rng* rng, size_t n) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng->NextGaussian());
+  return v;
+}
+
+// ------------------------------------------------------------- Euclidean
+
+class EuclideanLengthTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EuclideanLengthTest, DispatchedMatchesScalar) {
+  const size_t n = GetParam();
+  Rng rng(n * 7 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<float> a = RandomSeries(&rng, n);
+    const std::vector<float> b = RandomSeries(&rng, n);
+    const float simd = SquaredEuclidean(a.data(), b.data(), n);
+    const float scalar = SquaredEuclideanScalar(a.data(), b.data(), n);
+    EXPECT_TRUE(NearlyEqual(simd, scalar)) << simd << " vs " << scalar;
+  }
+}
+
+TEST_P(EuclideanLengthTest, EarlyAbandonExactBelowThreshold) {
+  const size_t n = GetParam();
+  Rng rng(n * 13 + 1);
+  const std::vector<float> a = RandomSeries(&rng, n);
+  const std::vector<float> b = RandomSeries(&rng, n);
+  const float exact = SquaredEuclideanScalar(a.data(), b.data(), n);
+  const float got = SquaredEuclideanEarlyAbandon(
+      a.data(), b.data(), n, exact * 2.0f + 1.0f);
+  EXPECT_TRUE(NearlyEqual(got, exact));
+}
+
+TEST_P(EuclideanLengthTest, EarlyAbandonReturnsAtLeastThresholdWhenCrossed) {
+  const size_t n = GetParam();
+  Rng rng(n * 17 + 1);
+  const std::vector<float> a = RandomSeries(&rng, n);
+  const std::vector<float> b = RandomSeries(&rng, n);
+  const float exact = SquaredEuclideanScalar(a.data(), b.data(), n);
+  if (exact <= 0.0f) return;
+  const float threshold = exact / 2.0f;
+  const float got =
+      SquaredEuclideanEarlyAbandon(a.data(), b.data(), n, threshold);
+  EXPECT_GE(got * (1.0f + 1e-4f), threshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, EuclideanLengthTest,
+                         ::testing::Values(1, 3, 8, 15, 16, 17, 31, 32, 96,
+                                           100, 128, 200, 256));
+
+TEST(EuclideanTest, ZeroForIdenticalSeries) {
+  Rng rng(1);
+  const std::vector<float> a = RandomSeries(&rng, 64);
+  EXPECT_EQ(SquaredEuclidean(a.data(), a.data(), 64), 0.0f);
+}
+
+TEST(EuclideanTest, KnownValue) {
+  const float a[] = {0, 0, 0, 0};
+  const float b[] = {1, 2, 3, 4};
+  EXPECT_FLOAT_EQ(SquaredEuclidean(a, b, 4), 30.0f);
+}
+
+TEST(EuclideanTest, ScalarEarlyAbandonMatchesSimdVariant) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 64;
+    const std::vector<float> a = RandomSeries(&rng, n);
+    const std::vector<float> b = RandomSeries(&rng, n);
+    const float threshold = static_cast<float>(rng.NextDouble() * 200.0);
+    const float s =
+        SquaredEuclideanEarlyAbandonScalar(a.data(), b.data(), n, threshold);
+    const float v =
+        SquaredEuclideanEarlyAbandon(a.data(), b.data(), n, threshold);
+    // Both must agree on whether the threshold was crossed, and on the exact
+    // value when it was not.
+    EXPECT_EQ(s >= threshold, v * (1 + 1e-5f) >= threshold * (1 - 1e-5f))
+        << s << " " << v << " thr " << threshold;
+    if (s < threshold) EXPECT_TRUE(NearlyEqual(s, v));
+  }
+}
+
+// ------------------------------------------------------------------- DTW
+
+TEST(DtwTest, WindowZeroEqualsEuclidean) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<float> a = RandomSeries(&rng, 50);
+    const std::vector<float> b = RandomSeries(&rng, 50);
+    EXPECT_TRUE(NearlyEqual(SquaredDtw(a.data(), b.data(), 50, 0),
+                            SquaredEuclideanScalar(a.data(), b.data(), 50)));
+  }
+}
+
+TEST(DtwTest, NeverExceedsEuclidean) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::vector<float> a = RandomSeries(&rng, 40);
+    const std::vector<float> b = RandomSeries(&rng, 40);
+    const float ed = SquaredEuclideanScalar(a.data(), b.data(), 40);
+    for (size_t w : {1u, 2u, 5u, 39u}) {
+      EXPECT_LE(SquaredDtw(a.data(), b.data(), 40, w), ed * (1 + 1e-5f));
+    }
+  }
+}
+
+TEST(DtwTest, MonotoneNonIncreasingInWindow) {
+  Rng rng(7);
+  const std::vector<float> a = RandomSeries(&rng, 60);
+  const std::vector<float> b = RandomSeries(&rng, 60);
+  float prev = SquaredDtw(a.data(), b.data(), 60, 0);
+  for (size_t w = 1; w <= 10; ++w) {
+    const float cur = SquaredDtw(a.data(), b.data(), 60, w);
+    EXPECT_LE(cur, prev * (1 + 1e-5f)) << "w=" << w;
+    prev = cur;
+  }
+}
+
+TEST(DtwTest, Symmetric) {
+  Rng rng(9);
+  const std::vector<float> a = RandomSeries(&rng, 32);
+  const std::vector<float> b = RandomSeries(&rng, 32);
+  EXPECT_TRUE(NearlyEqual(SquaredDtw(a.data(), b.data(), 32, 4),
+                          SquaredDtw(b.data(), a.data(), 32, 4)));
+}
+
+TEST(DtwTest, ZeroForIdenticalSeries) {
+  Rng rng(11);
+  const std::vector<float> a = RandomSeries(&rng, 32);
+  EXPECT_EQ(SquaredDtw(a.data(), a.data(), 32, 3), 0.0f);
+}
+
+TEST(DtwTest, AlignsShiftedSeries) {
+  // A one-step shifted copy should be nearly free under warping but
+  // expensive under ED.
+  const size_t n = 64;
+  std::vector<float> a(n), b(n);
+  for (size_t t = 0; t < n; ++t) {
+    a[t] = std::sin(0.3 * static_cast<double>(t));
+    b[t] = std::sin(0.3 * static_cast<double>(t + 1));
+  }
+  const float ed = SquaredEuclideanScalar(a.data(), b.data(), n);
+  const float dtw = SquaredDtw(a.data(), b.data(), n, 3);
+  EXPECT_LT(dtw, ed * 0.2f);
+}
+
+TEST(DtwTest, EarlyAbandonExactBelowThreshold) {
+  Rng rng(13);
+  const std::vector<float> a = RandomSeries(&rng, 48);
+  const std::vector<float> b = RandomSeries(&rng, 48);
+  const float exact = SquaredDtw(a.data(), b.data(), 48, 5);
+  EXPECT_TRUE(NearlyEqual(
+      SquaredDtwEarlyAbandon(a.data(), b.data(), 48, 5, exact * 2 + 1),
+      exact));
+  if (exact > 0) {
+    EXPECT_GE(
+        SquaredDtwEarlyAbandon(a.data(), b.data(), 48, 5, exact / 2) *
+            (1 + 1e-5f),
+        exact / 2);
+  }
+}
+
+TEST(DtwTest, WarpingWindowFromFraction) {
+  EXPECT_EQ(WarpingWindowFromFraction(256, 0.0), 0u);
+  EXPECT_EQ(WarpingWindowFromFraction(256, 0.05), 13u);  // ceil(12.8)
+  EXPECT_EQ(WarpingWindowFromFraction(100, 0.001), 1u);  // min 1
+  EXPECT_EQ(WarpingWindowFromFraction(100, 0.15), 15u);
+}
+
+// -------------------------------------------------------------- LB_Keogh
+
+TEST(LbKeoghTest, EnvelopeMatchesBruteForce) {
+  Rng rng(15);
+  const std::vector<float> q = RandomSeries(&rng, 40);
+  for (size_t w : {0u, 1u, 3u, 10u, 39u, 100u}) {
+    const Envelope env = BuildEnvelope(q.data(), q.size(), w);
+    for (size_t i = 0; i < q.size(); ++i) {
+      const size_t lo = (i >= w) ? i - w : 0;
+      const size_t hi = std::min(q.size() - 1, i + w);
+      float mx = -1e30f, mn = 1e30f;
+      for (size_t j = lo; j <= hi; ++j) {
+        mx = std::max(mx, q[j]);
+        mn = std::min(mn, q[j]);
+      }
+      ASSERT_EQ(env.upper[i], mx) << "w=" << w << " i=" << i;
+      ASSERT_EQ(env.lower[i], mn) << "w=" << w << " i=" << i;
+    }
+  }
+}
+
+TEST(LbKeoghTest, LowerBoundsDtw) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 48;
+    const size_t w = 1 + rng.NextBounded(8);
+    const std::vector<float> q = RandomSeries(&rng, n);
+    const std::vector<float> c = RandomSeries(&rng, n);
+    const Envelope env = BuildEnvelope(q.data(), n, w);
+    const float lb = SquaredLbKeogh(env, c.data());
+    const float dtw = SquaredDtw(q.data(), c.data(), n, w);
+    EXPECT_LE(lb, dtw * (1 + 1e-5f) + 1e-6f)
+        << "trial " << trial << " w=" << w;
+  }
+}
+
+TEST(LbKeoghTest, ZeroWhenCandidateInsideEnvelope) {
+  Rng rng(19);
+  const std::vector<float> q = RandomSeries(&rng, 32);
+  const Envelope env = BuildEnvelope(q.data(), 32, 2);
+  // The query itself always lies inside its own envelope.
+  EXPECT_EQ(SquaredLbKeogh(env, q.data()), 0.0f);
+}
+
+TEST(LbKeoghTest, EarlyAbandonConsistent) {
+  Rng rng(21);
+  const std::vector<float> q = RandomSeries(&rng, 32);
+  const std::vector<float> c = RandomSeries(&rng, 32);
+  const Envelope env = BuildEnvelope(q.data(), 32, 2);
+  const float exact = SquaredLbKeogh(env, c.data());
+  EXPECT_TRUE(NearlyEqual(
+      SquaredLbKeoghEarlyAbandon(env, c.data(), exact * 2 + 1), exact));
+  if (exact > 0) {
+    EXPECT_GE(SquaredLbKeoghEarlyAbandon(env, c.data(), exact / 2),
+              exact / 2 * (1 - 1e-5f));
+  }
+}
+
+// Pipeline property: summary filter -> LB_Keogh -> DTW must be a chain of
+// lower bounds on real data (the exactness invariant of the DTW extension).
+TEST(LbKeoghTest, BoundChainOnRealisticData) {
+  const SeriesCollection data = GenerateSeismicLike(100, 64, 23);
+  const SeriesCollection queries = GenerateSeismicLike(5, 64, 29);
+  const size_t w = WarpingWindowFromFraction(64, 0.05);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Envelope env = BuildEnvelope(queries.data(qi), 64, w);
+    for (size_t i = 0; i < data.size(); ++i) {
+      const float lb = SquaredLbKeogh(env, data.data(i));
+      const float dtw = SquaredDtw(queries.data(qi), data.data(i), 64, w);
+      ASSERT_LE(lb, dtw * (1 + 1e-5f) + 1e-6f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odyssey

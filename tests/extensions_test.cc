@@ -1,0 +1,458 @@
+// Tests for the extension features (approximate mode, k-NN + DTW combined
+// with stealing) and boundary conditions (k > chunk, fewer queries than
+// nodes, tiny chunks), plus a randomized exactness fuzz sweep.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/core/driver.h"
+#include "src/index/serialize.h"
+#include "src/dataset/generators.h"
+#include "src/dataset/workload.h"
+#include "src/distance/dtw.h"
+#include "src/index/query_engine.h"
+#include "tests/testing_utils.h"
+
+namespace odyssey {
+namespace {
+
+using testing_utils::BruteForceKnn;
+using testing_utils::BruteForceKnnDtw;
+using testing_utils::NearlyEqual;
+
+IndexOptions TestIndexOptions(size_t length = 64) {
+  IndexOptions options;
+  options.config = IsaxConfig(length, 8);
+  options.leaf_capacity = 32;
+  return options;
+}
+
+// ------------------------------------------------------ Approximate mode
+
+TEST(ApproximateModeTest, NeverBeatsExactAndOftenMatches) {
+  const SeriesCollection data = GenerateSeismicLike(2000, 64, 103);
+  const Index index = Index::Build(SeriesCollection(data), TestIndexOptions());
+  const SeriesCollection queries = GenerateUniformQueries(data, 20, 0.05, 105);
+  int exact_hits = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryOptions qo;
+    qo.approximate = true;
+    QueryExecution exec(&index, queries.data(q), qo);
+    exec.Initialize();
+    exec.Run();
+    const auto got = exec.results().SortedResults();
+    ASSERT_EQ(got.size(), 1u);
+    const float exact =
+        BruteForceKnn(data, queries.data(q), 1)[0].squared_distance;
+    EXPECT_GE(got[0].squared_distance * (1 + 1e-5f), exact);
+    exact_hits += NearlyEqual(got[0].squared_distance, exact);
+  }
+  // iSAX approximate search is known to be accurate for low-noise queries:
+  // a majority of answers should already be exact.
+  EXPECT_GE(exact_hits, 10);
+}
+
+TEST(ApproximateModeTest, MemberQueryIsFoundExactly) {
+  const SeriesCollection data = GenerateRandomWalk(1000, 64, 107);
+  const Index index = Index::Build(SeriesCollection(data), TestIndexOptions());
+  for (uint32_t probe : {3u, 500u, 999u}) {
+    QueryOptions qo;
+    qo.approximate = true;
+    QueryExecution exec(&index, data.data(probe), qo);
+    exec.Initialize();
+    exec.Run();
+    EXPECT_EQ(exec.results().SortedResults()[0].squared_distance, 0.0f);
+  }
+}
+
+TEST(ApproximateModeTest, KnnFillsFromBestLeaf) {
+  const SeriesCollection data = GenerateRandomWalk(3000, 64, 109);
+  IndexOptions options = TestIndexOptions();
+  options.leaf_capacity = 64;
+  const Index index = Index::Build(SeriesCollection(data), options);
+  const SeriesCollection queries = GenerateUniformQueries(data, 5, 0.5, 111);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryOptions qo;
+    qo.approximate = true;
+    qo.k = 10;
+    QueryExecution exec(&index, queries.data(q), qo);
+    exec.Initialize();
+    exec.Run();
+    const auto got = exec.results().SortedResults();
+    EXPECT_GE(got.size(), 1u);
+    EXPECT_LE(got.size(), 10u);
+    // Candidates are sorted and every one lower-bounds nothing (they are
+    // real distances, so each must be >= the true i-th neighbor distance).
+    const auto exact = BruteForceKnn(data, queries.data(q), 10);
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_GE(got[i].squared_distance * (1 + 1e-5f),
+                exact[i].squared_distance);
+      if (i > 0) {
+        EXPECT_GE(got[i].squared_distance, got[i - 1].squared_distance);
+      }
+    }
+  }
+}
+
+TEST(ApproximateModeTest, DistributedApproximateIsValidUpperBound) {
+  const SeriesCollection data = GenerateSeismicLike(2000, 64, 113);
+  const SeriesCollection queries = GenerateUniformQueries(data, 10, 0.5, 115);
+  OdysseyOptions options;
+  options.num_nodes = 4;
+  options.num_groups = 2;
+  options.index_options = TestIndexOptions();
+  options.query_options.approximate = true;
+  OdysseyCluster cluster(data, options);
+  const BatchReport report = cluster.AnswerBatch(queries);
+  ASSERT_EQ(report.answers.size(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const float exact =
+        BruteForceKnn(data, queries.data(q), 1)[0].squared_distance;
+    ASSERT_FALSE(report.answers[q].empty());
+    EXPECT_GE(report.answers[q][0].squared_distance * (1 + 1e-5f), exact);
+  }
+}
+
+// -------------------------------------------------------- Boundary cases
+
+TEST(BoundaryTest, KLargerThanCollectionReturnsEverything) {
+  const SeriesCollection data = GenerateRandomWalk(40, 64, 117);
+  const Index index = Index::Build(SeriesCollection(data), TestIndexOptions());
+  const SeriesCollection queries = GenerateUniformQueries(data, 2, 1.0, 119);
+  QueryOptions qo;
+  qo.k = 100;  // more than the 40 series available
+  QueryExecution exec(&index, queries.data(0), qo);
+  exec.Initialize();
+  exec.Run();
+  const auto got = exec.results().SortedResults();
+  EXPECT_EQ(got.size(), 40u);
+  const auto exact = BruteForceKnn(data, queries.data(0), 40);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(
+        NearlyEqual(got[i].squared_distance, exact[i].squared_distance));
+  }
+}
+
+TEST(BoundaryTest, FewerQueriesThanNodes) {
+  const SeriesCollection data = GenerateRandomWalk(800, 64, 121);
+  const SeriesCollection queries = GenerateUniformQueries(data, 2, 1.0, 123);
+  for (SchedulingPolicy policy :
+       {SchedulingPolicy::kStatic, SchedulingPolicy::kDynamic,
+        SchedulingPolicy::kPredictDynamic}) {
+    OdysseyOptions options;
+    options.num_nodes = 6;
+    options.num_groups = 1;
+    options.index_options = TestIndexOptions();
+    options.scheduling = policy;
+    OdysseyCluster cluster(data, options);
+    const BatchReport report = cluster.AnswerBatch(queries);
+    ASSERT_EQ(report.answers.size(), 2u);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const float exact =
+          BruteForceKnn(data, queries.data(q), 1)[0].squared_distance;
+      EXPECT_TRUE(
+          NearlyEqual(report.answers[q][0].squared_distance, exact))
+          << SchedulingPolicyToString(policy);
+    }
+  }
+}
+
+TEST(BoundaryTest, SingleQuerySingleNode) {
+  const SeriesCollection data = GenerateRandomWalk(300, 64, 125);
+  const SeriesCollection queries = GenerateUniformQueries(data, 1, 1.0, 127);
+  OdysseyOptions options;
+  options.num_nodes = 1;
+  options.num_groups = 1;
+  options.index_options = TestIndexOptions();
+  OdysseyCluster cluster(data, options);
+  const BatchReport report = cluster.AnswerBatch(queries);
+  const float exact =
+      BruteForceKnn(data, queries.data(0), 1)[0].squared_distance;
+  EXPECT_TRUE(NearlyEqual(report.answers[0][0].squared_distance, exact));
+}
+
+TEST(BoundaryTest, ChunkSmallerThanLeafCapacity) {
+  const SeriesCollection data = GenerateRandomWalk(64, 64, 129);
+  IndexOptions options = TestIndexOptions();
+  options.leaf_capacity = 1024;  // the whole chunk fits in root leaves
+  const Index index = Index::Build(SeriesCollection(data), options);
+  const SeriesCollection queries = GenerateUniformQueries(data, 5, 2.0, 131);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryOptions qo;
+    qo.num_threads = 2;
+    QueryExecution exec(&index, queries.data(q), qo);
+    exec.Initialize();
+    exec.Run();
+    const float exact =
+        BruteForceKnn(data, queries.data(q), 1)[0].squared_distance;
+    EXPECT_TRUE(NearlyEqual(
+        exec.results().SortedResults()[0].squared_distance, exact));
+  }
+}
+
+TEST(BoundaryTest, LeafCapacityOneStillExact) {
+  const SeriesCollection data = GenerateRandomWalk(300, 64, 133);
+  IndexOptions options = TestIndexOptions();
+  options.leaf_capacity = 1;  // maximally deep tree, oversized leaves at
+                              // full refinement
+  const Index index = Index::Build(SeriesCollection(data), options);
+  const SeriesCollection queries = GenerateUniformQueries(data, 5, 1.5, 135);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryOptions qo;
+    qo.num_threads = 2;
+    QueryExecution exec(&index, queries.data(q), qo);
+    exec.Initialize();
+    exec.Run();
+    const float exact =
+        BruteForceKnn(data, queries.data(q), 1)[0].squared_distance;
+    EXPECT_TRUE(NearlyEqual(
+        exec.results().SortedResults()[0].squared_distance, exact));
+  }
+}
+
+// ----------------------------------------- Combined extensions + stealing
+
+TEST(CombinedTest, KnnDtwDistributedWithStealing) {
+  const SeriesCollection data = GenerateSeismicLike(700, 64, 137);
+  const SeriesCollection queries = GenerateUniformQueries(data, 4, 1.0, 139);
+  const size_t window = WarpingWindowFromFraction(64, 0.05);
+  OdysseyOptions options;
+  options.num_nodes = 4;
+  options.num_groups = 1;
+  options.index_options = TestIndexOptions();
+  options.scheduling = SchedulingPolicy::kDynamic;
+  options.worksteal.enabled = true;
+  options.query_options.num_threads = 2;
+  options.query_options.k = 3;
+  options.query_options.use_dtw = true;
+  options.query_options.dtw_window = window;
+  OdysseyCluster cluster(data, options);
+  const BatchReport report = cluster.AnswerBatch(queries);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const auto exact = BruteForceKnnDtw(data, queries.data(q), 3, window);
+    ASSERT_EQ(report.answers[q].size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_TRUE(NearlyEqual(report.answers[q][i].squared_distance,
+                              exact[i].squared_distance))
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+// --------------------------------------------------------- Fuzz sweeps
+
+class FuzzExactnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzExactnessTest, RandomConfigurationIsExact) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const size_t length = 32 + 16 * rng.NextBounded(6);        // 32..112
+  const size_t count = 400 + rng.NextBounded(1200);          // 400..1600
+  const int segments = 4 + static_cast<int>(rng.NextBounded(8));  // 4..11
+  const int nodes_pool[] = {1, 2, 3, 4, 6};
+  const int nodes = nodes_pool[rng.NextBounded(5)];
+  std::vector<int> divisors;
+  for (int g = 1; g <= nodes; ++g) {
+    if (nodes % g == 0) divisors.push_back(g);
+  }
+  const int groups = divisors[rng.NextBounded(divisors.size())];
+
+  SeriesCollection data = (seed % 2 == 0)
+                              ? GenerateRandomWalk(count, length, seed)
+                              : GenerateSeismicLike(count, length, seed);
+  const SeriesCollection queries =
+      GenerateUniformQueries(data, 4, 0.2 + 2.0 * rng.NextDouble(), seed + 1);
+
+  OdysseyOptions options;
+  options.num_nodes = nodes;
+  options.num_groups = groups;
+  options.index_options.config = IsaxConfig(length, segments);
+  options.index_options.leaf_capacity = 8 + rng.NextBounded(120);
+  options.partitioning = static_cast<PartitioningScheme>(rng.NextBounded(3));
+  options.scheduling = static_cast<SchedulingPolicy>(rng.NextBounded(5));
+  options.worksteal.enabled = rng.NextBounded(2) == 1;
+  options.query_options.num_threads = 1 + static_cast<int>(rng.NextBounded(3));
+  options.query_options.k = 1 + static_cast<int>(rng.NextBounded(4));
+  options.query_options.queue_threshold = rng.NextBounded(2) ? 16 : 0;
+  options.seed = seed;
+  OdysseyCluster cluster(data, options);
+  const BatchReport report = cluster.AnswerBatch(queries);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const auto exact =
+        BruteForceKnn(data, queries.data(q), options.query_options.k);
+    ASSERT_EQ(report.answers[q].size(), exact.size()) << "seed " << seed;
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_TRUE(NearlyEqual(report.answers[q][i].squared_distance,
+                              exact[i].squared_distance))
+          << "seed " << seed << " query " << q << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzExactnessTest,
+                         ::testing::Range<uint64_t>(1000, 1016));
+
+// --------------------------------------------------------- Serialization
+
+std::string FingerprintTree(const TreeNode* node) {
+  if (node->is_leaf()) {
+    std::string out = "L(" + node->word().ToString() + ":";
+    for (uint32_t id : node->ids()) out += std::to_string(id) + ",";
+    return out + ")";
+  }
+  return "I(" + node->word().ToString() + "#" +
+         std::to_string(node->split_segment()) +
+         FingerprintTree(node->left()) + FingerprintTree(node->right()) + ")";
+}
+
+TEST(SerializeTest, RoundTripIsBitIdentical) {
+  const SeriesCollection data = GenerateSeismicLike(1500, 64, 141);
+  const Index built = Index::Build(SeriesCollection(data), TestIndexOptions());
+  const std::string path = ::testing::TempDir() + "/odyssey_index.odix";
+  ASSERT_TRUE(SaveIndexToFile(built, path).ok());
+  StatusOr<Index> loaded = LoadIndexFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->data().size(), built.data().size());
+  ASSERT_EQ(loaded->tree().root_count(), built.tree().root_count());
+  for (size_t r = 0; r < built.tree().root_count(); ++r) {
+    ASSERT_EQ(loaded->tree().root_key(r), built.tree().root_key(r));
+    ASSERT_EQ(FingerprintTree(loaded->tree().root(r)),
+              FingerprintTree(built.tree().root(r)));
+  }
+  // The loaded index answers queries exactly.
+  const SeriesCollection queries = GenerateUniformQueries(data, 5, 1.5, 143);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryOptions qo;
+    qo.num_threads = 2;
+    QueryExecution exec(&*loaded, queries.data(q), qo);
+    exec.Initialize();
+    exec.Run();
+    const float exact =
+        BruteForceKnn(data, queries.data(q), 1)[0].squared_distance;
+    EXPECT_TRUE(NearlyEqual(
+        exec.results().SortedResults()[0].squared_distance, exact));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadedIndexIsAValidStealReplica) {
+  // A node that loads a snapshot must be able to run RS-batches stolen from
+  // a node that built the same chunk from scratch.
+  const SeriesCollection data = GenerateSeismicLike(1200, 64, 145);
+  const Index built = Index::Build(SeriesCollection(data), TestIndexOptions());
+  const std::string path = ::testing::TempDir() + "/odyssey_replica.odix";
+  ASSERT_TRUE(SaveIndexToFile(built, path).ok());
+  StatusOr<Index> loaded = LoadIndexFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  const SeriesCollection queries = GenerateUniformQueries(data, 3, 2.0, 147);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryOptions qo;
+    qo.num_threads = 2;
+    qo.num_batches = 8;
+    QueryExecution victim(&built, queries.data(q), qo);
+    QueryExecution thief(&*loaded, queries.data(q), qo);
+    victim.Initialize();
+    thief.Initialize();
+    std::vector<int> va, th;
+    for (int b = 0; b < 8; ++b) (b < 4 ? va : th).push_back(b);
+    victim.RunBatchSubset(va);
+    thief.RunBatchSubset(th);
+    float best = std::numeric_limits<float>::infinity();
+    for (const auto& n : victim.results().SortedResults()) {
+      best = std::min(best, n.squared_distance);
+    }
+    for (const auto& n : thief.results().SortedResults()) {
+      best = std::min(best, n.squared_distance);
+    }
+    const float exact =
+        BruteForceKnn(data, queries.data(q), 1)[0].squared_distance;
+    EXPECT_TRUE(NearlyEqual(best, exact)) << "query " << q;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsMissingAndCorruptFiles) {
+  EXPECT_FALSE(LoadIndexFromFile("/nonexistent/index.odix").ok());
+  const std::string path = ::testing::TempDir() + "/odyssey_corrupt.odix";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char garbage[32] = {'X'};
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+  const StatusOr<Index> result = LoadIndexFromFile(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedFileFailsCleanly) {
+  const SeriesCollection data = GenerateRandomWalk(400, 64, 149);
+  const Index built = Index::Build(SeriesCollection(data), TestIndexOptions());
+  const std::string path = ::testing::TempDir() + "/odyssey_trunc.odix";
+  ASSERT_TRUE(SaveIndexToFile(built, path).ok());
+  // Truncate to 60% and expect a clean error (no crash, no partial index).
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), full * 6 / 10), 0);
+  const StatusOr<Index> result = LoadIndexFromFile(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- Streaming
+
+TEST(StreamingTest, DynamicallyArrivingQueriesStayExact) {
+  const SeriesCollection data = GenerateSeismicLike(1500, 64, 151);
+  const SeriesCollection queries = GenerateUniformQueries(data, 10, 1.5, 153);
+  std::vector<double> arrivals;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    arrivals.push_back(0.004 * static_cast<double>(q));  // 4 ms apart
+  }
+  OdysseyOptions options;
+  options.num_nodes = 4;
+  options.num_groups = 2;
+  options.index_options = TestIndexOptions();
+  options.worksteal.enabled = true;
+  options.query_options.num_threads = 2;
+  OdysseyCluster cluster(data, options);
+  const BatchReport report = cluster.AnswerStream(queries, arrivals);
+  ASSERT_EQ(report.answers.size(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const float exact =
+        BruteForceKnn(data, queries.data(q), 1)[0].squared_distance;
+    EXPECT_TRUE(NearlyEqual(report.answers[q][0].squared_distance, exact))
+        << "query " << q;
+  }
+  // The stream cannot finish before its last arrival.
+  EXPECT_GE(report.query_seconds, arrivals.back());
+}
+
+TEST(StreamingTest, AllAtOnceStreamEqualsBatch) {
+  const SeriesCollection data = GenerateRandomWalk(800, 64, 155);
+  const SeriesCollection queries = GenerateUniformQueries(data, 6, 1.0, 157);
+  OdysseyOptions options;
+  options.num_nodes = 2;
+  options.num_groups = 1;
+  options.index_options = TestIndexOptions();
+  options.scheduling = SchedulingPolicy::kDynamic;
+  OdysseyCluster cluster(data, options);
+  const BatchReport stream =
+      cluster.AnswerStream(queries, std::vector<double>(queries.size(), 0.0));
+  const BatchReport batch = cluster.AnswerBatch(queries);
+  ASSERT_EQ(stream.answers.size(), batch.answers.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_TRUE(NearlyEqual(stream.answers[q][0].squared_distance,
+                            batch.answers[q][0].squared_distance));
+    EXPECT_EQ(stream.answers[q][0].id, batch.answers[q][0].id);
+  }
+}
+
+}  // namespace
+}  // namespace odyssey

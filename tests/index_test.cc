@@ -1,0 +1,528 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/dataset/generators.h"
+#include "src/dataset/workload.h"
+#include "src/distance/dtw.h"
+#include "src/index/approx_search.h"
+#include "src/index/buffers.h"
+#include "src/index/builder.h"
+#include "src/index/pqueue.h"
+#include "src/index/query_engine.h"
+#include "src/index/rs_batch.h"
+#include "src/index/threshold_model.h"
+#include "tests/testing_utils.h"
+
+namespace odyssey {
+namespace {
+
+using testing_utils::BruteForceKnn;
+using testing_utils::BruteForceKnnDtw;
+using testing_utils::NearlyEqual;
+
+IndexOptions SmallOptions(size_t length, int segments = 8,
+                          size_t leaf_capacity = 32) {
+  IndexOptions options;
+  options.config = IsaxConfig(length, segments);
+  options.leaf_capacity = leaf_capacity;
+  return options;
+}
+
+// ---------------------------------------------------------------- Buffers
+
+TEST(BuffersTest, SaxTableHasOneRowPerSeries) {
+  const IsaxConfig config(64, 8);
+  const SeriesCollection data = GenerateRandomWalk(100, 64, 1);
+  ThreadPool pool(4);
+  const std::vector<uint8_t> table = ComputeSaxTable(data, config, &pool);
+  EXPECT_EQ(table.size(), 100u * 8u);
+  // Parallel result matches serial.
+  const std::vector<uint8_t> serial = ComputeSaxTable(data, config, nullptr);
+  EXPECT_EQ(table, serial);
+}
+
+TEST(BuffersTest, GroupsCoverAllSeriesByKey) {
+  const IsaxConfig config(64, 8);
+  const SeriesCollection data = GenerateRandomWalk(500, 64, 2);
+  const std::vector<uint8_t> table = ComputeSaxTable(data, config, nullptr);
+  const SummarizationBuffers buffers =
+      BuildBuffers(table, data.size(), config, nullptr);
+  size_t total = 0;
+  for (size_t b = 0; b < buffers.buffer_count(); ++b) {
+    if (b > 0) EXPECT_LT(buffers.keys[b - 1], buffers.keys[b]);
+    uint32_t prev = 0;
+    bool first = true;
+    for (uint32_t id : buffers.series[b]) {
+      EXPECT_EQ(RootKey(table.data() + id * 8, config), buffers.keys[b]);
+      if (!first) EXPECT_LT(prev, id);  // ascending ids (determinism)
+      prev = id;
+      first = false;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, data.size());
+}
+
+// ----------------------------------------------------------------- Tree
+
+TEST(TreeTest, BuildConservesSeries) {
+  const SeriesCollection data = GenerateRandomWalk(2000, 64, 3);
+  BuildTimings timings;
+  ThreadPool pool(4);
+  const Index index =
+      Index::Build(SeriesCollection(data), SmallOptions(64), &pool, &timings);
+  const IndexTree::Stats stats = index.tree().ComputeStats();
+  EXPECT_EQ(stats.series, 2000u);
+  EXPECT_GT(stats.roots, 0u);
+  EXPECT_GE(stats.nodes, stats.leaves);
+  EXPECT_GE(timings.buffer_seconds, 0.0);
+  EXPECT_GE(timings.tree_seconds, 0.0);
+}
+
+TEST(TreeTest, LeavesRespectCapacityUnlessFullyRefined) {
+  const SeriesCollection data = GenerateRandomWalk(3000, 64, 5);
+  const IndexOptions options = SmallOptions(64, 8, 16);
+  const Index index = Index::Build(SeriesCollection(data), options);
+  std::function<void(const TreeNode*)> visit = [&](const TreeNode* node) {
+    if (node->is_leaf()) {
+      bool fully_refined = true;
+      for (uint8_t bits : node->word().bits) {
+        fully_refined &= (bits == kMaxSaxBits);
+      }
+      if (!fully_refined) EXPECT_LE(node->ids().size(), options.leaf_capacity);
+      return;
+    }
+    visit(node->left());
+    visit(node->right());
+  };
+  for (size_t r = 0; r < index.tree().root_count(); ++r) {
+    visit(index.tree().root(r));
+  }
+}
+
+TEST(TreeTest, EverySeriesLandsInAMatchingLeaf) {
+  const SeriesCollection data = GenerateRandomWalk(800, 64, 7);
+  const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
+  std::vector<bool> seen(data.size(), false);
+  std::function<void(const TreeNode*)> visit = [&](const TreeNode* node) {
+    if (node->is_leaf()) {
+      for (size_t i = 0; i < node->ids().size(); ++i) {
+        const uint32_t id = node->ids()[i];
+        EXPECT_FALSE(seen[id]);
+        seen[id] = true;
+        EXPECT_TRUE(node->word().Matches(index.sax(id), index.config()));
+      }
+      return;
+    }
+    visit(node->left());
+    visit(node->right());
+  };
+  for (size_t r = 0; r < index.tree().root_count(); ++r) {
+    visit(index.tree().root(r));
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+std::string TreeFingerprint(const TreeNode* node) {
+  if (node->is_leaf()) {
+    std::string out = "L(" + node->word().ToString() + ":";
+    for (uint32_t id : node->ids()) out += std::to_string(id) + ",";
+    return out + ")";
+  }
+  return "I(" + node->word().ToString() + TreeFingerprint(node->left()) +
+         TreeFingerprint(node->right()) + ")";
+}
+
+TEST(TreeTest, ReplicaDeterminism) {
+  // Two indexes built from the same chunk — even with different thread
+  // counts — must be bit-identical. Work-stealing correctness rests on this.
+  const SeriesCollection data = GenerateSeismicLike(1500, 64, 9);
+  ThreadPool pool_a(1), pool_b(8);
+  const Index a = Index::Build(SeriesCollection(data), SmallOptions(64), &pool_a);
+  const Index b = Index::Build(SeriesCollection(data), SmallOptions(64), &pool_b);
+  ASSERT_EQ(a.tree().root_count(), b.tree().root_count());
+  for (size_t r = 0; r < a.tree().root_count(); ++r) {
+    ASSERT_EQ(a.tree().root_key(r), b.tree().root_key(r));
+    ASSERT_EQ(TreeFingerprint(a.tree().root(r)),
+              TreeFingerprint(b.tree().root(r)));
+  }
+}
+
+TEST(TreeTest, FindRoot) {
+  const SeriesCollection data = GenerateRandomWalk(300, 64, 11);
+  const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
+  const IndexTree& tree = index.tree();
+  for (size_t r = 0; r < tree.root_count(); ++r) {
+    EXPECT_EQ(tree.FindRoot(tree.root_key(r)), static_cast<int>(r));
+  }
+  // A key of no series (if any exists in the 8-bit space) returns -1.
+  for (uint32_t key = 0; key < 256; ++key) {
+    if (tree.FindRoot(key) < 0) {
+      SUCCEED();
+      return;
+    }
+  }
+}
+
+TEST(TreeTest, MemoryAccountingIsPositive) {
+  const SeriesCollection data = GenerateRandomWalk(500, 64, 13);
+  const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
+  EXPECT_GT(index.IndexMemoryBytes(), 500u * 8u);  // at least the SAX table
+  EXPECT_GE(index.DataMemoryBytes(), 500u * 64u * sizeof(float));
+}
+
+// --------------------------------------------------------- ApproxSearch
+
+TEST(ApproxSearchTest, ReturnsARealDistanceAboveExact) {
+  const SeriesCollection data = GenerateRandomWalk(1000, 64, 15);
+  const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
+  const SeriesCollection queries = GenerateUniformQueries(data, 20, 1.0, 17);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const IsaxConfig& config = index.config();
+    std::vector<double> paa(config.segments());
+    std::vector<uint8_t> sax(config.segments());
+    ComputePaa(queries.data(q), config.paa, paa.data());
+    ComputeSax(queries.data(q), config, sax.data());
+    uint32_t id = 0;
+    const float approx = ApproximateSearchSquared(index, queries.data(q),
+                                                  paa.data(), sax.data(), &id);
+    const float actual =
+        SquaredEuclidean(queries.data(q), data.data(id), 64);
+    EXPECT_TRUE(NearlyEqual(approx, actual));
+    const float exact = BruteForceKnn(data, queries.data(q), 1)[0]
+                            .squared_distance;
+    EXPECT_GE(approx * (1 + 1e-5f), exact);
+  }
+}
+
+TEST(ApproxSearchTest, FindsExactMatchForDatasetMember) {
+  const SeriesCollection data = GenerateRandomWalk(500, 64, 19);
+  const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
+  // Querying with a member itself must return distance 0 (its own leaf).
+  for (uint32_t probe : {0u, 100u, 499u}) {
+    const IsaxConfig& config = index.config();
+    std::vector<double> paa(config.segments());
+    std::vector<uint8_t> sax(config.segments());
+    ComputePaa(data.data(probe), config.paa, paa.data());
+    ComputeSax(data.data(probe), config, sax.data());
+    EXPECT_EQ(ApproximateSearchSquared(index, data.data(probe), paa.data(),
+                                       sax.data()),
+              0.0f);
+  }
+}
+
+// --------------------------------------------------------------- PQueue
+
+TEST(PqueueTest, PopsInAscendingOrder) {
+  BoundedPq pq(0);
+  for (float lb : {5.0f, 1.0f, 3.0f, 2.0f, 4.0f}) pq.Push({lb, nullptr});
+  EXPECT_EQ(pq.MinLowerBound(), 1.0f);
+  float prev = -1.0f;
+  while (!pq.empty()) {
+    const PqItem item = pq.Pop();
+    EXPECT_GE(item.lower_bound, prev);
+    prev = item.lower_bound;
+  }
+}
+
+TEST(PqueueTest, ReportsFullAtCapacity) {
+  BoundedPq pq(3);
+  EXPECT_FALSE(pq.Push({1.0f, nullptr}));
+  EXPECT_FALSE(pq.Push({2.0f, nullptr}));
+  EXPECT_TRUE(pq.Push({3.0f, nullptr}));  // reached TH
+  EXPECT_EQ(pq.size(), 3u);
+}
+
+TEST(PqueueTest, UnboundedNeverReportsFull) {
+  BoundedPq pq(0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(pq.Push({static_cast<float>(i), nullptr}));
+  }
+}
+
+// -------------------------------------------------------------- RsBatch
+
+TEST(RsBatchTest, PartitionCoversAllRootsContiguously) {
+  for (size_t roots : {1u, 7u, 64u, 100u}) {
+    for (size_t batches : {1u, 4u, 8u, 128u}) {
+      const auto ranges = PartitionRsBatches(roots, batches);
+      ASSERT_EQ(ranges.size(), batches);
+      size_t covered = 0;
+      for (const auto& [begin, end] : ranges) {
+        EXPECT_EQ(begin, covered);
+        covered = end;
+      }
+      EXPECT_EQ(covered, roots);
+    }
+  }
+}
+
+// ------------------------------------------------------- ThresholdModel
+
+TEST(ThresholdModelTest, CalibrateAndPredict) {
+  ThresholdModel model;
+  EXPECT_FALSE(model.calibrated());
+  // Synthetic monotone relation between initial BSF and median queue size.
+  std::vector<double> bsf, sizes;
+  for (double z = 1.0; z <= 10.0; z += 0.5) {
+    bsf.push_back(z);
+    sizes.push_back(20.0 + 400.0 / (1.0 + std::exp(-(z - 5.0))));
+  }
+  ASSERT_TRUE(model.Calibrate(bsf, sizes).ok());
+  EXPECT_TRUE(model.calibrated());
+  model.set_division_factor(16.0);
+  const size_t lo = model.PredictThreshold(1.0);
+  const size_t hi = model.PredictThreshold(10.0);
+  EXPECT_GE(lo, 1u);
+  EXPECT_GE(hi, lo);
+  // Division factor scales the prediction down.
+  model.set_division_factor(1.0);
+  EXPECT_GT(model.PredictThreshold(10.0), hi);
+}
+
+TEST(ThresholdModelTest, RejectsTooFewSamples) {
+  ThresholdModel model;
+  EXPECT_FALSE(model.Calibrate({1, 2}, {1, 2}).ok());
+}
+
+// --------------------------------------------------------- QueryEngine
+
+TEST(KnnSetTest, SingleBestBehavesLikeBsf) {
+  KnnSet set(1);
+  EXPECT_EQ(set.Threshold(), std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(set.Offer(10.0f, 1));
+  EXPECT_EQ(set.Threshold(), 10.0f);
+  EXPECT_FALSE(set.Offer(20.0f, 2));
+  EXPECT_TRUE(set.Offer(5.0f, 3));
+  EXPECT_EQ(set.Threshold(), 5.0f);
+  const auto results = set.SortedResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 3u);
+}
+
+TEST(KnnSetTest, KeepsKSmallest) {
+  KnnSet set(3);
+  for (uint32_t i = 0; i < 10; ++i) {
+    set.Offer(static_cast<float>(10 - i), i);
+  }
+  const auto results = set.SortedResults();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].squared_distance, 1.0f);
+  EXPECT_EQ(results[1].squared_distance, 2.0f);
+  EXPECT_EQ(results[2].squared_distance, 3.0f);
+  EXPECT_EQ(set.Threshold(), 3.0f);
+}
+
+TEST(KnnSetTest, ThresholdInfiniteUntilFull) {
+  KnnSet set(4);
+  set.Offer(1.0f, 0);
+  set.Offer(2.0f, 1);
+  set.Offer(3.0f, 2);
+  EXPECT_EQ(set.Threshold(), std::numeric_limits<float>::infinity());
+  set.Offer(4.0f, 3);
+  EXPECT_EQ(set.Threshold(), 4.0f);
+}
+
+TEST(AtomicFetchMinFloatTest, LowersOnlyWhenSmaller) {
+  std::atomic<float> cell{10.0f};
+  EXPECT_FALSE(AtomicFetchMinFloat(&cell, 12.0f));
+  EXPECT_EQ(cell.load(), 10.0f);
+  EXPECT_TRUE(AtomicFetchMinFloat(&cell, 7.0f));
+  EXPECT_EQ(cell.load(), 7.0f);
+  EXPECT_FALSE(AtomicFetchMinFloat(&cell, 7.0f));
+}
+
+struct ExactCase {
+  const char* name;
+  int threads;
+  int k;
+  size_t queue_threshold;
+  size_t num_batches;
+};
+
+class ExactSearchTest : public ::testing::TestWithParam<ExactCase> {};
+
+TEST_P(ExactSearchTest, MatchesBruteForce) {
+  const ExactCase param = GetParam();
+  const SeriesCollection data = GenerateSeismicLike(3000, 64, 21);
+  const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
+  WorkloadOptions wl;
+  wl.count = 12;
+  wl.min_noise = 0.1;
+  wl.max_noise = 2.5;
+  wl.seed = 23;
+  const SeriesCollection queries = GenerateQueries(data, wl);
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryOptions options;
+    options.num_threads = param.threads;
+    options.k = param.k;
+    options.queue_threshold = param.queue_threshold;
+    options.num_batches = param.num_batches;
+    QueryExecution exec(&index, queries.data(q), options);
+    const float initial = exec.Initialize();
+    EXPECT_GE(initial, 0.0f);
+    exec.Run();
+    const auto got = exec.results().SortedResults();
+    const auto expected = BruteForceKnn(data, queries.data(q), param.k);
+    ASSERT_EQ(got.size(), expected.size()) << "query " << q;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_TRUE(NearlyEqual(got[i].squared_distance,
+                              expected[i].squared_distance))
+          << "query " << q << " rank " << i << ": got "
+          << got[i].squared_distance << " want "
+          << expected[i].squared_distance;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExactSearchTest,
+    ::testing::Values(ExactCase{"t1_k1", 1, 1, 0, 0},
+                      ExactCase{"t2_k1", 2, 1, 0, 0},
+                      ExactCase{"t4_k1", 4, 1, 0, 0},
+                      ExactCase{"t4_k5", 4, 5, 0, 0},
+                      ExactCase{"t4_k1_th8", 4, 1, 8, 0},
+                      ExactCase{"t2_k5_th4", 2, 5, 4, 0},
+                      ExactCase{"t4_k1_b16", 4, 1, 0, 16},
+                      ExactCase{"t1_k5_b2", 1, 5, 0, 2}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ExactSearchTest, DtwMatchesBruteForce) {
+  const SeriesCollection data = GenerateSeismicLike(800, 64, 25);
+  const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
+  const SeriesCollection queries = GenerateUniformQueries(data, 6, 1.0, 27);
+  const size_t window = WarpingWindowFromFraction(64, 0.05);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryOptions options;
+    options.num_threads = 4;
+    options.use_dtw = true;
+    options.dtw_window = window;
+    QueryExecution exec(&index, queries.data(q), options);
+    exec.Initialize();
+    exec.Run();
+    const auto got = exec.results().SortedResults();
+    const auto expected = BruteForceKnnDtw(data, queries.data(q), 1, window);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_TRUE(
+        NearlyEqual(got[0].squared_distance, expected[0].squared_distance))
+        << got[0].squared_distance << " vs " << expected[0].squared_distance;
+  }
+}
+
+TEST(ExactSearchTest, DtwKnnMatchesBruteForce) {
+  const SeriesCollection data = GenerateRandomWalk(600, 64, 29);
+  const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
+  const SeriesCollection queries = GenerateUniformQueries(data, 4, 1.5, 31);
+  const size_t window = WarpingWindowFromFraction(64, 0.1);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryOptions options;
+    options.num_threads = 2;
+    options.k = 5;
+    options.use_dtw = true;
+    options.dtw_window = window;
+    QueryExecution exec(&index, queries.data(q), options);
+    exec.Initialize();
+    exec.Run();
+    const auto got = exec.results().SortedResults();
+    const auto expected = BruteForceKnnDtw(data, queries.data(q), 5, window);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_TRUE(NearlyEqual(got[i].squared_distance,
+                              expected[i].squared_distance));
+    }
+  }
+}
+
+TEST(ExactSearchTest, SharedBsfCellAcceleratesAndStaysExact) {
+  const SeriesCollection data = GenerateRandomWalk(1500, 64, 33);
+  const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
+  const SeriesCollection queries = GenerateUniformQueries(data, 5, 1.0, 35);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const float exact = BruteForceKnn(data, queries.data(q), 1)[0]
+                            .squared_distance;
+    // Seed the shared cell with a tight-but-valid external bound, as BSF
+    // sharing would.
+    std::atomic<float> cell{exact * 1.01f + 1e-3f};
+    std::atomic<int> improvements{0};
+    QueryOptions options;
+    options.num_threads = 2;
+    QueryExecution exec(&index, queries.data(q), options, &cell,
+                        [&](float) { improvements.fetch_add(1); });
+    exec.Initialize();
+    exec.Run();
+    const auto got = exec.results().SortedResults();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_TRUE(NearlyEqual(got[0].squared_distance, exact));
+  }
+}
+
+TEST(ExactSearchTest, StatsArePopulated) {
+  const SeriesCollection data = GenerateRandomWalk(1000, 64, 37);
+  const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
+  const SeriesCollection queries = GenerateUniformQueries(data, 1, 2.0, 39);
+  QueryOptions options;
+  options.num_threads = 2;
+  QueryExecution exec(&index, queries.data(0), options);
+  exec.Initialize();
+  exec.Run();
+  const QueryStats stats = exec.stats();
+  EXPECT_GT(stats.initial_bsf, 0.0);
+  EXPECT_GT(stats.real_distances, 0u);
+  EXPECT_GE(stats.leaves_inserted, stats.leaves_processed > 0 ? 1u : 0u);
+  EXPECT_GT(stats.elapsed_seconds, 0.0);
+}
+
+TEST(ExactSearchTest, StealBatchesOutsideProcessingIsEmpty) {
+  const SeriesCollection data = GenerateRandomWalk(500, 64, 41);
+  const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
+  const SeriesCollection queries = GenerateUniformQueries(data, 1, 1.0, 43);
+  QueryOptions options;
+  options.num_threads = 1;
+  QueryExecution exec(&index, queries.data(0), options);
+  exec.Initialize();
+  EXPECT_TRUE(exec.StealBatches(4).empty());  // not running yet
+  exec.Run();
+  EXPECT_TRUE(exec.StealBatches(4).empty());  // already done
+}
+
+TEST(ExactSearchTest, RunBatchSubsetCoversStolenWork) {
+  // Simulate a steal: run only a subset of batches on a "thief" execution
+  // and the complement on the "victim"; merged results must equal brute
+  // force.
+  const SeriesCollection data = GenerateSeismicLike(2000, 64, 45);
+  const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
+  const SeriesCollection queries = GenerateUniformQueries(data, 5, 2.0, 47);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryOptions options;
+    options.num_threads = 2;
+    options.num_batches = 8;
+    QueryExecution victim(&index, queries.data(q), options);
+    QueryExecution thief(&index, queries.data(q), options);
+    victim.Initialize();
+    thief.Initialize();
+    std::vector<int> victim_ids, thief_ids;
+    for (int b = 0; b < 8; ++b) {
+      (b % 2 == 0 ? victim_ids : thief_ids).push_back(b);
+    }
+    victim.RunBatchSubset(victim_ids);
+    thief.RunBatchSubset(thief_ids);
+    std::vector<Neighbor> merged;
+    for (const auto& n : victim.results().SortedResults()) merged.push_back(n);
+    for (const auto& n : thief.results().SortedResults()) merged.push_back(n);
+    float best = std::numeric_limits<float>::infinity();
+    for (const auto& n : merged) best = std::min(best, n.squared_distance);
+    const float exact = BruteForceKnn(data, queries.data(q), 1)[0]
+                            .squared_distance;
+    EXPECT_TRUE(NearlyEqual(best, exact)) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace odyssey

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dataset/generators.h"
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+#include "src/isax/breakpoints.h"
+#include "src/isax/isax_word.h"
+#include "src/isax/mindist.h"
+#include "src/isax/paa.h"
+
+namespace odyssey {
+namespace {
+
+// ----------------------------------------------------------- Breakpoints
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.8413447), 1.0, 1e-5);
+}
+
+TEST(BreakpointTableTest, CountsAndOrdering) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  for (int bits = 1; bits <= kMaxSaxBits; ++bits) {
+    const auto& bps = table.ForBits(bits);
+    ASSERT_EQ(bps.size(), (1u << bits) - 1) << "bits=" << bits;
+    for (size_t i = 1; i < bps.size(); ++i) ASSERT_LT(bps[i - 1], bps[i]);
+  }
+}
+
+TEST(BreakpointTableTest, SymmetricAroundZero) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  for (int bits = 1; bits <= kMaxSaxBits; ++bits) {
+    const auto& bps = table.ForBits(bits);
+    const size_t n = bps.size();
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(bps[i], -bps[n - 1 - i], 1e-9);
+    }
+  }
+}
+
+TEST(BreakpointTableTest, NestingGivesPrefixProperty) {
+  // The b-bit symbol of any value equals its (b+1)-bit symbol >> 1 — the
+  // property the iSAX tree's cardinality refinement depends on.
+  const BreakpointTable& table = BreakpointTable::Get();
+  Rng rng(3);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double v = rng.NextGaussian() * 1.5;
+    const uint8_t full = table.MaxBitsSymbol(v);
+    for (int bits = 1; bits < kMaxSaxBits; ++bits) {
+      // Recompute the symbol at `bits` directly from that level's
+      // breakpoints.
+      const auto& bps = table.ForBits(bits);
+      uint32_t direct = 0;
+      while (direct < bps.size() && bps[direct] < v) ++direct;
+      EXPECT_EQ(direct, static_cast<uint32_t>(full >> (kMaxSaxBits - bits)))
+          << "v=" << v << " bits=" << bits;
+    }
+  }
+}
+
+TEST(BreakpointTableTest, RegionBoundsBracketSymbolValues) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  Rng rng(5);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double v = rng.NextGaussian() * 2.0;
+    for (int bits = 1; bits <= kMaxSaxBits; ++bits) {
+      const uint32_t symbol = table.MaxBitsSymbol(v) >> (kMaxSaxBits - bits);
+      EXPECT_GE(v, table.RegionLower(bits, symbol) - 1e-12);
+      EXPECT_LE(v, table.RegionUpper(bits, symbol) + 1e-12);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- PAA
+
+TEST(PaaTest, SegmentBoundsPartitionTheSeries) {
+  for (size_t length : {64u, 96u, 100u, 200u, 256u}) {
+    for (int segments : {1, 4, 7, 16}) {
+      if (static_cast<size_t>(segments) > length) continue;
+      const PaaConfig config(length, segments);
+      size_t covered = 0;
+      for (int i = 0; i < segments; ++i) {
+        EXPECT_EQ(config.SegmentBegin(i), covered);
+        EXPECT_GE(config.SegmentCount(i), 1u);
+        covered = config.SegmentEnd(i);
+      }
+      EXPECT_EQ(covered, length);
+    }
+  }
+}
+
+TEST(PaaTest, ConstantSeriesHasConstantPaa) {
+  std::vector<float> series(100, 2.5f);
+  const PaaConfig config(100, 8);
+  const std::vector<double> paa = ComputePaa(series.data(), config);
+  for (double v : paa) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(PaaTest, MeansAreExact) {
+  const float series[] = {1, 3, 5, 7, 2, 4, 6, 8};
+  const PaaConfig config(8, 2);
+  const std::vector<double> paa = ComputePaa(series, config);
+  EXPECT_DOUBLE_EQ(paa[0], 4.0);
+  EXPECT_DOUBLE_EQ(paa[1], 5.0);
+}
+
+TEST(PaaTest, PaaDistanceLowerBoundsEuclidean) {
+  // sum_i n_i (paa_a[i] - paa_b[i])^2 <= squared ED — the Cauchy-Schwarz
+  // backbone of every mindist in the library.
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 60;
+    const PaaConfig config(n, 8);
+    std::vector<float> a(n), b(n);
+    for (auto& x : a) x = static_cast<float>(rng.NextGaussian());
+    for (auto& x : b) x = static_cast<float>(rng.NextGaussian());
+    const std::vector<double> pa = ComputePaa(a.data(), config);
+    const std::vector<double> pb = ComputePaa(b.data(), config);
+    double lb = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      const double d = pa[i] - pb[i];
+      lb += static_cast<double>(config.SegmentCount(i)) * d * d;
+    }
+    const double ed = SquaredEuclideanScalar(a.data(), b.data(), n);
+    EXPECT_LE(lb, ed * (1 + 1e-6) + 1e-9);
+  }
+}
+
+// ------------------------------------------------------------- IsaxWord
+
+TEST(IsaxWordTest, ComputeSaxMatchesPerSegmentSymbols) {
+  const IsaxConfig config(64, 8);
+  const SeriesCollection data = GenerateRandomWalk(10, 64, 9);
+  const BreakpointTable& table = BreakpointTable::Get();
+  std::vector<uint8_t> sax(8);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ComputeSax(data.data(i), config, sax.data());
+    const std::vector<double> paa = ComputePaa(data.data(i), config.paa);
+    for (int s = 0; s < 8; ++s) {
+      EXPECT_EQ(sax[s], table.MaxBitsSymbol(paa[s]));
+    }
+  }
+}
+
+TEST(IsaxWordTest, RootWordAndKeyRoundTrip) {
+  const IsaxConfig config(64, 8);
+  for (uint32_t key : {0u, 1u, 37u, 128u, 255u}) {
+    const IsaxWord word = IsaxWord::Root(config, key);
+    ASSERT_EQ(word.symbols.size(), 8u);
+    uint32_t rebuilt = 0;
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(word.bits[i], 1);
+      rebuilt = (rebuilt << 1) | word.symbols[i];
+    }
+    EXPECT_EQ(rebuilt, key);
+  }
+}
+
+TEST(IsaxWordTest, SeriesMatchesItsOwnRootWord) {
+  const IsaxConfig config(64, 8);
+  const SeriesCollection data = GenerateRandomWalk(50, 64, 11);
+  std::vector<uint8_t> sax(8);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ComputeSax(data.data(i), config, sax.data());
+    const IsaxWord root = IsaxWord::Root(config, RootKey(sax.data(), config));
+    EXPECT_TRUE(root.Matches(sax.data(), config));
+  }
+}
+
+TEST(IsaxWordTest, ToStringShowsBits) {
+  IsaxWord word;
+  word.symbols = {1, 0, 3};
+  word.bits = {1, 1, 2};
+  EXPECT_EQ(word.ToString(), "1|0|11");
+}
+
+TEST(IsaxWordTest, MaxBitsBelowEight) {
+  const IsaxConfig config(64, 8, /*bits=*/4);
+  const SeriesCollection data = GenerateRandomWalk(20, 64, 13);
+  std::vector<uint8_t> sax(8);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ComputeSax(data.data(i), config, sax.data());
+    for (int s = 0; s < 8; ++s) EXPECT_LT(sax[s], 16);  // 4-bit symbols
+  }
+}
+
+// -------------------------------------------------------------- Mindist
+
+class MindistPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(MindistPropertyTest, WordMindistLowerBoundsEuclidean) {
+  const auto [length, segments] = GetParam();
+  const IsaxConfig config(length, segments);
+  const SeriesCollection data = GenerateRandomWalk(200, length, 17);
+  const SeriesCollection queries = GenerateRandomWalk(10, length, 19);
+  std::vector<uint8_t> sax(segments);
+  Rng rng(21);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const std::vector<double> paa = ComputePaa(queries.data(qi), config.paa);
+    for (size_t i = 0; i < data.size(); ++i) {
+      ComputeSax(data.data(i), config, sax.data());
+      const float ed =
+          SquaredEuclideanScalar(queries.data(qi), data.data(i), length);
+      // Full-cardinality summary bound.
+      ASSERT_LE(MindistPaaToSax(paa.data(), sax.data(), config),
+                ed * (1 + 1e-5f) + 1e-6f);
+      // Variable-cardinality word bound, at random per-segment bit depths.
+      IsaxWord word;
+      word.symbols.resize(segments);
+      word.bits.resize(segments);
+      for (int s = 0; s < segments; ++s) {
+        const int bits = 1 + static_cast<int>(rng.NextBounded(kMaxSaxBits));
+        word.bits[s] = static_cast<uint8_t>(bits);
+        word.symbols[s] =
+            static_cast<uint8_t>(sax[s] >> (kMaxSaxBits - bits));
+      }
+      ASSERT_LE(MindistPaaToWord(paa.data(), word, config),
+                ed * (1 + 1e-5f) + 1e-6f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MindistPropertyTest,
+    ::testing::Values(std::make_tuple(64u, 8), std::make_tuple(96u, 16),
+                      std::make_tuple(100u, 7), std::make_tuple(128u, 16),
+                      std::make_tuple(200u, 16)));
+
+TEST(MindistTest, SeriesAgainstOwnSummaryIsZero) {
+  const IsaxConfig config(64, 8);
+  const SeriesCollection data = GenerateRandomWalk(50, 64, 23);
+  std::vector<uint8_t> sax(8);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ComputeSax(data.data(i), config, sax.data());
+    const std::vector<double> paa = ComputePaa(data.data(i), config.paa);
+    EXPECT_EQ(MindistPaaToSax(paa.data(), sax.data(), config), 0.0f);
+  }
+}
+
+TEST(MindistTest, TighterWithMoreBits) {
+  // Refining a word can only increase (or keep) the lower bound.
+  const IsaxConfig config(64, 8);
+  const SeriesCollection data = GenerateRandomWalk(30, 64, 29);
+  const SeriesCollection queries = GenerateRandomWalk(5, 64, 31);
+  std::vector<uint8_t> sax(8);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const std::vector<double> paa = ComputePaa(queries.data(qi), config.paa);
+    for (size_t i = 0; i < data.size(); ++i) {
+      ComputeSax(data.data(i), config, sax.data());
+      float prev = -1.0f;
+      for (int bits = 1; bits <= kMaxSaxBits; ++bits) {
+        IsaxWord word;
+        word.symbols.resize(8);
+        word.bits.assign(8, static_cast<uint8_t>(bits));
+        for (int s = 0; s < 8; ++s) {
+          word.symbols[s] =
+              static_cast<uint8_t>(sax[s] >> (kMaxSaxBits - bits));
+        }
+        const float lb = MindistPaaToWord(paa.data(), word, config);
+        ASSERT_GE(lb, prev - 1e-6f) << "bits=" << bits;
+        prev = lb;
+      }
+    }
+  }
+}
+
+TEST(MindistTest, EnvelopeMindistLowerBoundsDtw) {
+  const IsaxConfig config(64, 8);
+  const SeriesCollection data = GenerateSeismicLike(150, 64, 33);
+  const SeriesCollection queries = GenerateSeismicLike(5, 64, 35);
+  const size_t window = WarpingWindowFromFraction(64, 0.05);
+  std::vector<uint8_t> sax(8);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Envelope env = BuildEnvelope(queries.data(qi), 64, window);
+    const EnvelopePaa env_paa = ComputeEnvelopePaa(env, config);
+    for (size_t i = 0; i < data.size(); ++i) {
+      ComputeSax(data.data(i), config, sax.data());
+      const float dtw =
+          SquaredDtw(queries.data(qi), data.data(i), 64, window);
+      ASSERT_LE(MindistEnvelopeToSax(env_paa, sax.data(), config),
+                dtw * (1 + 1e-5f) + 1e-6f);
+      const IsaxWord root =
+          IsaxWord::Root(config, RootKey(sax.data(), config));
+      ASSERT_LE(MindistEnvelopeToWord(env_paa, root, config),
+                dtw * (1 + 1e-5f) + 1e-6f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odyssey

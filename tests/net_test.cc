@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/net/mailbox.h"
+#include "src/net/message.h"
+#include "src/net/sim_cluster.h"
+
+namespace odyssey {
+namespace {
+
+TEST(MailboxTest, FifoOrder) {
+  Mailbox box;
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.type = MessageType::kAssignQuery;
+    m.query_id = i;
+    box.Send(std::move(m));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(box.Receive().query_id, i);
+  }
+}
+
+TEST(MailboxTest, TryReceiveOnEmptyReturnsFalse) {
+  Mailbox box;
+  Message m;
+  EXPECT_FALSE(box.TryReceive(&m));
+  Message sent;
+  sent.type = MessageType::kDone;
+  sent.from = 3;
+  box.Send(std::move(sent));
+  ASSERT_TRUE(box.TryReceive(&m));
+  EXPECT_EQ(m.type, MessageType::kDone);
+  EXPECT_EQ(m.from, 3);
+  EXPECT_FALSE(box.TryReceive(&m));
+}
+
+TEST(MailboxTest, BlockingReceiveWakesOnSend) {
+  Mailbox box;
+  std::thread receiver([&box] {
+    const Message m = box.Receive();
+    EXPECT_EQ(m.query_id, 42);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Message m;
+  m.type = MessageType::kAssignQuery;
+  m.query_id = 42;
+  box.Send(std::move(m));
+  receiver.join();
+}
+
+TEST(MailboxTest, ConcurrentProducersLoseNothing) {
+  Mailbox box;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Message m;
+        m.type = MessageType::kBsfUpdate;
+        m.from = p;
+        m.query_id = i;
+        box.Send(std::move(m));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  std::vector<int> counts(kProducers, 0);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    ++counts[box.Receive().from];
+  }
+  for (int c : counts) EXPECT_EQ(c, kPerProducer);
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(SimClusterTest, SendReachesTarget) {
+  SimCluster cluster(4);
+  Message m;
+  m.type = MessageType::kStealRequest;
+  m.from = 0;
+  cluster.Send(2, std::move(m));
+  EXPECT_EQ(cluster.mailbox(2).size(), 1u);
+  EXPECT_EQ(cluster.mailbox(1).size(), 0u);
+  const Message got = cluster.mailbox(2).Receive();
+  EXPECT_EQ(got.type, MessageType::kStealRequest);
+  EXPECT_EQ(got.from, 0);
+}
+
+TEST(SimClusterTest, BroadcastReachesAllNodesExceptExcluded) {
+  SimCluster cluster(4);
+  Message m;
+  m.type = MessageType::kBsfUpdate;
+  m.from = 1;
+  cluster.Broadcast(m, /*except=*/1);
+  EXPECT_EQ(cluster.mailbox(0).size(), 1u);
+  EXPECT_EQ(cluster.mailbox(1).size(), 0u);
+  EXPECT_EQ(cluster.mailbox(2).size(), 1u);
+  EXPECT_EQ(cluster.mailbox(3).size(), 1u);
+  // The coordinator is not part of broadcasts.
+  EXPECT_EQ(cluster.mailbox(cluster.coordinator_id()).size(), 0u);
+}
+
+TEST(SimClusterTest, CoordinatorHasItsOwnMailbox) {
+  SimCluster cluster(2);
+  EXPECT_EQ(cluster.coordinator_id(), 2);
+  Message m;
+  m.type = MessageType::kLocalAnswer;
+  m.from = 0;
+  m.query_id = 5;
+  m.neighbors.push_back({1.5f, 77});
+  cluster.Send(cluster.coordinator_id(), std::move(m));
+  const Message got = cluster.mailbox(cluster.coordinator_id()).Receive();
+  EXPECT_EQ(got.type, MessageType::kLocalAnswer);
+  ASSERT_EQ(got.neighbors.size(), 1u);
+  EXPECT_EQ(got.neighbors[0].id, 77u);
+}
+
+TEST(SimClusterTest, CountsMessagesByType) {
+  SimCluster cluster(3);
+  Message steal;
+  steal.type = MessageType::kStealRequest;
+  cluster.Send(0, steal);
+  cluster.Send(1, steal);
+  Message bsf;
+  bsf.type = MessageType::kBsfUpdate;
+  cluster.Broadcast(bsf);
+  EXPECT_EQ(cluster.messages_sent(), 5u);
+  EXPECT_EQ(cluster.messages_sent(MessageType::kStealRequest), 2u);
+  EXPECT_EQ(cluster.messages_sent(MessageType::kBsfUpdate), 3u);
+  EXPECT_EQ(cluster.messages_sent(MessageType::kDone), 0u);
+}
+
+TEST(MessageTest, AllTypesHaveNames) {
+  for (MessageType type :
+       {MessageType::kAssignQuery, MessageType::kNoMoreQueries,
+        MessageType::kQueryRequest, MessageType::kBsfUpdate,
+        MessageType::kDone, MessageType::kStealRequest,
+        MessageType::kStealReply, MessageType::kLocalAnswer,
+        MessageType::kNodeTerminated, MessageType::kShutdown}) {
+    EXPECT_STRNE(MessageTypeToString(type), "Unknown");
+  }
+}
+
+}  // namespace
+}  // namespace odyssey

@@ -1,0 +1,66 @@
+#ifndef ODYSSEY_TESTS_TESTING_UTILS_H_
+#define ODYSSEY_TESTS_TESTING_UTILS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/dataset/series_collection.h"
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+#include "src/index/query_engine.h"
+
+namespace odyssey {
+namespace testing_utils {
+
+/// Exact k-NN by exhaustive scan (squared Euclidean), the ground truth every
+/// index / distributed configuration must reproduce.
+inline std::vector<Neighbor> BruteForceKnn(const SeriesCollection& data,
+                                           const float* query, int k) {
+  std::vector<Neighbor> all;
+  all.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    all.push_back({SquaredEuclidean(query, data.data(i), data.length()),
+                   static_cast<uint32_t>(i)});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.squared_distance != b.squared_distance) {
+      return a.squared_distance < b.squared_distance;
+    }
+    return a.id < b.id;
+  });
+  if (all.size() > static_cast<size_t>(k)) all.resize(k);
+  return all;
+}
+
+/// Exact k-NN by exhaustive scan under banded DTW.
+inline std::vector<Neighbor> BruteForceKnnDtw(const SeriesCollection& data,
+                                              const float* query, int k,
+                                              size_t window) {
+  std::vector<Neighbor> all;
+  all.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    all.push_back({SquaredDtw(query, data.data(i), data.length(), window),
+                   static_cast<uint32_t>(i)});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.squared_distance != b.squared_distance) {
+      return a.squared_distance < b.squared_distance;
+    }
+    return a.id < b.id;
+  });
+  if (all.size() > static_cast<size_t>(k)) all.resize(k);
+  return all;
+}
+
+/// Relative FP tolerance for comparing squared distances computed by
+/// different summation orders (SIMD vs scalar vs early-abandon blocks).
+inline bool NearlyEqual(float a, float b, float rel = 1e-4f) {
+  const float scale = std::max({1.0f, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= rel * scale;
+}
+
+}  // namespace testing_utils
+}  // namespace odyssey
+
+#endif  // ODYSSEY_TESTS_TESTING_UTILS_H_
