@@ -162,7 +162,7 @@ void BM_Ablation_DistanceKernel(benchmark::State& state) {
   }
   benchmark::DoNotOptimize(checksum);
   state.counters["simd"] = simd ? 1.0 : 0.0;
-  state.counters["avx2_built"] = HasAvx2Kernels() ? 1.0 : 0.0;
+  state.counters["avx2_active"] = HasAvx2Kernels() ? 1.0 : 0.0;
 }
 BENCHMARK(BM_Ablation_DistanceKernel)
     ->Arg(0)->Arg(1)

@@ -1,0 +1,153 @@
+// Microbenchmarks of the runtime-dispatched distance-kernel layer
+// (src/distance/simd.h): squared Euclidean, early-abandoning Euclidean,
+// LB_Keogh, and banded DTW at each available ISA level on 256-point series
+// (the paper's standard series length). The scalar/vector ratio here is the
+// acceptance number for SIMD-touching PRs.
+//
+//   $ ./bench_distance_kernels
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/distance/dtw.h"
+#include "src/distance/lb_keogh.h"
+#include "src/distance/simd.h"
+
+namespace odyssey {
+namespace {
+
+constexpr size_t kLength = 256;
+constexpr size_t kSeries = 4096;
+
+/// A flat pool of random series reused by every case (cache-warm, like the
+/// leaf scans of a real query).
+const std::vector<float>& Pool() {
+  static const std::vector<float>& pool = *new std::vector<float>([] {
+    std::vector<float> p(kSeries * kLength);
+    Rng rng(97);
+    for (auto& x : p) x = static_cast<float>(rng.NextGaussian());
+    return p;
+  }());
+  return pool;
+}
+
+const simd::KernelTable* TableForArg(int64_t arg) {
+  switch (arg) {
+    case 2:
+      return simd::Avx2Table();
+    case 1:
+      return simd::SseTable();
+    default:
+      return &simd::ScalarTable();
+  }
+}
+
+void ApplyIsaArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(0);
+  if (simd::SseTable() != nullptr) b->Arg(1);
+  if (simd::Avx2Table() != nullptr) b->Arg(2);
+}
+
+void BM_SquaredEuclidean256(benchmark::State& state) {
+  const simd::KernelTable* table = TableForArg(state.range(0));
+  const std::vector<float>& pool = Pool();
+  const float* query = pool.data();
+  float checksum = 0.0f;
+  for (auto _ : state) {
+    for (size_t i = 1; i < kSeries; ++i) {
+      checksum +=
+          table->squared_euclidean(query, pool.data() + i * kLength, kLength);
+    }
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kSeries - 1));
+  state.SetLabel(simd::IsaName(table->isa));
+}
+BENCHMARK(BM_SquaredEuclidean256)->Apply(ApplyIsaArgs)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SquaredEuclideanEarlyAbandon256(benchmark::State& state) {
+  const simd::KernelTable* table = TableForArg(state.range(0));
+  const std::vector<float>& pool = Pool();
+  const float* query = pool.data();
+  // A realistic pruning threshold: most candidates abandon part-way, like a
+  // leaf scan once a good BSF is known.
+  const float threshold =
+      table->squared_euclidean(query, pool.data() + kLength, kLength);
+  float checksum = 0.0f;
+  for (auto _ : state) {
+    for (size_t i = 1; i < kSeries; ++i) {
+      checksum += table->squared_euclidean_early_abandon(
+          query, pool.data() + i * kLength, kLength, threshold);
+    }
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kSeries - 1));
+  state.SetLabel(simd::IsaName(table->isa));
+}
+BENCHMARK(BM_SquaredEuclideanEarlyAbandon256)->Apply(ApplyIsaArgs)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LbKeogh256(benchmark::State& state) {
+  const simd::KernelTable* table = TableForArg(state.range(0));
+  const std::vector<float>& pool = Pool();
+  const Envelope env = BuildEnvelope(pool.data(), kLength, 13);  // 5% warping
+  float checksum = 0.0f;
+  for (auto _ : state) {
+    for (size_t i = 1; i < kSeries; ++i) {
+      checksum += table->lb_keogh(env.upper.data(), env.lower.data(),
+                                  pool.data() + i * kLength, kLength);
+    }
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kSeries - 1));
+  state.SetLabel(simd::IsaName(table->isa));
+}
+BENCHMARK(BM_LbKeogh256)->Apply(ApplyIsaArgs)->Unit(benchmark::kMicrosecond);
+
+void BM_DtwRow256(benchmark::State& state) {
+  // The DP row kernel in isolation: one full-band row per inner call.
+  const simd::KernelTable* table = TableForArg(state.range(0));
+  const std::vector<float>& pool = Pool();
+  std::vector<float> prev(kLength, 1.0f), cur(kLength, 0.0f);
+  float checksum = 0.0f;
+  for (auto _ : state) {
+    for (size_t i = 1; i < 512; ++i) {
+      checksum += table->dtw_row(pool[i], pool.data() + i * kLength,
+                                 prev.data(), cur.data(), 0, kLength - 1);
+    }
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(state.iterations() * 511);
+  state.SetLabel(simd::IsaName(table->isa));
+}
+BENCHMARK(BM_DtwRow256)->Apply(ApplyIsaArgs)->Unit(benchmark::kMicrosecond);
+
+void BM_SquaredDtw256(benchmark::State& state) {
+  // End-to-end banded DTW through the public API (dispatched kernels);
+  // ODYSSEY_SIMD=scalar selects the scalar row kernel for comparison.
+  const std::vector<float>& pool = Pool();
+  const size_t window = WarpingWindowFromFraction(kLength, 0.05);
+  float checksum = 0.0f;
+  for (auto _ : state) {
+    for (size_t i = 1; i < 64; ++i) {
+      checksum += SquaredDtw(pool.data(), pool.data() + i * kLength, kLength,
+                             window);
+    }
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(state.iterations() * 63);
+  state.SetLabel(simd::IsaName(simd::ActiveIsa()));
+}
+BENCHMARK(BM_SquaredDtw256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace odyssey
+
+BENCHMARK_MAIN();

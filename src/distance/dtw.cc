@@ -5,50 +5,57 @@
 #include <limits>
 #include <vector>
 
+#include "src/distance/simd.h"
+
 namespace odyssey {
 namespace {
 
 constexpr float kInf = std::numeric_limits<float>::infinity();
 
-inline float PointCost(float x, float y) {
-  const float d = x - y;
-  return d * d;
-}
-
 // Shared band DP. When `threshold` is finite, abandons as soon as a full row
 // exceeds it (every warping path must pass through each row's band, so the
-// row minimum lower-bounds the final value).
+// row minimum lower-bounds the final value). Row 0 is a plain prefix sum;
+// every later row goes through the dispatched dtw_row kernel, which stages
+// the point costs and the prev-row mins with SIMD.
 float BandDtw(const float* a, const float* b, size_t n, size_t window,
               float threshold) {
   if (n == 0) return 0.0f;
   window = std::min(window, n - 1);
+  const simd::KernelTable& kernels = simd::ActiveTable();
 
   // Two rolling DP rows over the full length; cells outside the band stay
   // +inf. For the window sizes the paper uses (<= 15% of n) the wasted cells
   // are cheap and the code stays simple.
   std::vector<float> prev(n, kInf), cur(n, kInf);
 
-  for (size_t i = 0; i < n; ++i) {
+  // Row 0: the only predecessor of (0, j) is (0, j-1), so the row is the
+  // running prefix sum of point costs; its minimum is the first cell.
+  {
+    const size_t jhi = std::min(n - 1, window);
+    float run = 0.0f;
+    for (size_t j = 0; j <= jhi; ++j) {
+      const float d = a[0] - b[j];
+      run += d * d;
+      cur[j] = run;
+    }
+    if (cur[0] >= threshold) return cur[0];
+    std::swap(prev, cur);
+  }
+
+  for (size_t i = 1; i < n; ++i) {
     const size_t jlo = (i >= window) ? i - window : 0;
     const size_t jhi = std::min(n - 1, i + window);
-    float row_min = kInf;
-    for (size_t j = jlo; j <= jhi; ++j) {
-      const float cost = PointCost(a[i], b[j]);
-      float best;
-      if (i == 0 && j == 0) {
-        best = 0.0f;
-      } else {
-        best = kInf;
-        if (i > 0) best = std::min(best, prev[j]);                 // insertion
-        if (j > 0) best = std::min(best, cur[j - 1]);              // deletion
-        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);    // match
-      }
-      cur[j] = best + cost;
-      row_min = std::min(row_min, cur[j]);
-    }
+    // The buffers are ping-ponged, so cur still holds row i-2. Only the two
+    // cells flanking this row's band are ever read before being written
+    // (cur[jlo-1] as the in-row left neighbor, and both flanks as prev
+    // cells of row i+1, whose band grows by at most one on each side) —
+    // resetting them is enough, no O(n) refill.
+    if (jlo > 0) cur[jlo - 1] = kInf;
+    if (jhi + 1 < n) cur[jhi + 1] = kInf;
+    const float row_min =
+        kernels.dtw_row(a[i], b, prev.data(), cur.data(), jlo, jhi);
     if (row_min >= threshold) return row_min;
     std::swap(prev, cur);
-    std::fill(cur.begin(), cur.end(), kInf);
   }
   return prev[n - 1];
 }

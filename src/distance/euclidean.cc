@@ -1,116 +1,34 @@
 #include "src/distance/euclidean.h"
 
-#if defined(ODYSSEY_BUILD_AVX2)
-#include <immintrin.h>
-#endif
+#include "src/distance/simd.h"
 
 namespace odyssey {
 
+/// Thin wrappers over the runtime-dispatched kernel layer (simd.h). Hot
+/// call sites (query_engine, approx_search) cache simd::ActiveTable() and
+/// call the kernels directly; these free functions remain the convenient
+/// entry points for tests, examples, and cold paths.
+
+float SquaredEuclidean(const float* a, const float* b, size_t n) {
+  return simd::ActiveTable().squared_euclidean(a, b, n);
+}
+
+float SquaredEuclideanEarlyAbandon(const float* a, const float* b, size_t n,
+                                   float threshold) {
+  return simd::ActiveTable().squared_euclidean_early_abandon(a, b, n,
+                                                             threshold);
+}
+
 float SquaredEuclideanScalar(const float* a, const float* b, size_t n) {
-  float sum = 0.0f;
-  for (size_t i = 0; i < n; ++i) {
-    const float d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return simd::ScalarTable().squared_euclidean(a, b, n);
 }
 
 float SquaredEuclideanEarlyAbandonScalar(const float* a, const float* b,
                                          size_t n, float threshold) {
-  float sum = 0.0f;
-  size_t i = 0;
-  // Check the threshold once per 16-point block: frequent enough to abandon
-  // early, rare enough not to serialize the loop.
-  while (i + 16 <= n) {
-    for (size_t j = 0; j < 16; ++j) {
-      const float d = a[i + j] - b[i + j];
-      sum += d * d;
-    }
-    i += 16;
-    if (sum >= threshold) return sum;
-  }
-  for (; i < n; ++i) {
-    const float d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return simd::ScalarTable().squared_euclidean_early_abandon(a, b, n,
+                                                             threshold);
 }
 
-#if defined(ODYSSEY_BUILD_AVX2)
-
-namespace {
-
-// Horizontal sum of the 8 lanes of an AVX register.
-inline float HorizontalSum(__m256 v) {
-  const __m128 lo = _mm256_castps256_ps128(v);
-  const __m128 hi = _mm256_extractf128_ps(v, 1);
-  __m128 s = _mm_add_ps(lo, hi);
-  s = _mm_hadd_ps(s, s);
-  s = _mm_hadd_ps(s, s);
-  return _mm_cvtss_f32(s);
-}
-
-}  // namespace
-
-bool HasAvx2Kernels() { return true; }
-
-float SquaredEuclidean(const float* a, const float* b, size_t n) {
-  __m256 acc = _mm256_setzero_ps();
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m256 va = _mm256_loadu_ps(a + i);
-    const __m256 vb = _mm256_loadu_ps(b + i);
-    const __m256 d = _mm256_sub_ps(va, vb);
-    acc = _mm256_fmadd_ps(d, d, acc);
-  }
-  float sum = HorizontalSum(acc);
-  for (; i < n; ++i) {
-    const float d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
-}
-
-float SquaredEuclideanEarlyAbandon(const float* a, const float* b, size_t n,
-                                   float threshold) {
-  __m256 acc = _mm256_setzero_ps();
-  float sum = 0.0f;
-  size_t i = 0;
-  // Two unrolled 8-lane FMAs per iteration, threshold check per 16 points —
-  // the same cadence as the scalar variant so both abandon identically.
-  while (i + 16 <= n) {
-    const __m256 va0 = _mm256_loadu_ps(a + i);
-    const __m256 vb0 = _mm256_loadu_ps(b + i);
-    const __m256 d0 = _mm256_sub_ps(va0, vb0);
-    acc = _mm256_fmadd_ps(d0, d0, acc);
-    const __m256 va1 = _mm256_loadu_ps(a + i + 8);
-    const __m256 vb1 = _mm256_loadu_ps(b + i + 8);
-    const __m256 d1 = _mm256_sub_ps(va1, vb1);
-    acc = _mm256_fmadd_ps(d1, d1, acc);
-    i += 16;
-    sum = HorizontalSum(acc);
-    if (sum >= threshold) return sum;
-  }
-  for (; i < n; ++i) {
-    const float d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
-}
-
-#else  // !defined(ODYSSEY_BUILD_AVX2)
-
-bool HasAvx2Kernels() { return false; }
-
-float SquaredEuclidean(const float* a, const float* b, size_t n) {
-  return SquaredEuclideanScalar(a, b, n);
-}
-
-float SquaredEuclideanEarlyAbandon(const float* a, const float* b, size_t n,
-                                   float threshold) {
-  return SquaredEuclideanEarlyAbandonScalar(a, b, n, threshold);
-}
-
-#endif  // defined(ODYSSEY_BUILD_AVX2)
+bool HasAvx2Kernels() { return simd::ActiveIsa() == simd::Isa::kAvx2; }
 
 }  // namespace odyssey

@@ -9,8 +9,9 @@ namespace odyssey {
 /// distance internally (monotone in the true distance, saves the sqrt in the
 /// hot loop); public results are reported as true distances by the callers.
 
-/// Squared Euclidean distance between two length-n series. Dispatches to the
-/// AVX2 kernel when the library was built with AVX2 support.
+/// Squared Euclidean distance between two length-n series. Dispatches at
+/// runtime to the best supported kernel (AVX2 / SSE / scalar, see
+/// src/distance/simd.h; overridable with ODYSSEY_SIMD=scalar|sse|avx2).
 float SquaredEuclidean(const float* a, const float* b, size_t n);
 
 /// Early-abandoning squared Euclidean distance: returns the exact squared
@@ -26,7 +27,7 @@ float SquaredEuclideanScalar(const float* a, const float* b, size_t n);
 float SquaredEuclideanEarlyAbandonScalar(const float* a, const float* b,
                                          size_t n, float threshold);
 
-/// True if this build dispatches to AVX2 kernels.
+/// True if runtime dispatch selected the AVX2 kernels.
 bool HasAvx2Kernels();
 
 }  // namespace odyssey

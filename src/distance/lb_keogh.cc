@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "src/common/check.h"
+#include "src/distance/simd.h"
 
 namespace odyssey {
 
@@ -33,37 +34,16 @@ Envelope BuildEnvelope(const float* q, size_t n, size_t window) {
 }
 
 float SquaredLbKeogh(const Envelope& envelope, const float* candidate) {
-  const size_t n = envelope.length();
-  float sum = 0.0f;
-  for (size_t i = 0; i < n; ++i) {
-    const float c = candidate[i];
-    if (c > envelope.upper[i]) {
-      const float d = c - envelope.upper[i];
-      sum += d * d;
-    } else if (c < envelope.lower[i]) {
-      const float d = envelope.lower[i] - c;
-      sum += d * d;
-    }
-  }
-  return sum;
+  return simd::ActiveTable().lb_keogh(envelope.upper.data(),
+                                      envelope.lower.data(), candidate,
+                                      envelope.length());
 }
 
 float SquaredLbKeoghEarlyAbandon(const Envelope& envelope,
                                  const float* candidate, float threshold) {
-  const size_t n = envelope.length();
-  float sum = 0.0f;
-  for (size_t i = 0; i < n; ++i) {
-    const float c = candidate[i];
-    if (c > envelope.upper[i]) {
-      const float d = c - envelope.upper[i];
-      sum += d * d;
-    } else if (c < envelope.lower[i]) {
-      const float d = envelope.lower[i] - c;
-      sum += d * d;
-    }
-    if (sum >= threshold) return sum;
-  }
-  return sum;
+  return simd::ActiveTable().lb_keogh_early_abandon(
+      envelope.upper.data(), envelope.lower.data(), candidate,
+      envelope.length(), threshold);
 }
 
 }  // namespace odyssey

@@ -1,0 +1,530 @@
+#include "src/distance/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+// x86-64 only (not __i386__): the SSE tier relies on SSE2 being an
+// architectural baseline, which holds for x86-64 but not 32-bit x86.
+// Other architectures use the scalar table.
+#if defined(__x86_64__)
+#define ODYSSEY_X86 1
+#include <immintrin.h>
+#endif
+
+namespace odyssey {
+namespace simd {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Block length for the DTW row kernels: the vectorizable parts (point cost
+/// and the prev-row two-way min) are staged into stack buffers of this many
+/// floats, then the loop-carried cur[j-1] dependency is folded in scalar.
+constexpr size_t kDtwBlock = 128;
+
+// --------------------------------------------------------------- scalar
+
+float SquaredEuclideanScalarK(const float* a, const float* b, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float SquaredEuclideanEarlyAbandonScalarK(const float* a, const float* b,
+                                          size_t n, float threshold) {
+  float sum = 0.0f;
+  size_t i = 0;
+  // Check the threshold once per 16-point block: frequent enough to abandon
+  // early, rare enough not to serialize the loop. Every ISA level uses the
+  // same cadence so all levels abandon at the same point.
+  while (i + 16 <= n) {
+    for (size_t j = 0; j < 16; ++j) {
+      const float d = a[i + j] - b[i + j];
+      sum += d * d;
+    }
+    i += 16;
+    if (sum >= threshold) return sum;
+  }
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+inline float LbKeoghPointGap(float upper, float lower, float c) {
+  // max(c - upper, lower - c, 0): positive only outside the envelope band.
+  float d = c - upper;
+  const float dl = lower - c;
+  if (dl > d) d = dl;
+  return d > 0.0f ? d : 0.0f;
+}
+
+float LbKeoghScalarK(const float* upper, const float* lower,
+                     const float* candidate, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = LbKeoghPointGap(upper[i], lower[i], candidate[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+float LbKeoghEarlyAbandonScalarK(const float* upper, const float* lower,
+                                 const float* candidate, size_t n,
+                                 float threshold) {
+  float sum = 0.0f;
+  size_t i = 0;
+  while (i + 16 <= n) {
+    for (size_t j = 0; j < 16; ++j) {
+      const float d =
+          LbKeoghPointGap(upper[i + j], lower[i + j], candidate[i + j]);
+      sum += d * d;
+    }
+    i += 16;
+    if (sum >= threshold) return sum;
+  }
+  for (; i < n; ++i) {
+    const float d = LbKeoghPointGap(upper[i], lower[i], candidate[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+float DtwRowScalarK(float ai, const float* b, const float* prev, float* cur,
+                    size_t jlo, size_t jhi) {
+  float row_min = kInf;
+  size_t j = jlo;
+  if (j == 0) {
+    const float d = ai - b[0];
+    cur[0] = d * d + prev[0];
+    row_min = cur[0];
+    j = 1;
+  }
+  for (; j <= jhi; ++j) {
+    const float d = ai - b[j];
+    float best = prev[j];
+    if (prev[j - 1] < best) best = prev[j - 1];
+    if (cur[j - 1] < best) best = cur[j - 1];
+    cur[j] = d * d + best;
+    if (cur[j] < row_min) row_min = cur[j];
+  }
+  return row_min;
+}
+
+constexpr KernelTable kScalarTable = {
+    Isa::kScalar,
+    SquaredEuclideanScalarK,
+    SquaredEuclideanEarlyAbandonScalarK,
+    LbKeoghScalarK,
+    LbKeoghEarlyAbandonScalarK,
+    DtwRowScalarK,
+};
+
+#if defined(ODYSSEY_X86)
+
+// Scalar remainder of the staging arrays for lanes [t, len) of a DTW row
+// block starting at column j — shared by the SSE and AVX2 row kernels so
+// the two cannot drift apart.
+inline void DtwStageTail(float ai, const float* b, const float* prev,
+                         size_t j, size_t t, size_t len, float* cost,
+                         float* s) {
+  for (; t < len; ++t) {
+    const float d = ai - b[j + t];
+    cost[t] = d * d;
+    const float pm =
+        prev[j + t] < prev[j + t - 1] ? prev[j + t] : prev[j + t - 1];
+    s[t] = cost[t] + pm;
+  }
+}
+
+// Folds the cur[j-1] dependency chain over one staged block; returns the
+// updated row minimum. cur[j] = min(s[j], cost[j] + cur[j-1]) equals
+// cost[j] + min(prev[j], prev[j-1], cur[j-1]) bit-for-bit because float
+// addition is monotone.
+inline float DtwFoldBlock(const float* cost, const float* s, float* cur,
+                          size_t j, size_t len, float row_min) {
+  for (size_t t = 0; t < len; ++t) {
+    const float left = cost[t] + cur[j + t - 1];
+    const float v = s[t] < left ? s[t] : left;
+    cur[j + t] = v;
+    if (v < row_min) row_min = v;
+  }
+  return row_min;
+}
+
+// ------------------------------------------------------------------ SSE
+// x86-64 baseline (SSE2) — always available, no target attribute needed.
+
+inline float HorizontalSum128(__m128 v) {
+  const __m128 hi = _mm_movehl_ps(v, v);           // lanes [2,3,·,·]
+  const __m128 sum2 = _mm_add_ps(v, hi);           // [0+2, 1+3, ·, ·]
+  const __m128 lane1 = _mm_shuffle_ps(sum2, sum2, 0x55);
+  return _mm_cvtss_f32(_mm_add_ss(sum2, lane1));
+}
+
+float SquaredEuclideanSseK(const float* a, const float* b, size_t n) {
+  __m128 acc = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 d = _mm_sub_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i));
+    acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+  }
+  float sum = HorizontalSum128(acc);
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float SquaredEuclideanEarlyAbandonSseK(const float* a, const float* b,
+                                       size_t n, float threshold) {
+  __m128 acc = _mm_setzero_ps();
+  float sum = 0.0f;
+  size_t i = 0;
+  while (i + 16 <= n) {
+    for (size_t k = 0; k < 16; k += 4) {
+      const __m128 d =
+          _mm_sub_ps(_mm_loadu_ps(a + i + k), _mm_loadu_ps(b + i + k));
+      acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+    }
+    i += 16;
+    sum = HorizontalSum128(acc);
+    if (sum >= threshold) return sum;
+  }
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+inline __m128 LbKeoghGap128(const float* upper, const float* lower,
+                            const float* candidate) {
+  const __m128 c = _mm_loadu_ps(candidate);
+  const __m128 du = _mm_sub_ps(c, _mm_loadu_ps(upper));
+  const __m128 dl = _mm_sub_ps(_mm_loadu_ps(lower), c);
+  return _mm_max_ps(_mm_max_ps(du, dl), _mm_setzero_ps());
+}
+
+float LbKeoghSseK(const float* upper, const float* lower,
+                  const float* candidate, size_t n) {
+  __m128 acc = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 d = LbKeoghGap128(upper + i, lower + i, candidate + i);
+    acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+  }
+  float sum = HorizontalSum128(acc);
+  for (; i < n; ++i) {
+    const float d = LbKeoghPointGap(upper[i], lower[i], candidate[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+float LbKeoghEarlyAbandonSseK(const float* upper, const float* lower,
+                              const float* candidate, size_t n,
+                              float threshold) {
+  __m128 acc = _mm_setzero_ps();
+  float sum = 0.0f;
+  size_t i = 0;
+  while (i + 16 <= n) {
+    for (size_t k = 0; k < 16; k += 4) {
+      const __m128 d =
+          LbKeoghGap128(upper + i + k, lower + i + k, candidate + i + k);
+      acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+    }
+    i += 16;
+    sum = HorizontalSum128(acc);
+    if (sum >= threshold) return sum;
+  }
+  for (; i < n; ++i) {
+    const float d = LbKeoghPointGap(upper[i], lower[i], candidate[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+float DtwRowSseK(float ai, const float* b, const float* prev, float* cur,
+                 size_t jlo, size_t jhi) {
+  float row_min = kInf;
+  size_t j = jlo;
+  if (j == 0) {
+    const float d = ai - b[0];
+    cur[0] = d * d + prev[0];
+    row_min = cur[0];
+    j = 1;
+  }
+  // Stage the order-independent parts of each block with SIMD: the point
+  // costs and s[j] = cost[j] + min(prev[j], prev[j-1]). The scalar fold
+  // (DtwFoldBlock) then only carries the cur[j-1] chain. Costs use mul
+  // (not FMA) so every ISA produces bit-identical DP rows.
+  float cost[kDtwBlock];
+  float s[kDtwBlock];
+  const __m128 vai = _mm_set1_ps(ai);
+  while (j <= jhi) {
+    const size_t len = (jhi - j + 1 < kDtwBlock) ? jhi - j + 1 : kDtwBlock;
+    size_t t = 0;
+    for (; t + 4 <= len; t += 4) {
+      const __m128 d = _mm_sub_ps(vai, _mm_loadu_ps(b + j + t));
+      const __m128 c = _mm_mul_ps(d, d);
+      _mm_storeu_ps(cost + t, c);
+      const __m128 p0 = _mm_loadu_ps(prev + j + t);
+      const __m128 p1 = _mm_loadu_ps(prev + j + t - 1);
+      _mm_storeu_ps(s + t, _mm_add_ps(c, _mm_min_ps(p0, p1)));
+    }
+    DtwStageTail(ai, b, prev, j, t, len, cost, s);
+    row_min = DtwFoldBlock(cost, s, cur, j, len, row_min);
+    j += len;
+  }
+  return row_min;
+}
+
+constexpr KernelTable kSseTable = {
+    Isa::kSse,
+    SquaredEuclideanSseK,
+    SquaredEuclideanEarlyAbandonSseK,
+    LbKeoghSseK,
+    LbKeoghEarlyAbandonSseK,
+    DtwRowSseK,
+};
+
+// ----------------------------------------------------------------- AVX2
+// Compiled with per-function target attributes so the rest of the library
+// keeps the baseline ISA; only ever called after a CPUID check.
+
+#define ODYSSEY_TARGET_AVX2 __attribute__((target("avx2,fma")))
+
+ODYSSEY_TARGET_AVX2 inline float HorizontalSum256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  return HorizontalSum128(_mm_add_ps(lo, hi));
+}
+
+ODYSSEY_TARGET_AVX2
+float SquaredEuclideanAvx2K(const float* a, const float* b, size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_fmadd_ps(d, d, acc);
+  }
+  float sum = HorizontalSum256(acc);
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+ODYSSEY_TARGET_AVX2
+float SquaredEuclideanEarlyAbandonAvx2K(const float* a, const float* b,
+                                        size_t n, float threshold) {
+  __m256 acc = _mm256_setzero_ps();
+  float sum = 0.0f;
+  size_t i = 0;
+  // Two unrolled 8-lane FMAs per iteration, threshold check per 16 points.
+  while (i + 16 <= n) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_fmadd_ps(d0, d0, acc);
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc = _mm256_fmadd_ps(d1, d1, acc);
+    i += 16;
+    sum = HorizontalSum256(acc);
+    if (sum >= threshold) return sum;
+  }
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+ODYSSEY_TARGET_AVX2 inline __m256 LbKeoghGap256(const float* upper,
+                                                const float* lower,
+                                                const float* candidate) {
+  const __m256 c = _mm256_loadu_ps(candidate);
+  const __m256 du = _mm256_sub_ps(c, _mm256_loadu_ps(upper));
+  const __m256 dl = _mm256_sub_ps(_mm256_loadu_ps(lower), c);
+  return _mm256_max_ps(_mm256_max_ps(du, dl), _mm256_setzero_ps());
+}
+
+ODYSSEY_TARGET_AVX2
+float LbKeoghAvx2K(const float* upper, const float* lower,
+                   const float* candidate, size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d = LbKeoghGap256(upper + i, lower + i, candidate + i);
+    acc = _mm256_fmadd_ps(d, d, acc);
+  }
+  float sum = HorizontalSum256(acc);
+  for (; i < n; ++i) {
+    const float d = LbKeoghPointGap(upper[i], lower[i], candidate[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+ODYSSEY_TARGET_AVX2
+float LbKeoghEarlyAbandonAvx2K(const float* upper, const float* lower,
+                               const float* candidate, size_t n,
+                               float threshold) {
+  __m256 acc = _mm256_setzero_ps();
+  float sum = 0.0f;
+  size_t i = 0;
+  while (i + 16 <= n) {
+    const __m256 d0 = LbKeoghGap256(upper + i, lower + i, candidate + i);
+    acc = _mm256_fmadd_ps(d0, d0, acc);
+    const __m256 d1 =
+        LbKeoghGap256(upper + i + 8, lower + i + 8, candidate + i + 8);
+    acc = _mm256_fmadd_ps(d1, d1, acc);
+    i += 16;
+    sum = HorizontalSum256(acc);
+    if (sum >= threshold) return sum;
+  }
+  for (; i < n; ++i) {
+    const float d = LbKeoghPointGap(upper[i], lower[i], candidate[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+ODYSSEY_TARGET_AVX2
+float DtwRowAvx2K(float ai, const float* b, const float* prev, float* cur,
+                  size_t jlo, size_t jhi) {
+  float row_min = kInf;
+  size_t j = jlo;
+  if (j == 0) {
+    const float d = ai - b[0];
+    cur[0] = d * d + prev[0];
+    row_min = cur[0];
+    j = 1;
+  }
+  // Same staging scheme as the SSE row kernel (see its comment); 8 lanes.
+  float cost[kDtwBlock];
+  float s[kDtwBlock];
+  const __m256 vai = _mm256_set1_ps(ai);
+  while (j <= jhi) {
+    const size_t len = (jhi - j + 1 < kDtwBlock) ? jhi - j + 1 : kDtwBlock;
+    size_t t = 0;
+    for (; t + 8 <= len; t += 8) {
+      const __m256 d = _mm256_sub_ps(vai, _mm256_loadu_ps(b + j + t));
+      const __m256 c = _mm256_mul_ps(d, d);
+      _mm256_storeu_ps(cost + t, c);
+      const __m256 p0 = _mm256_loadu_ps(prev + j + t);
+      const __m256 p1 = _mm256_loadu_ps(prev + j + t - 1);
+      _mm256_storeu_ps(s + t, _mm256_add_ps(c, _mm256_min_ps(p0, p1)));
+    }
+    DtwStageTail(ai, b, prev, j, t, len, cost, s);
+    row_min = DtwFoldBlock(cost, s, cur, j, len, row_min);
+    j += len;
+  }
+  return row_min;
+}
+
+constexpr KernelTable kAvx2Table = {
+    Isa::kAvx2,
+    SquaredEuclideanAvx2K,
+    SquaredEuclideanEarlyAbandonAvx2K,
+    LbKeoghAvx2K,
+    LbKeoghEarlyAbandonAvx2K,
+    DtwRowAvx2K,
+};
+
+bool CpuHasAvx2Fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#endif  // defined(ODYSSEY_X86)
+
+// ------------------------------------------------------------- dispatch
+
+Isa BestSupportedIsa() {
+#if defined(ODYSSEY_X86)
+  return CpuHasAvx2Fma() ? Isa::kAvx2 : Isa::kSse;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+Isa ResolveIsa() {
+  Isa isa = BestSupportedIsa();
+  const char* env = std::getenv("ODYSSEY_SIMD");
+  if (env != nullptr) {
+    Isa requested = isa;  // unknown values and "auto" keep the best ISA
+    if (std::strcmp(env, "scalar") == 0) {
+      requested = Isa::kScalar;
+    } else if (std::strcmp(env, "sse") == 0) {
+      requested = Isa::kSse;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      requested = Isa::kAvx2;
+    }
+    // The override can only lower the ISA: asking for one the CPU lacks
+    // degrades to the best supported level instead of crashing.
+    if (static_cast<int>(requested) < static_cast<int>(isa)) isa = requested;
+  }
+  return isa;
+}
+
+const KernelTable* TableFor(Isa isa) {
+  switch (isa) {
+#if defined(ODYSSEY_X86)
+    case Isa::kAvx2:
+      return &kAvx2Table;
+    case Isa::kSse:
+      return &kSseTable;
+#endif
+    default:
+      return &kScalarTable;
+  }
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kSse:
+      return "sse";
+    default:
+      return "scalar";
+  }
+}
+
+const KernelTable& ScalarTable() { return kScalarTable; }
+
+const KernelTable* SseTable() {
+#if defined(ODYSSEY_X86)
+  return &kSseTable;
+#else
+  return nullptr;
+#endif
+}
+
+const KernelTable* Avx2Table() {
+#if defined(ODYSSEY_X86)
+  if (CpuHasAvx2Fma()) return &kAvx2Table;
+#endif
+  return nullptr;
+}
+
+const KernelTable& ActiveTable() {
+  static const KernelTable* const table = TableFor(ResolveIsa());
+  return *table;
+}
+
+Isa ActiveIsa() { return ActiveTable().isa; }
+
+}  // namespace simd
+}  // namespace odyssey

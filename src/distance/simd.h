@@ -1,0 +1,86 @@
+#ifndef ODYSSEY_DISTANCE_SIMD_H_
+#define ODYSSEY_DISTANCE_SIMD_H_
+
+#include <cstddef>
+
+namespace odyssey {
+namespace simd {
+
+/// Runtime-dispatched SIMD kernels for the distance hot path. Every kernel
+/// exists at three ISA levels — portable scalar, SSE (x86-64 baseline) and
+/// AVX2+FMA — grouped into per-ISA tables so that call sites pay for
+/// dispatch once, not per distance computation. The active table is chosen
+/// at first use from CPUID, overridable with the ODYSSEY_SIMD environment
+/// variable ("scalar", "sse", "avx2", "auto"); requesting an ISA the CPU
+/// lacks silently degrades to the best supported one, so CI machines
+/// without AVX2 run the same binaries.
+///
+/// All kernels share the library's conventions: squared distances, float
+/// series, and early-abandoning variants that return some value >=
+/// `threshold` once the running sum provably crosses it (checked every 16
+/// points at every ISA level, so all levels abandon at the same cadence).
+
+enum class Isa {
+  kScalar = 0,
+  kSse = 1,
+  kAvx2 = 2,
+};
+
+/// Human-readable ISA name ("scalar", "sse", "avx2").
+const char* IsaName(Isa isa);
+
+struct KernelTable {
+  Isa isa;
+
+  /// Squared Euclidean distance over length-n series.
+  float (*squared_euclidean)(const float* a, const float* b, size_t n);
+
+  /// Early-abandoning squared Euclidean: exact when < threshold, otherwise
+  /// some value >= threshold as soon as the running sum crosses it.
+  float (*squared_euclidean_early_abandon)(const float* a, const float* b,
+                                           size_t n, float threshold);
+
+  /// Squared LB_Keogh of `candidate` against a precomputed warping envelope
+  /// (upper/lower, both length n): sum of squared gaps outside the band.
+  float (*lb_keogh)(const float* upper, const float* lower,
+                    const float* candidate, size_t n);
+
+  /// Early-abandoning squared LB_Keogh.
+  float (*lb_keogh_early_abandon)(const float* upper, const float* lower,
+                                  const float* candidate, size_t n,
+                                  float threshold);
+
+  /// One banded DTW dynamic-programming row for row index i >= 1:
+  ///
+  ///   cur[j] = (ai - b[j])^2 + min(prev[j], prev[j-1], cur[j-1])
+  ///
+  /// for j in [jlo, jhi] (inclusive), returning the row minimum. Caller
+  /// contract: prev/cur are full-length arrays with +inf outside the
+  /// previous/current band (so out-of-band reads are harmless), and
+  /// cur[jlo-1] is +inf when jlo > 0. When jlo == 0 the j == 0 cell takes
+  /// only prev[0] (no j-1 neighbors exist).
+  float (*dtw_row)(float ai, const float* b, const float* prev, float* cur,
+                   size_t jlo, size_t jhi);
+};
+
+/// Portable scalar reference kernels — always available, the ground truth
+/// the vector kernels are property-tested against.
+const KernelTable& ScalarTable();
+
+/// SSE kernels; nullptr on non-x86 builds.
+const KernelTable* SseTable();
+
+/// AVX2+FMA kernels; nullptr when the CPU (or build) lacks them.
+const KernelTable* Avx2Table();
+
+/// The dispatched table: best supported ISA, clamped by ODYSSEY_SIMD.
+/// Resolved once per process; the returned reference is immutable.
+const KernelTable& ActiveTable();
+
+/// ISA of ActiveTable(), for logging / benchmark counters.
+Isa ActiveIsa();
+
+}  // namespace simd
+}  // namespace odyssey
+
+#endif  // ODYSSEY_DISTANCE_SIMD_H_

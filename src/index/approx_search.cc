@@ -4,7 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/distance/dtw.h"
-#include "src/distance/euclidean.h"
+#include "src/distance/simd.h"
 #include "src/isax/mindist.h"
 
 namespace odyssey {
@@ -75,9 +75,12 @@ float ApproximateSearchSquared(const Index& index, const float* query,
                                const uint8_t* query_sax, uint32_t* answer_id) {
   const TreeNode* leaf = DescendToLeaf(index, query_paa, query_sax);
   const size_t n = index.config().series_length();
+  const simd::KernelTable& kernels = simd::ActiveTable();
   return ScanLeaf(index, leaf, query, answer_id,
-                  [n](const float* q, const float* s, float threshold) {
-                    return SquaredEuclideanEarlyAbandon(q, s, n, threshold);
+                  [n, &kernels](const float* q, const float* s,
+                                float threshold) {
+                    return kernels.squared_euclidean_early_abandon(q, s, n,
+                                                                   threshold);
                   });
 }
 

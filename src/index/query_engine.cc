@@ -349,12 +349,15 @@ float QueryExecution::RealDistance(const float* series,
   const size_t n = index_->config().series_length();
   if (options_.use_dtw) {
     // LB_Keogh at full resolution first; only survivors pay the DTW DP.
-    const float lb = SquaredLbKeoghEarlyAbandon(envelope_, series, threshold);
+    const float lb = kernels_->lb_keogh_early_abandon(
+        envelope_.upper.data(), envelope_.lower.data(), series,
+        envelope_.length(), threshold);
     if (lb >= threshold) return lb;
     return SquaredDtwEarlyAbandon(series, query_, n, options_.dtw_window,
                                   threshold);
   }
-  return SquaredEuclideanEarlyAbandon(query_, series, n, threshold);
+  return kernels_->squared_euclidean_early_abandon(query_, series, n,
+                                                   threshold);
 }
 
 std::vector<int> QueryExecution::StealBatches(int nsend) {

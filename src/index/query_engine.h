@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/distance/lb_keogh.h"
+#include "src/distance/simd.h"
 #include "src/index/approx_search.h"
 #include "src/index/builder.h"
 #include "src/index/rs_batch.h"
@@ -183,6 +184,9 @@ class QueryExecution {
   const Index* index_;
   const float* query_;
   QueryOptions options_;
+  /// Dispatched distance kernels, resolved once per execution so the scan
+  /// loop pays no per-distance dispatch cost.
+  const simd::KernelTable* const kernels_ = &simd::ActiveTable();
   std::atomic<float>* shared_bsf_;
   std::atomic<float> local_bsf_;  // used when shared_bsf == nullptr
   std::function<void(float)> on_bsf_improve_;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "src/distance/dtw.h"
 #include "src/distance/euclidean.h"
 #include "src/distance/lb_keogh.h"
+#include "src/distance/simd.h"
 #include "tests/testing_utils.h"
 
 namespace odyssey {
@@ -93,7 +95,9 @@ TEST(EuclideanTest, ScalarEarlyAbandonMatchesSimdVariant) {
     // value when it was not.
     EXPECT_EQ(s >= threshold, v * (1 + 1e-5f) >= threshold * (1 - 1e-5f))
         << s << " " << v << " thr " << threshold;
-    if (s < threshold) EXPECT_TRUE(NearlyEqual(s, v));
+    if (s < threshold) {
+      EXPECT_TRUE(NearlyEqual(s, v));
+    }
   }
 }
 
@@ -256,6 +260,179 @@ TEST(LbKeoghTest, BoundChainOnRealisticData) {
       ASSERT_LE(lb, dtw * (1 + 1e-5f) + 1e-6f);
     }
   }
+}
+
+// ----------------------------------------------------- SIMD kernel layer
+// Property tests of the runtime-dispatched kernel tables against the scalar
+// reference: every available vector ISA, every length in [1, 256] (covering
+// all non-multiple-of-8/16 remainders), plus subnormal inputs.
+
+std::vector<const simd::KernelTable*> VectorTables() {
+  std::vector<const simd::KernelTable*> tables;
+  if (simd::SseTable() != nullptr) tables.push_back(simd::SseTable());
+  if (simd::Avx2Table() != nullptr) tables.push_back(simd::Avx2Table());
+  return tables;
+}
+
+TEST(SimdKernelTest, ActiveTableIsBestAvailable) {
+  const simd::KernelTable& active = simd::ActiveTable();
+  EXPECT_EQ(&active, &simd::ActiveTable());  // stable across calls
+  if (std::getenv("ODYSSEY_SIMD") == nullptr &&
+      simd::Avx2Table() != nullptr) {
+    EXPECT_EQ(active.isa, simd::Isa::kAvx2);
+  }
+}
+
+TEST(SimdKernelTest, EuclideanMatchesScalarOnEveryLengthTo256) {
+  const simd::KernelTable& scalar = simd::ScalarTable();
+  for (const simd::KernelTable* table : VectorTables()) {
+    Rng rng(31);
+    for (size_t n = 1; n <= 256; ++n) {
+      const std::vector<float> a = RandomSeries(&rng, n);
+      const std::vector<float> b = RandomSeries(&rng, n);
+      const float want = scalar.squared_euclidean(a.data(), b.data(), n);
+      const float got = table->squared_euclidean(a.data(), b.data(), n);
+      ASSERT_TRUE(NearlyEqual(got, want))
+          << simd::IsaName(table->isa) << " n=" << n << ": " << got << " vs "
+          << want;
+    }
+  }
+}
+
+TEST(SimdKernelTest, EuclideanEarlyAbandonConsistentOnEveryLengthTo256) {
+  const simd::KernelTable& scalar = simd::ScalarTable();
+  for (const simd::KernelTable* table : VectorTables()) {
+    Rng rng(41);
+    for (size_t n = 1; n <= 256; ++n) {
+      const std::vector<float> a = RandomSeries(&rng, n);
+      const std::vector<float> b = RandomSeries(&rng, n);
+      const float exact = scalar.squared_euclidean(a.data(), b.data(), n);
+      const float threshold =
+          static_cast<float>(rng.NextDouble()) * 2.0f * (exact + 1.0f);
+      const float got = table->squared_euclidean_early_abandon(
+          a.data(), b.data(), n, threshold);
+      // Away from the threshold boundary the contract is unambiguous:
+      // exact value when clearly below, >= threshold when clearly above.
+      if (exact < threshold * (1.0f - 1e-4f)) {
+        ASSERT_TRUE(NearlyEqual(got, exact))
+            << simd::IsaName(table->isa) << " n=" << n;
+      } else if (exact > threshold * (1.0f + 1e-4f)) {
+        ASSERT_GE(got * (1.0f + 1e-4f), threshold)
+            << simd::IsaName(table->isa) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, LbKeoghMatchesScalarOnEveryLengthTo256) {
+  const simd::KernelTable& scalar = simd::ScalarTable();
+  for (const simd::KernelTable* table : VectorTables()) {
+    Rng rng(51);
+    for (size_t n = 1; n <= 256; ++n) {
+      const std::vector<float> q = RandomSeries(&rng, n);
+      const std::vector<float> c = RandomSeries(&rng, n);
+      const size_t w = rng.NextBounded(n + 4);
+      const Envelope env = BuildEnvelope(q.data(), n, w);
+      const float want =
+          scalar.lb_keogh(env.upper.data(), env.lower.data(), c.data(), n);
+      const float got =
+          table->lb_keogh(env.upper.data(), env.lower.data(), c.data(), n);
+      ASSERT_TRUE(NearlyEqual(got, want))
+          << simd::IsaName(table->isa) << " n=" << n << " w=" << w;
+      const float exact_ea = table->lb_keogh_early_abandon(
+          env.upper.data(), env.lower.data(), c.data(), n, want * 2.0f + 1.0f);
+      ASSERT_TRUE(NearlyEqual(exact_ea, want))
+          << simd::IsaName(table->isa) << " n=" << n;
+      if (want > 0.0f) {
+        ASSERT_GE(table->lb_keogh_early_abandon(env.upper.data(),
+                                                env.lower.data(), c.data(), n,
+                                                want / 2.0f) *
+                      (1.0f + 1e-4f),
+                  want / 2.0f)
+            << simd::IsaName(table->isa) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, DtwRowBitIdenticalToScalar) {
+  // The DTW row kernels use mul (not FMA) and a scalar dependency sweep so
+  // every ISA must produce bit-identical DP rows — exact EQ, no tolerance.
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  const simd::KernelTable& scalar = simd::ScalarTable();
+  for (const simd::KernelTable* table : VectorTables()) {
+    Rng rng(61);
+    for (int trial = 0; trial < 300; ++trial) {
+      const size_t n = 1 + rng.NextBounded(256);
+      const size_t jlo = rng.NextBounded(n);
+      const size_t jhi = jlo + rng.NextBounded(n - jlo);
+      const std::vector<float> b = RandomSeries(&rng, n);
+      const float ai = static_cast<float>(rng.NextGaussian());
+      // A plausible previous row: finite non-negative values on a band that
+      // overlaps [jlo, jhi], +inf elsewhere (the BandDtw invariant).
+      std::vector<float> prev(n, kInf);
+      const size_t plo = (jlo > 0) ? jlo - 1 : 0;
+      for (size_t j = plo; j <= jhi; ++j) {
+        prev[j] = static_cast<float>(rng.NextDouble()) * 10.0f;
+      }
+      std::vector<float> cur_scalar(n, kInf), cur_vector(n, kInf);
+      const float min_scalar =
+          scalar.dtw_row(ai, b.data(), prev.data(), cur_scalar.data(), jlo,
+                         jhi);
+      const float min_vector =
+          table->dtw_row(ai, b.data(), prev.data(), cur_vector.data(), jlo,
+                         jhi);
+      ASSERT_EQ(min_scalar, min_vector)
+          << simd::IsaName(table->isa) << " n=" << n << " jlo=" << jlo
+          << " jhi=" << jhi;
+      for (size_t j = jlo; j <= jhi; ++j) {
+        ASSERT_EQ(cur_scalar[j], cur_vector[j])
+            << simd::IsaName(table->isa) << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, SubnormalInputsMatchScalar) {
+  // ±subnormals and tiny normals: d*d underflows; all ISAs must agree (no
+  // kernel sets FTZ/DAZ, so vector and scalar follow the same IEEE rules).
+  const float specials[] = {0.0f,     1e-38f,  -1e-38f, 1e-41f, -1e-41f,
+                            1e-44f,   -1e-44f, 1.5f,    -2.5f,  1e-30f,
+                            -1e-30f};
+  const size_t kNumSpecials = sizeof(specials) / sizeof(specials[0]);
+  const simd::KernelTable& scalar = simd::ScalarTable();
+  for (const simd::KernelTable* table : VectorTables()) {
+    Rng rng(71);
+    for (size_t n : {1u, 7u, 16u, 61u, 250u, 256u}) {
+      std::vector<float> a(n), b(n);
+      for (size_t i = 0; i < n; ++i) {
+        a[i] = specials[rng.NextBounded(kNumSpecials)];
+        b[i] = specials[rng.NextBounded(kNumSpecials)];
+      }
+      const float want = scalar.squared_euclidean(a.data(), b.data(), n);
+      const float got = table->squared_euclidean(a.data(), b.data(), n);
+      ASSERT_TRUE(NearlyEqual(got, want))
+          << simd::IsaName(table->isa) << " n=" << n;
+      const Envelope env = BuildEnvelope(a.data(), n, 2);
+      ASSERT_TRUE(NearlyEqual(
+          table->lb_keogh(env.upper.data(), env.lower.data(), b.data(), n),
+          scalar.lb_keogh(env.upper.data(), env.lower.data(), b.data(), n)))
+          << simd::IsaName(table->isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelTest, PublicEntryPointsUseActiveTable) {
+  Rng rng(81);
+  const std::vector<float> a = RandomSeries(&rng, 96);
+  const std::vector<float> b = RandomSeries(&rng, 96);
+  const simd::KernelTable& active = simd::ActiveTable();
+  EXPECT_EQ(SquaredEuclidean(a.data(), b.data(), 96),
+            active.squared_euclidean(a.data(), b.data(), 96));
+  const Envelope env = BuildEnvelope(a.data(), 96, 5);
+  EXPECT_EQ(SquaredLbKeogh(env, b.data()),
+            active.lb_keogh(env.upper.data(), env.lower.data(), b.data(), 96));
+  EXPECT_EQ(HasAvx2Kernels(), active.isa == simd::Isa::kAvx2);
 }
 
 }  // namespace

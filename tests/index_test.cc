@@ -55,12 +55,16 @@ TEST(BuffersTest, GroupsCoverAllSeriesByKey) {
       BuildBuffers(table, data.size(), config, nullptr);
   size_t total = 0;
   for (size_t b = 0; b < buffers.buffer_count(); ++b) {
-    if (b > 0) EXPECT_LT(buffers.keys[b - 1], buffers.keys[b]);
+    if (b > 0) {
+      EXPECT_LT(buffers.keys[b - 1], buffers.keys[b]);
+    }
     uint32_t prev = 0;
     bool first = true;
     for (uint32_t id : buffers.series[b]) {
       EXPECT_EQ(RootKey(table.data() + id * 8, config), buffers.keys[b]);
-      if (!first) EXPECT_LT(prev, id);  // ascending ids (determinism)
+      if (!first) {
+        EXPECT_LT(prev, id);  // ascending ids (determinism)
+      }
       prev = id;
       first = false;
       ++total;
@@ -95,7 +99,9 @@ TEST(TreeTest, LeavesRespectCapacityUnlessFullyRefined) {
       for (uint8_t bits : node->word().bits) {
         fully_refined &= (bits == kMaxSaxBits);
       }
-      if (!fully_refined) EXPECT_LE(node->ids().size(), options.leaf_capacity);
+      if (!fully_refined) {
+        EXPECT_LE(node->ids().size(), options.leaf_capacity);
+      }
       return;
     }
     visit(node->left());
