@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Merge per-target Google Benchmark JSON dumps into one file, and diff runs.
+
+Workflow:
+    mkdir -p bench-json
+    ODYSSEY_BENCH_JSON_DIR=bench-json ./build/bench_distance_kernels
+    ODYSSEY_BENCH_JSON_DIR=bench-json ./build/bench_fig10_scheduling
+    ...
+    python3 bench/aggregate.py bench-json -o BENCH_main.json
+
+    # after a change, in a second directory:
+    python3 bench/aggregate.py bench-json-new -o BENCH_pr.json
+    python3 bench/aggregate.py --diff BENCH_main.json BENCH_pr.json
+
+The merged file maps target name -> {context, benchmarks}; --diff prints
+per-benchmark real_time ratios (new / old) so perf-tracked PRs can show
+run-over-run numbers without bespoke parsing.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def merge(directory: pathlib.Path) -> dict:
+    merged = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as e:
+            print(f"warning: skipping {path}: {e}", file=sys.stderr)
+            continue
+        if "benchmarks" not in data:
+            print(f"warning: skipping {path}: no 'benchmarks' key",
+                  file=sys.stderr)
+            continue
+        merged[path.stem] = data
+    return merged
+
+
+def flatten(merged: dict) -> dict:
+    """target/benchmark-name -> real_time (ns-normalized)."""
+    out = {}
+    for target, data in merged.items():
+        unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+        for bm in data.get("benchmarks", []):
+            if bm.get("run_type") == "aggregate":
+                continue
+            scale = unit_ns.get(bm.get("time_unit", "ns"), 1.0)
+            out[f"{target}/{bm['name']}"] = bm.get("real_time", 0.0) * scale
+    return out
+
+
+def diff(old_path: pathlib.Path, new_path: pathlib.Path) -> int:
+    old = flatten(json.loads(old_path.read_text()))
+    new = flatten(json.loads(new_path.read_text()))
+    common = sorted(set(old) & set(new))
+    if not common:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return 1
+    width = max(len(name) for name in common)
+    print(f"{'benchmark':<{width}}  {'old_ms':>10}  {'new_ms':>10}  ratio")
+    for name in common:
+        o, n = old[name], new[name]
+        ratio = n / o if o > 0 else float("inf")
+        flag = "  <-- " + ("slower" if ratio > 1.10 else "faster") \
+            if abs(ratio - 1.0) > 0.10 else ""
+        print(f"{name:<{width}}  {o / 1e6:>10.3f}  {n / 1e6:>10.3f}  "
+              f"{ratio:>5.2f}{flag}")
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"\nonly in {old_path.name}: {len(only_old)} benchmarks")
+    if only_new:
+        print(f"only in {new_path.name}: {len(only_new)} benchmarks")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="*",
+                        help="directory of per-target JSON dumps to merge, "
+                             "or (with --diff) two merged files")
+    parser.add_argument("-o", "--output", default="BENCH_merged.json",
+                        help="merged output path (default: %(default)s)")
+    parser.add_argument("--diff", action="store_true",
+                        help="compare two merged files instead of merging")
+    args = parser.parse_args()
+
+    if args.diff:
+        if len(args.inputs) != 2:
+            parser.error("--diff needs exactly two merged files (old new)")
+        return diff(pathlib.Path(args.inputs[0]), pathlib.Path(args.inputs[1]))
+
+    if len(args.inputs) != 1:
+        parser.error("merge mode needs exactly one input directory")
+    directory = pathlib.Path(args.inputs[0])
+    if not directory.is_dir():
+        parser.error(f"{directory} is not a directory")
+    merged = merge(directory)
+    if not merged:
+        print(f"no benchmark JSON files found in {directory}", file=sys.stderr)
+        return 1
+    pathlib.Path(args.output).write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"merged {len(merged)} targets "
+          f"({sum(len(d['benchmarks']) for d in merged.values())} benchmarks) "
+          f"-> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `aggregate.py --diff a b | head`
+        sys.exit(0)

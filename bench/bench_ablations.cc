@@ -64,8 +64,10 @@ void BM_Ablation_NumBatches(benchmark::State& state) {
       QueryOptions qo;
       qo.num_threads = 4;
       qo.num_batches = batches;
-      QueryExecution exec(&index, queries.data(q), qo);
-      exec.Initialize();
+      const PreparedQuery prepared =
+          PrepareQuery(queries.data(q), index.config(), qo);
+      QueryExecution exec(&index, prepared, qo);
+      exec.SeedInitialBsf();
       exec.Run();
       benchmark::DoNotOptimize(exec.results().Threshold());
     }
@@ -86,8 +88,10 @@ void BM_Ablation_HelpThreshold(benchmark::State& state) {
       QueryOptions qo;
       qo.num_threads = 4;
       qo.help_threshold = static_cast<int>(state.range(0));
-      QueryExecution exec(&index, queries.data(q), qo);
-      exec.Initialize();
+      const PreparedQuery prepared =
+          PrepareQuery(queries.data(q), index.config(), qo);
+      QueryExecution exec(&index, prepared, qo);
+      exec.SeedInitialBsf();
       exec.Run();
       benchmark::DoNotOptimize(exec.results().Threshold());
     }
@@ -131,8 +135,10 @@ void BM_Ablation_LeafCapacity(benchmark::State& state) {
     for (size_t q = 0; q < queries.size(); ++q) {
       QueryOptions qo;
       qo.num_threads = 4;
-      QueryExecution exec(&index, queries.data(q), qo);
-      exec.Initialize();
+      const PreparedQuery prepared =
+          PrepareQuery(queries.data(q), index.config(), qo);
+      QueryExecution exec(&index, prepared, qo);
+      exec.SeedInitialBsf();
       exec.Run();
       benchmark::DoNotOptimize(exec.results().Threshold());
     }
@@ -171,4 +177,4 @@ BENCHMARK(BM_Ablation_DistanceKernel)
 }  // namespace
 }  // namespace odyssey
 
-BENCHMARK_MAIN();
+ODYSSEY_BENCH_MAIN();

@@ -4,9 +4,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "src/baselines/dmessi.h"
@@ -128,7 +130,54 @@ inline bool ValidLayout(int nodes, int groups) {
   return groups >= 1 && groups <= nodes && nodes % groups == 0;
 }
 
+/// Machine-readable results for every bench target: when
+/// ODYSSEY_BENCH_JSON_DIR is set and the caller passed no --benchmark_out
+/// flag of their own, appends `--benchmark_out=<dir>/<target>.json
+/// --benchmark_out_format=json` to the argument vector (the library's
+/// BENCHMARK_OUT env default is read at static-init time, before main, so
+/// flag injection is the only reliable hook). Merge the per-target files
+/// with bench/aggregate.py for run-over-run diffs. Call before
+/// benchmark::Initialize — custom mains call this directly; flag-only
+/// targets use ODYSSEY_BENCH_MAIN().
+inline void WireJsonOutput(int* argc, char*** argv) {
+  const char* dir = std::getenv("ODYSSEY_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string((*argv)[i]).rfind("--benchmark_out=", 0) == 0) return;
+  }
+  // The library std::exit(1)s on an unopenable output file; create the
+  // directory up front so a fresh checkout needs no manual mkdir.
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::string target((*argv)[0]);
+  const size_t slash = target.find_last_of('/');
+  if (slash != std::string::npos) target = target.substr(slash + 1);
+  // Static storage: the strings must stay alive for the library to read
+  // (Initialize keeps pointers into argv).
+  static std::vector<std::string> storage(*argv, *argv + *argc);
+  storage.push_back("--benchmark_out=" + std::string(dir) + "/" + target +
+                    ".json");
+  storage.push_back("--benchmark_out_format=json");
+  static std::vector<char*> args;
+  args.clear();
+  for (std::string& s : storage) args.push_back(s.data());
+  *argc = static_cast<int>(args.size());
+  *argv = args.data();
+}
+
 }  // namespace bench
 }  // namespace odyssey
+
+/// Drop-in BENCHMARK_MAIN() replacement with the JSON wiring above.
+#define ODYSSEY_BENCH_MAIN()                                              \
+  int main(int argc, char** argv) {                                       \
+    ::odyssey::bench::WireJsonOutput(&argc, &argv);                       \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    return 0;                                                             \
+  }                                                                       \
+  int main(int, char**)
 
 #endif  // ODYSSEY_BENCH_BENCH_COMMON_H_

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/common/rng.h"
 #include "src/distance/dtw.h"
 #include "src/distance/lb_keogh.h"
@@ -111,6 +112,27 @@ void BM_LbKeogh256(benchmark::State& state) {
 }
 BENCHMARK(BM_LbKeogh256)->Apply(ApplyIsaArgs)->Unit(benchmark::kMicrosecond);
 
+void BM_Paa256(benchmark::State& state) {
+  // The PAA summarization kernel (16 segments, as in MESSI/Odyssey): what
+  // PreparedBatch pays once per query. The scalar/vector ratio here is the
+  // acceptance number for the summarization kernel.
+  const simd::KernelTable* table = TableForArg(state.range(0));
+  const std::vector<float>& pool = Pool();
+  constexpr int kSegments = 16;
+  double out[kSegments];
+  double checksum = 0.0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kSeries; ++i) {
+      table->paa(pool.data() + i * kLength, kLength, kSegments, out);
+      checksum += out[0];
+    }
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kSeries));
+  state.SetLabel(simd::IsaName(table->isa));
+}
+BENCHMARK(BM_Paa256)->Apply(ApplyIsaArgs)->Unit(benchmark::kMicrosecond);
+
 void BM_DtwRow256(benchmark::State& state) {
   // The DP row kernel in isolation: one full-band row per inner call.
   const simd::KernelTable* table = TableForArg(state.range(0));
@@ -150,4 +172,4 @@ BENCHMARK(BM_SquaredDtw256)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace odyssey
 
-BENCHMARK_MAIN();
+ODYSSEY_BENCH_MAIN();

@@ -68,8 +68,10 @@ void BM_Fig04_QuartileTime(benchmark::State& bench_state) {
     for (size_t i = begin; i < end; ++i) {
       QueryOptions qo;
       qo.num_threads = 2;
-      QueryExecution exec(st.index.get(), st.queries.data(order[i]), qo);
-      mean_bsf += exec.Initialize();
+      const PreparedQuery prepared =
+          PrepareQuery(st.queries.data(order[i]), st.index->config(), qo);
+      QueryExecution exec(st.index.get(), prepared, qo);
+      mean_bsf += exec.SeedInitialBsf();
       exec.Run();
       benchmark::DoNotOptimize(exec.results().Threshold());
     }
@@ -91,4 +93,4 @@ BENCHMARK(BM_Fig04_QuartileTime)
 }  // namespace
 }  // namespace odyssey
 
-BENCHMARK_MAIN();
+ODYSSEY_BENCH_MAIN();

@@ -57,8 +57,10 @@ void BM_Fig06_DivisionFactor(benchmark::State& bench_state) {
     for (size_t q = 0; q < st.queries.size(); ++q) {
       QueryOptions qo;
       qo.num_threads = 4;
-      QueryExecution exec(st.index.get(), st.queries.data(q), qo);
-      const float initial = exec.Initialize();
+      const PreparedQuery prepared =
+          PrepareQuery(st.queries.data(q), st.index->config(), qo);
+      QueryExecution exec(st.index.get(), prepared, qo);
+      const float initial = exec.SeedInitialBsf();
       if (st.model.calibrated()) {
         ThresholdModel scaled = st.model;
         scaled.set_division_factor(factor);
@@ -87,4 +89,4 @@ BENCHMARK(BM_Fig06_DivisionFactor)
 }  // namespace
 }  // namespace odyssey
 
-BENCHMARK_MAIN();
+ODYSSEY_BENCH_MAIN();

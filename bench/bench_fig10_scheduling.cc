@@ -95,6 +95,7 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   odyssey::RegisterAll();
+  odyssey::bench::WireJsonOutput(&argc, &argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -78,6 +78,7 @@ void RegisterFamily(const char* figure, const std::string& dataset,
 }  // namespace odyssey
 
 int main(int argc, char** argv) {
+  odyssey::bench::WireJsonOutput(&argc, &argv);
   using odyssey::bench::Scaled;
   odyssey::RegisterFamily("BM_Fig12a_Random", "Random", 256,
                           {Scaled(8000), Scaled(16000), Scaled(32000),

@@ -39,6 +39,7 @@ void RegisterAll() {
 }  // namespace odyssey
 
 int main(int argc, char** argv) {
+  odyssey::bench::WireJsonOutput(&argc, &argv);
   std::printf(
       "=== Table 1: datasets (paper -> reproduction stand-in) ===\n"
       "%-10s %14s %8s %10s   %s\n",

@@ -47,11 +47,15 @@ int main() {
   for (size_t q = 0; q < queries.size(); ++q) {
     QueryOptions qo;
     qo.num_threads = 4;
-    QueryExecution from_build(&built, queries.data(q), qo);
-    from_build.Initialize();
+    // One prepared artifact serves both indexes (as replicas share one in
+    // the distributed path).
+    const PreparedQuery prepared =
+        PrepareQuery(queries.data(q), built.config(), qo);
+    QueryExecution from_build(&built, prepared, qo);
+    from_build.SeedInitialBsf();
     from_build.Run();
-    QueryExecution from_load(&*loaded, queries.data(q), qo);
-    from_load.Initialize();
+    QueryExecution from_load(&*loaded, prepared, qo);
+    from_load.SeedInitialBsf();
     from_load.Run();
     const Neighbor a = from_build.results().SortedResults()[0];
     const Neighbor b = from_load.results().SortedResults()[0];

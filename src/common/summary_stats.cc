@@ -1,0 +1,37 @@
+#include "src/common/summary_stats.h"
+
+#include <atomic>
+
+namespace odyssey {
+namespace summary_stats {
+namespace {
+
+// One cache line per counter: index construction increments the PAA and
+// SAX counters from every build thread (once per data series), and packing
+// them together would make each increment ping-pong the others' line too.
+alignas(64) std::atomic<uint64_t> g_paa_calls{0};
+alignas(64) std::atomic<uint64_t> g_sax_calls{0};
+alignas(64) std::atomic<uint64_t> g_envelope_calls{0};
+
+}  // namespace
+
+uint64_t PaaCalls() { return g_paa_calls.load(std::memory_order_relaxed); }
+uint64_t SaxCalls() { return g_sax_calls.load(std::memory_order_relaxed); }
+uint64_t EnvelopeCalls() {
+  return g_envelope_calls.load(std::memory_order_relaxed);
+}
+
+void Reset() {
+  g_paa_calls.store(0, std::memory_order_relaxed);
+  g_sax_calls.store(0, std::memory_order_relaxed);
+  g_envelope_calls.store(0, std::memory_order_relaxed);
+}
+
+void CountPaa() { g_paa_calls.fetch_add(1, std::memory_order_relaxed); }
+void CountSax() { g_sax_calls.fetch_add(1, std::memory_order_relaxed); }
+void CountEnvelope() {
+  g_envelope_calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace summary_stats
+}  // namespace odyssey

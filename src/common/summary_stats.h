@@ -1,0 +1,37 @@
+#ifndef ODYSSEY_COMMON_SUMMARY_STATS_H_
+#define ODYSSEY_COMMON_SUMMARY_STATS_H_
+
+#include <cstdint>
+
+namespace odyssey {
+namespace summary_stats {
+
+/// Process-wide counters of query-summary construction work (PAA, SAX and
+/// DTW-envelope builds). The PreparedQuery pipeline promises each summary is
+/// computed at most once per query per batch — across scheduling estimates,
+/// replicas and stolen work — and the tests assert that promise through
+/// these counters. Increments are relaxed atomics on per-counter cache
+/// lines; the cost is one uncontended RMW per *summary* (not per
+/// distance) — noise next to the segment-sum + quantization work each
+/// summary already does, including on the parallel index-build path.
+///
+/// Note the nesting: ComputeSax(series) derives a PAA internally and so
+/// counts one SAX and one PAA call; ComputeSaxFromPaa counts only the SAX.
+/// ComputeEnvelopePaa runs PAA over both envelope bands (two PAA calls).
+
+uint64_t PaaCalls();
+uint64_t SaxCalls();
+uint64_t EnvelopeCalls();
+
+/// Zeroes all three counters (test setup).
+void Reset();
+
+/// Increment hooks, called by the summarization routines themselves.
+void CountPaa();
+void CountSax();
+void CountEnvelope();
+
+}  // namespace summary_stats
+}  // namespace odyssey
+
+#endif  // ODYSSEY_COMMON_SUMMARY_STATS_H_

@@ -21,12 +21,14 @@ std::vector<CalibrationSample> CollectCalibrationSamples(
     const QueryOptions& options) {
   QueryOptions calibration_options = options;
   calibration_options.queue_threshold = 0;  // unbounded: observe natural sizes
+  const PreparedBatch prepared =
+      PrepareBatch(queries, index.config(), calibration_options);
   std::vector<CalibrationSample> samples;
   samples.reserve(queries.size());
   for (size_t q = 0; q < queries.size(); ++q) {
-    QueryExecution exec(&index, queries.data(q), calibration_options);
+    QueryExecution exec(&index, prepared.query(q), calibration_options);
     CalibrationSample sample;
-    sample.initial_bsf = exec.Initialize();
+    sample.initial_bsf = exec.SeedInitialBsf();
     exec.Run();
     const QueryStats stats = exec.stats();
     sample.exec_seconds = stats.elapsed_seconds;

@@ -46,7 +46,7 @@ const Index& NodeRuntime::index() const {
 }
 
 void NodeRuntime::StartBatch(SimCluster* cluster,
-                             const SeriesCollection* queries,
+                             const PreparedBatch* queries,
                              const NodeBatchOptions& options) {
   ODYSSEY_CHECK(index_ != nullptr);
   ODYSSEY_CHECK(!comms_thread_.joinable() && !main_thread_.joinable());
@@ -198,9 +198,9 @@ void NodeRuntime::ExecuteQuery(int query_id) {
       cluster_->Broadcast(update, /*except=*/id_);
     };
   }
-  QueryExecution exec(index_.get(), queries_->data(query_id),
+  QueryExecution exec(index_.get(), queries_->query(query_id),
                       options_.query_options, cell, on_improve);
-  const float initial_bsf = exec.Initialize();
+  const float initial_bsf = exec.SeedInitialBsf();
   if (options_.threshold_model != nullptr &&
       options_.threshold_model->calibrated()) {
     exec.set_queue_threshold(
@@ -277,10 +277,12 @@ void NodeRuntime::RunStolenWork(const Message& reply) {
       cluster_->Broadcast(update, /*except=*/id_);
     };
   }
-  QueryExecution exec(index_.get(), queries_->data(query_id),
+  // The stolen query's summaries come from the same batch-level prepared
+  // artifact the victim used — a steal costs no re-summarization.
+  QueryExecution exec(index_.get(), queries_->query(query_id),
                       options_.query_options, &bsf_board_[query_id],
                       on_improve);
-  const float initial_bsf = exec.Initialize();
+  const float initial_bsf = exec.SeedInitialBsf();
   if (options_.threshold_model != nullptr &&
       options_.threshold_model->calibrated()) {
     exec.set_queue_threshold(

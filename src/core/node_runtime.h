@@ -15,6 +15,7 @@
 #include "src/core/worksteal.h"
 #include "src/index/threshold_model.h"
 #include "src/net/sim_cluster.h"
+#include "src/query/prepared_query.h"
 
 namespace odyssey {
 
@@ -75,9 +76,12 @@ class NodeRuntime {
   const BuildTimings& build_timings() const { return build_timings_; }
 
   /// Starts the node's threads for one query batch. `cluster` and `queries`
-  /// must outlive the batch. The node runs until the driver sends
-  /// kShutdown; call JoinBatch() afterwards.
-  void StartBatch(SimCluster* cluster, const SeriesCollection* queries,
+  /// (the driver's batch-level prepared artifact, plus the raw series it
+  /// points into) must outlive the batch. Replicas and stolen-work runs all
+  /// execute against the same PreparedQuery objects — nodes never
+  /// re-summarize. The node runs until the driver sends kShutdown; call
+  /// JoinBatch() afterwards.
+  void StartBatch(SimCluster* cluster, const PreparedBatch* queries,
                   const NodeBatchOptions& options);
 
   /// Joins the batch threads (after the driver's kShutdown).
@@ -107,7 +111,7 @@ class NodeRuntime {
 
   // Per-batch state.
   SimCluster* cluster_ = nullptr;
-  const SeriesCollection* queries_ = nullptr;
+  const PreparedBatch* queries_ = nullptr;
   NodeBatchOptions options_;
   std::unique_ptr<std::atomic<float>[]> bsf_board_;  // one cell per query
   std::thread comms_thread_;

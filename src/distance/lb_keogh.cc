@@ -4,11 +4,13 @@
 #include <deque>
 
 #include "src/common/check.h"
+#include "src/common/summary_stats.h"
 #include "src/distance/simd.h"
 
 namespace odyssey {
 
 Envelope BuildEnvelope(const float* q, size_t n, size_t window) {
+  summary_stats::CountEnvelope();
   Envelope env;
   env.upper.resize(n);
   env.lower.resize(n);

@@ -95,6 +95,18 @@ float LbKeoghEarlyAbandonScalarK(const float* upper, const float* lower,
   return sum;
 }
 
+void PaaScalarK(const float* series, size_t n, int segments, double* out) {
+  size_t begin = 0;
+  for (int i = 0; i < segments; ++i) {
+    const size_t end =
+        (static_cast<size_t>(i) + 1) * n / static_cast<size_t>(segments);
+    double sum = 0.0;
+    for (size_t t = begin; t < end; ++t) sum += series[t];
+    out[i] = sum / static_cast<double>(end - begin);
+    begin = end;
+  }
+}
+
 float DtwRowScalarK(float ai, const float* b, const float* prev, float* cur,
                     size_t jlo, size_t jhi) {
   float row_min = kInf;
@@ -122,6 +134,7 @@ constexpr KernelTable kScalarTable = {
     SquaredEuclideanEarlyAbandonScalarK,
     LbKeoghScalarK,
     LbKeoghEarlyAbandonScalarK,
+    PaaScalarK,
     DtwRowScalarK,
 };
 
@@ -251,6 +264,30 @@ float LbKeoghEarlyAbandonSseK(const float* upper, const float* lower,
   return sum;
 }
 
+void PaaSseK(const float* series, size_t n, int segments, double* out) {
+  size_t begin = 0;
+  for (int i = 0; i < segments; ++i) {
+    const size_t end =
+        (static_cast<size_t>(i) + 1) * n / static_cast<size_t>(segments);
+    // Two independent accumulators keep the add_pd latency chains off the
+    // critical path (a segment is typically 16 points: 4 iterations here).
+    __m128d acc0 = _mm_setzero_pd();
+    __m128d acc1 = _mm_setzero_pd();
+    size_t t = begin;
+    for (; t + 4 <= end; t += 4) {
+      const __m128 v = _mm_loadu_ps(series + t);
+      acc0 = _mm_add_pd(acc0, _mm_cvtps_pd(v));
+      acc1 = _mm_add_pd(acc1, _mm_cvtps_pd(_mm_movehl_ps(v, v)));
+    }
+    const __m128d acc = _mm_add_pd(acc0, acc1);
+    double sum = _mm_cvtsd_f64(acc) +
+                 _mm_cvtsd_f64(_mm_unpackhi_pd(acc, acc));
+    for (; t < end; ++t) sum += series[t];
+    out[i] = sum / static_cast<double>(end - begin);
+    begin = end;
+  }
+}
+
 float DtwRowSseK(float ai, const float* b, const float* prev, float* cur,
                  size_t jlo, size_t jhi) {
   float row_min = kInf;
@@ -292,6 +329,7 @@ constexpr KernelTable kSseTable = {
     SquaredEuclideanEarlyAbandonSseK,
     LbKeoghSseK,
     LbKeoghEarlyAbandonSseK,
+    PaaSseK,
     DtwRowSseK,
 };
 
@@ -400,6 +438,31 @@ float LbKeoghEarlyAbandonAvx2K(const float* upper, const float* lower,
 }
 
 ODYSSEY_TARGET_AVX2
+void PaaAvx2K(const float* series, size_t n, int segments, double* out) {
+  size_t begin = 0;
+  for (int i = 0; i < segments; ++i) {
+    const size_t end =
+        (static_cast<size_t>(i) + 1) * n / static_cast<size_t>(segments);
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    size_t t = begin;
+    for (; t + 8 <= end; t += 8) {
+      acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm_loadu_ps(series + t)));
+      acc1 =
+          _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm_loadu_ps(series + t + 4)));
+    }
+    const __m256d acc = _mm256_add_pd(acc0, acc1);
+    const __m128d pair = _mm_add_pd(_mm256_castpd256_pd128(acc),
+                                    _mm256_extractf128_pd(acc, 1));
+    double sum = _mm_cvtsd_f64(pair) +
+                 _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+    for (; t < end; ++t) sum += series[t];
+    out[i] = sum / static_cast<double>(end - begin);
+    begin = end;
+  }
+}
+
+ODYSSEY_TARGET_AVX2
 float DtwRowAvx2K(float ai, const float* b, const float* prev, float* cur,
                   size_t jlo, size_t jhi) {
   float row_min = kInf;
@@ -438,6 +501,7 @@ constexpr KernelTable kAvx2Table = {
     SquaredEuclideanEarlyAbandonAvx2K,
     LbKeoghAvx2K,
     LbKeoghEarlyAbandonAvx2K,
+    PaaAvx2K,
     DtwRowAvx2K,
 };
 

@@ -50,6 +50,15 @@ struct KernelTable {
                                   const float* candidate, size_t n,
                                   float threshold);
 
+  /// PAA summarization: the mean of each of `segments` contiguous ranges of
+  /// the length-n float series, written to out[0..segments). Boundaries are
+  /// the integer partition [floor(i*n/w), floor((i+1)*n/w)) shared with
+  /// PaaConfig. Accumulation is double at every ISA level; the vector
+  /// levels stripe the per-segment sum across lanes, so results can differ
+  /// from scalar by ordinary FP reassociation (property-tested to the same
+  /// relative tolerance as the distance kernels).
+  void (*paa)(const float* series, size_t n, int segments, double* out);
+
   /// One banded DTW dynamic-programming row for row index i >= 1:
   ///
   ///   cur[j] = (ai - b[j])^2 + min(prev[j], prev[j-1], cur[j-1])

@@ -65,18 +65,16 @@ float ScanLeaf(const Index& index, const TreeNode* leaf, const float* query,
 }  // namespace
 
 const TreeNode* ApproximateSearchLeaf(const Index& index,
-                                      const double* query_paa,
-                                      const uint8_t* query_sax) {
-  return DescendToLeaf(index, query_paa, query_sax);
+                                      const PreparedQuery& query) {
+  return DescendToLeaf(index, query.paa(), query.sax());
 }
 
-float ApproximateSearchSquared(const Index& index, const float* query,
-                               const double* query_paa,
-                               const uint8_t* query_sax, uint32_t* answer_id) {
-  const TreeNode* leaf = DescendToLeaf(index, query_paa, query_sax);
+float ApproximateSearchSquared(const Index& index, const PreparedQuery& query,
+                               uint32_t* answer_id) {
+  const TreeNode* leaf = DescendToLeaf(index, query.paa(), query.sax());
   const size_t n = index.config().series_length();
   const simd::KernelTable& kernels = simd::ActiveTable();
-  return ScanLeaf(index, leaf, query, answer_id,
+  return ScanLeaf(index, leaf, query.series(), answer_id,
                   [n, &kernels](const float* q, const float* s,
                                 float threshold) {
                     return kernels.squared_euclidean_early_abandon(q, s, n,
@@ -84,13 +82,15 @@ float ApproximateSearchSquared(const Index& index, const float* query,
                   });
 }
 
-float ApproximateSearchSquaredDtw(const Index& index, const float* query,
-                                  const double* query_paa,
-                                  const uint8_t* query_sax, size_t window,
+float ApproximateSearchSquaredDtw(const Index& index,
+                                  const PreparedQuery& query,
                                   uint32_t* answer_id) {
-  const TreeNode* leaf = DescendToLeaf(index, query_paa, query_sax);
+  ODYSSEY_CHECK_MSG(query.has_envelope(),
+                    "DTW approximate search needs a DTW-prepared query");
+  const TreeNode* leaf = DescendToLeaf(index, query.paa(), query.sax());
   const size_t n = index.config().series_length();
-  return ScanLeaf(index, leaf, query, answer_id,
+  const size_t window = query.dtw_window();
+  return ScanLeaf(index, leaf, query.series(), answer_id,
                   [n, window](const float* q, const float* s, float threshold) {
                     return SquaredDtwEarlyAbandon(q, s, n, window, threshold);
                   });

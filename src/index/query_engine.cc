@@ -39,12 +39,11 @@ bool KnnSet::Offer(float squared_distance, uint32_t id) {
   // The same series can be offered more than once (approximate search plus
   // leaf scan; work-stealing can even process a leaf on two nodes). A
   // duplicate id must not consume a second k-slot.
-  for (const Neighbor& n : heap_) {
-    if (n.id == id) return false;
-  }
+  if (ids_.count(id) != 0) return false;
   if (heap_.size() < static_cast<size_t>(k_)) {
     heap_.push_back({squared_distance, id});
     std::push_heap(heap_.begin(), heap_.end(), compare);
+    ids_.insert(id);
     if (heap_.size() == static_cast<size_t>(k_)) {
       threshold_.store(heap_.front().squared_distance,
                        std::memory_order_release);
@@ -53,8 +52,10 @@ bool KnnSet::Offer(float squared_distance, uint32_t id) {
   }
   if (squared_distance >= heap_.front().squared_distance) return false;
   std::pop_heap(heap_.begin(), heap_.end(), compare);
+  ids_.erase(heap_.back().id);
   heap_.back() = {squared_distance, id};
   std::push_heap(heap_.begin(), heap_.end(), compare);
+  ids_.insert(id);
   threshold_.store(heap_.front().squared_distance, std::memory_order_release);
   return true;
 }
@@ -87,12 +88,13 @@ struct QueryExecution::QueueBuilder {
   }
 };
 
-QueryExecution::QueryExecution(const Index* index, const float* query,
+QueryExecution::QueryExecution(const Index* index, const PreparedQuery& query,
                                const QueryOptions& options,
                                std::atomic<float>* shared_bsf,
                                std::function<void(float)> on_bsf_improve)
     : index_(index),
-      query_(query),
+      prepared_(&query),
+      query_(query.series()),
       options_(options),
       shared_bsf_(shared_bsf),
       local_bsf_(kInf),
@@ -100,6 +102,17 @@ QueryExecution::QueryExecution(const Index* index, const float* query,
       knn_(options.k) {
   ODYSSEY_CHECK(index_ != nullptr && query_ != nullptr);
   ODYSSEY_CHECK(options_.num_threads >= 1);
+  ODYSSEY_CHECK_MSG(
+      query.segments() == index_->config().segments() &&
+          query.length() == index_->config().series_length(),
+      "query prepared against a different iSAX geometry than the index");
+  if (options_.use_dtw) {
+    ODYSSEY_CHECK_MSG(
+        query.has_envelope() && query.dtw_window() == options_.dtw_window,
+        "DTW execution needs a query prepared with the same warping window");
+    envelope_ = &query.envelope();
+    envelope_paa_ = &query.envelope_paa();
+  }
   if (shared_bsf_ == nullptr) shared_bsf_ = &local_bsf_;
   batch_ranges_ = PartitionRsBatches(index_->tree().root_count(),
                                      options_.EffectiveBatches());
@@ -108,35 +121,22 @@ QueryExecution::QueryExecution(const Index* index, const float* query,
 
 QueryExecution::~QueryExecution() = default;
 
-float QueryExecution::Initialize() {
+float QueryExecution::SeedInitialBsf() {
   ODYSSEY_CHECK_MSG(!index_->data().empty(), "query against an empty index");
-  const IsaxConfig& config = index_->config();
-  query_paa_.resize(config.segments());
-  ComputePaa(query_, config.paa, query_paa_.data());
-  query_sax_.resize(config.segments());
-  ComputeSax(query_, config, query_sax_.data());
-
   uint32_t approx_id = 0;
   float approx_sq = kInf;
   if (options_.use_dtw) {
-    envelope_ =
-        BuildEnvelope(query_, config.series_length(), options_.dtw_window);
-    envelope_paa_ = ComputeEnvelopePaa(envelope_, config);
-    approx_sq = ApproximateSearchSquaredDtw(*index_, query_, query_paa_.data(),
-                                            query_sax_.data(),
-                                            options_.dtw_window, &approx_id);
+    approx_sq = ApproximateSearchSquaredDtw(*index_, *prepared_, &approx_id);
   } else {
-    approx_sq = ApproximateSearchSquared(*index_, query_, query_paa_.data(),
-                                         query_sax_.data(), &approx_id);
+    approx_sq = ApproximateSearchSquared(*index_, *prepared_, &approx_id);
   }
   OfferCandidate(approx_sq, approx_id);
   if (options_.approximate && options_.k > 1) {
     // Approximate k-NN: the whole best-matching leaf feeds the answer set
     // (the single best is already in).
-    ScanLeaf(ApproximateSearchLeaf(*index_, query_paa_.data(),
-                                   query_sax_.data()));
+    ScanLeaf(ApproximateSearchLeaf(*index_, *prepared_));
   }
-  initialized_ = true;
+  seeded_ = true;
   stat_initial_bsf_ = std::sqrt(static_cast<double>(approx_sq));
   return static_cast<float>(stat_initial_bsf_);
 }
@@ -152,7 +152,7 @@ void QueryExecution::RunBatchSubset(const std::vector<int>& batch_ids) {
 }
 
 void QueryExecution::RunWorkers(const std::vector<int>& batch_ids) {
-  ODYSSEY_CHECK_MSG(initialized_, "Run before Initialize");
+  ODYSSEY_CHECK_MSG(seeded_, "Run before SeedInitialBsf");
   if (options_.approximate) {
     // Approximate mode: the Initialize() leaf scan is the whole answer.
     phase_.store(static_cast<int>(Phase::kDone), std::memory_order_release);
@@ -331,17 +331,17 @@ float QueryExecution::PruneThreshold() const {
 
 float QueryExecution::LeafLowerBound(const TreeNode* node) const {
   if (options_.use_dtw) {
-    return MindistEnvelopeToWord(envelope_paa_, node->word(),
+    return MindistEnvelopeToWord(*envelope_paa_, node->word(),
                                  index_->config());
   }
-  return MindistPaaToWord(query_paa_.data(), node->word(), index_->config());
+  return MindistPaaToWord(prepared_->paa(), node->word(), index_->config());
 }
 
 float QueryExecution::SeriesLowerBound(const uint8_t* sax) const {
   if (options_.use_dtw) {
-    return MindistEnvelopeToSax(envelope_paa_, sax, index_->config());
+    return MindistEnvelopeToSax(*envelope_paa_, sax, index_->config());
   }
-  return MindistPaaToSax(query_paa_.data(), sax, index_->config());
+  return MindistPaaToSax(prepared_->paa(), sax, index_->config());
 }
 
 float QueryExecution::RealDistance(const float* series,
@@ -350,8 +350,8 @@ float QueryExecution::RealDistance(const float* series,
   if (options_.use_dtw) {
     // LB_Keogh at full resolution first; only survivors pay the DTW DP.
     const float lb = kernels_->lb_keogh_early_abandon(
-        envelope_.upper.data(), envelope_.lower.data(), series,
-        envelope_.length(), threshold);
+        envelope_->upper.data(), envelope_->lower.data(), series,
+        envelope_->length(), threshold);
     if (lb >= threshold) return lb;
     return SquaredDtwEarlyAbandon(series, query_, n, options_.dtw_window,
                                   threshold);
@@ -399,6 +399,19 @@ std::vector<int> QueryExecution::StealBatches(int nsend) {
     given.push_back(best_batch);
   }
   return given;
+}
+
+PreparedQuery PrepareQuery(const float* series, const IsaxConfig& config,
+                           const QueryOptions& options) {
+  return PreparedQuery::Prepare(series, config, options.use_dtw,
+                                options.dtw_window);
+}
+
+PreparedBatch PrepareBatch(const SeriesCollection& queries,
+                           const IsaxConfig& config,
+                           const QueryOptions& options, ThreadPool* pool) {
+  return PreparedBatch::Prepare(queries, config, options.use_dtw,
+                                options.dtw_window, pool);
 }
 
 QueryStats QueryExecution::stats() const {

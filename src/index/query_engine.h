@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "src/distance/lb_keogh.h"
@@ -13,6 +14,7 @@
 #include "src/index/builder.h"
 #include "src/index/rs_batch.h"
 #include "src/isax/mindist.h"
+#include "src/query/prepared_query.h"
 
 namespace odyssey {
 
@@ -52,6 +54,9 @@ class KnnSet {
   const int k_;
   mutable std::mutex mu_;
   std::vector<Neighbor> heap_;  // max-heap on squared_distance
+  /// Ids currently in the heap, so Offer's duplicate check is O(1) instead
+  /// of an O(k) scan under the mutex for every candidate.
+  std::unordered_set<uint32_t> ids_;
   std::atomic<float> threshold_;
 };
 
@@ -113,12 +118,17 @@ struct QueryStats {
 /// and processes those batches on its own replica via RunBatchSubset().
 class QueryExecution {
  public:
-  /// `index` and `query` must outlive the execution. `shared_bsf` (optional)
-  /// is the node's BSF book-keeping cell for this query: it is read for
-  /// pruning and lowered on improvement; `on_bsf_improve` (optional) fires
-  /// after each lowering with the new squared threshold (the node runtime
-  /// broadcasts it on the BSF channel).
-  QueryExecution(const Index* index, const float* query,
+  /// `index` and `query` (the batch-level prepared artifact, including the
+  /// raw series it points to) must outlive the execution. The query must be
+  /// prepared against the same iSAX geometry as the index, with an envelope
+  /// for options.dtw_window when options.use_dtw is set — replicas and
+  /// work-stealing thieves share one PreparedQuery instead of each
+  /// re-deriving PAA/SAX/envelope. `shared_bsf` (optional) is the node's
+  /// BSF book-keeping cell for this query: it is read for pruning and
+  /// lowered on improvement; `on_bsf_improve` (optional) fires after each
+  /// lowering with the new squared threshold (the node runtime broadcasts
+  /// it on the BSF channel).
+  QueryExecution(const Index* index, const PreparedQuery& query,
                  const QueryOptions& options,
                  std::atomic<float>* shared_bsf = nullptr,
                  std::function<void(float)> on_bsf_improve = nullptr);
@@ -127,14 +137,16 @@ class QueryExecution {
   QueryExecution(const QueryExecution&) = delete;
   QueryExecution& operator=(const QueryExecution&) = delete;
 
-  /// Computes the query summaries and the approximate-search initial BSF.
+  /// Seeds the BSF from an approximate search against this execution's own
+  /// index (the per-index half of the former Initialize(); the batch-level
+  /// half — summarization — now lives in PreparedQuery/PreparedBatch).
   /// Returns the initial BSF as a true (non-squared) distance — the
   /// regressor of the paper's cost model. Must be called before Run*.
-  float Initialize();
+  float SeedInitialBsf();
 
-  /// Overrides the queue threshold TH after Initialize (the per-query value
-  /// predicted by the ThresholdModel from the initial BSF). Must be called
-  /// before Run*.
+  /// Overrides the queue threshold TH after SeedInitialBsf (the per-query
+  /// value predicted by the ThresholdModel from the initial BSF). Must be
+  /// called before Run*.
   void set_queue_threshold(size_t threshold) {
     options_.queue_threshold = threshold;
   }
@@ -182,7 +194,12 @@ class QueryExecution {
   float RealDistance(const float* series, float threshold) const;
 
   const Index* index_;
-  const float* query_;
+  const PreparedQuery* prepared_;
+  const float* query_;  // prepared_->series(), cached for the scan loop
+  // DTW-only views into *prepared_, resolved once in the constructor so the
+  // per-series bound checks pay no precondition re-validation.
+  const Envelope* envelope_ = nullptr;
+  const EnvelopePaa* envelope_paa_ = nullptr;
   QueryOptions options_;
   /// Dispatched distance kernels, resolved once per execution so the scan
   /// loop pays no per-distance dispatch cost.
@@ -191,12 +208,7 @@ class QueryExecution {
   std::atomic<float> local_bsf_;  // used when shared_bsf == nullptr
   std::function<void(float)> on_bsf_improve_;
 
-  // Query summaries (filled by Initialize).
-  std::vector<double> query_paa_;
-  std::vector<uint8_t> query_sax_;
-  Envelope envelope_;       // DTW only
-  EnvelopePaa envelope_paa_;  // DTW only
-  bool initialized_ = false;
+  bool seeded_ = false;  // SeedInitialBsf happened
 
   // RS-batch state. batch_ranges_ is identical across replicas; batches_
   // holds the live traversal state of the currently running subset.
@@ -221,6 +233,16 @@ class QueryExecution {
   double stat_elapsed_seconds_ = 0.0;
   std::vector<double> stat_queue_sizes_;
 };
+
+/// Convenience builders tying PreparedQuery/PreparedBatch to QueryOptions:
+/// a DTW envelope is built exactly when `options.use_dtw` is set, with the
+/// options' warping window.
+PreparedQuery PrepareQuery(const float* series, const IsaxConfig& config,
+                           const QueryOptions& options);
+PreparedBatch PrepareBatch(const SeriesCollection& queries,
+                           const IsaxConfig& config,
+                           const QueryOptions& options,
+                           ThreadPool* pool = nullptr);
 
 }  // namespace odyssey
 

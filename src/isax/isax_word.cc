@@ -1,11 +1,19 @@
 #include "src/isax/isax_word.h"
 
+#include "src/common/summary_stats.h"
+
 namespace odyssey {
 
 void ComputeSax(const float* series, const IsaxConfig& config, uint8_t* out) {
-  const BreakpointTable& table = BreakpointTable::Get();
   std::vector<double> paa(config.segments());
   ComputePaa(series, config.paa, paa.data());
+  ComputeSaxFromPaa(paa.data(), config, out);
+}
+
+void ComputeSaxFromPaa(const double* paa, const IsaxConfig& config,
+                       uint8_t* out) {
+  summary_stats::CountSax();
+  const BreakpointTable& table = BreakpointTable::Get();
   const int shift = kMaxSaxBits - config.max_bits;
   for (int i = 0; i < config.segments(); ++i) {
     out[i] = static_cast<uint8_t>(table.MaxBitsSymbol(paa[i]) >> shift);

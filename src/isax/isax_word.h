@@ -34,8 +34,14 @@ struct IsaxConfig {
 using SaxSymbols = std::vector<uint8_t>;
 
 /// Computes the full-cardinality SAX symbols of `series` into `out`
-/// (config.segments() bytes).
+/// (config.segments() bytes). Derives a PAA internally; when the caller
+/// already holds one (the PreparedQuery pipeline), use ComputeSaxFromPaa.
 void ComputeSax(const float* series, const IsaxConfig& config, uint8_t* out);
+
+/// Quantizes an existing PAA (config.segments() doubles) into SAX symbols
+/// without recomputing the segment means.
+void ComputeSaxFromPaa(const double* paa, const IsaxConfig& config,
+                       uint8_t* out);
 
 /// An iSAX word with per-segment variable cardinality: `symbols[i]` holds
 /// the top `bits[i]` bits of segment i's full symbol (right-aligned).

@@ -1,15 +1,13 @@
 #include "src/isax/paa.h"
 
+#include "src/common/summary_stats.h"
+#include "src/distance/simd.h"
+
 namespace odyssey {
 
 void ComputePaa(const float* series, const PaaConfig& config, double* out) {
-  for (int i = 0; i < config.segments; ++i) {
-    const size_t begin = config.SegmentBegin(i);
-    const size_t end = config.SegmentEnd(i);
-    double sum = 0.0;
-    for (size_t t = begin; t < end; ++t) sum += series[t];
-    out[i] = sum / static_cast<double>(end - begin);
-  }
+  summary_stats::CountPaa();
+  simd::ActiveTable().paa(series, config.series_length, config.segments, out);
 }
 
 std::vector<double> ComputePaa(const float* series, const PaaConfig& config) {

@@ -36,6 +36,7 @@ struct PaaConfig {
 };
 
 /// Computes the PAA of `series` into `out` (`config.segments` doubles).
+/// Dispatches to the active SIMD summarization kernel (src/distance/simd.h).
 void ComputePaa(const float* series, const PaaConfig& config, double* out);
 
 /// Convenience overload returning a vector.

@@ -1,0 +1,93 @@
+#ifndef ODYSSEY_QUERY_PREPARED_QUERY_H_
+#define ODYSSEY_QUERY_PREPARED_QUERY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/dataset/series_collection.h"
+#include "src/distance/lb_keogh.h"
+#include "src/isax/isax_word.h"
+#include "src/isax/mindist.h"
+
+namespace odyssey {
+
+class ThreadPool;
+
+/// Immutable per-query summaries, computed once and shared by every
+/// consumer of the query-answering path (Figure 3, stages 3-5): the
+/// scheduler's execution-time estimation, every replica's execution, and
+/// stolen-work runs on thief nodes. Holds the query's PAA, its
+/// full-cardinality SAX word and — when built for DTW — the Sakoe-Chiba
+/// envelope plus the envelope's per-segment PAA.
+///
+/// A PreparedQuery does not own the raw series; the underlying
+/// SeriesCollection must outlive it (NodeRuntime already requires the query
+/// batch to outlive the batch run, so this adds no new constraint).
+class PreparedQuery {
+ public:
+  /// Empty summary; only useful as a slot to assign a real one into.
+  PreparedQuery() = default;
+
+  /// Builds the summaries of `series` under `config`. With
+  /// `build_dtw_envelope`, additionally builds the warping envelope for
+  /// `dtw_window` and its PAA (required by DTW executions).
+  static PreparedQuery Prepare(const float* series, const IsaxConfig& config,
+                               bool build_dtw_envelope = false,
+                               size_t dtw_window = 0);
+
+  const float* series() const { return series_; }
+  size_t length() const { return length_; }
+  int segments() const { return static_cast<int>(sax_.size()); }
+
+  /// Segment means (segments() doubles).
+  const double* paa() const { return paa_.data(); }
+  /// Full-cardinality SAX word (segments() bytes).
+  const uint8_t* sax() const { return sax_.data(); }
+
+  bool has_envelope() const { return has_envelope_; }
+  /// Warping window the envelope was built for (0 without an envelope).
+  size_t dtw_window() const { return dtw_window_; }
+  const Envelope& envelope() const;
+  const EnvelopePaa& envelope_paa() const;
+
+ private:
+  const float* series_ = nullptr;
+  size_t length_ = 0;
+  size_t dtw_window_ = 0;
+  bool has_envelope_ = false;
+  std::vector<double> paa_;
+  std::vector<uint8_t> sax_;
+  Envelope envelope_;         // DTW only
+  EnvelopePaa envelope_paa_;  // DTW only
+};
+
+/// The prepared form of one query batch: one PreparedQuery per query, built
+/// up front (optionally across a thread pool) and shared — by reference —
+/// across scheduling estimates, all replicas, and work-stealing thieves.
+/// This turns the former O(replicas x retries) summarization cost into O(1)
+/// per query per batch.
+class PreparedBatch {
+ public:
+  PreparedBatch() = default;
+
+  /// Prepares every query of `queries`. When `pool` is non-null the
+  /// per-query work is spread over the pool's workers (summaries are
+  /// independent, so the result is identical to the serial build).
+  static PreparedBatch Prepare(const SeriesCollection& queries,
+                               const IsaxConfig& config,
+                               bool build_dtw_envelope = false,
+                               size_t dtw_window = 0,
+                               ThreadPool* pool = nullptr);
+
+  size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+  const PreparedQuery& query(size_t i) const;
+
+ private:
+  std::vector<PreparedQuery> queries_;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_QUERY_PREPARED_QUERY_H_

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -11,6 +12,7 @@
 #include "src/distance/euclidean.h"
 #include "src/distance/lb_keogh.h"
 #include "src/distance/simd.h"
+#include "src/isax/isax_word.h"
 #include "tests/testing_utils.h"
 
 namespace odyssey {
@@ -388,6 +390,58 @@ TEST(SimdKernelTest, DtwRowBitIdenticalToScalar) {
       for (size_t j = jlo; j <= jhi; ++j) {
         ASSERT_EQ(cur_scalar[j], cur_vector[j])
             << simd::IsaName(table->isa) << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, PaaMatchesScalarOnEveryLengthTo256) {
+  const simd::KernelTable& scalar = simd::ScalarTable();
+  for (const simd::KernelTable* table : VectorTables()) {
+    Rng rng(91);
+    for (size_t n = 1; n <= 256; ++n) {
+      const std::vector<float> s = RandomSeries(&rng, n);
+      // Segment counts spanning 1 point per segment up to one segment
+      // total, including the non-dividing geometries.
+      for (size_t segments :
+           {size_t{1}, std::min<size_t>(n, 3), std::min<size_t>(n, 8),
+            std::min<size_t>(n, 16), n}) {
+        std::vector<double> want(segments), got(segments);
+        scalar.paa(s.data(), n, static_cast<int>(segments), want.data());
+        table->paa(s.data(), n, static_cast<int>(segments), got.data());
+        for (size_t i = 0; i < segments; ++i) {
+          ASSERT_TRUE(NearlyEqual(static_cast<float>(got[i]),
+                                  static_cast<float>(want[i])))
+              << simd::IsaName(table->isa) << " n=" << n
+              << " segments=" << segments << " i=" << i << ": " << got[i]
+              << " vs " << want[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, SaxSymbolsAgreeAcrossPaaKernels) {
+  // The SAX word is quantized from the PAA; lane-striped accumulation may
+  // move a mean by a few double ulps, which must not flip breakpoints on
+  // generic data (a flip needs a mean within ~1 ulp of a quantile).
+  const simd::KernelTable& scalar = simd::ScalarTable();
+  for (const simd::KernelTable* table : VectorTables()) {
+    Rng rng(93);
+    for (size_t n : {8u, 64u, 100u, 256u}) {
+      const IsaxConfig config(n, 8);
+      for (int trial = 0; trial < 20; ++trial) {
+        const std::vector<float> s = RandomSeries(&rng, n);
+        std::vector<double> paa_scalar(8), paa_vector(8);
+        scalar.paa(s.data(), n, 8, paa_scalar.data());
+        table->paa(s.data(), n, 8, paa_vector.data());
+        std::vector<uint8_t> sax_scalar(8), sax_vector(8);
+        ComputeSaxFromPaa(paa_scalar.data(), config, sax_scalar.data());
+        ComputeSaxFromPaa(paa_vector.data(), config, sax_vector.data());
+        for (int i = 0; i < 8; ++i) {
+          ASSERT_EQ(sax_scalar[i], sax_vector[i])
+              << simd::IsaName(table->isa) << " n=" << n << " segment " << i;
+        }
       }
     }
   }

@@ -42,8 +42,10 @@ TEST(ApproximateModeTest, NeverBeatsExactAndOftenMatches) {
   for (size_t q = 0; q < queries.size(); ++q) {
     QueryOptions qo;
     qo.approximate = true;
-    QueryExecution exec(&index, queries.data(q), qo);
-    exec.Initialize();
+    const PreparedQuery prepared =
+        PrepareQuery(queries.data(q), index.config(), qo);
+    QueryExecution exec(&index, prepared, qo);
+    exec.SeedInitialBsf();
     exec.Run();
     const auto got = exec.results().SortedResults();
     ASSERT_EQ(got.size(), 1u);
@@ -63,8 +65,10 @@ TEST(ApproximateModeTest, MemberQueryIsFoundExactly) {
   for (uint32_t probe : {3u, 500u, 999u}) {
     QueryOptions qo;
     qo.approximate = true;
-    QueryExecution exec(&index, data.data(probe), qo);
-    exec.Initialize();
+    const PreparedQuery prepared =
+        PrepareQuery(data.data(probe), index.config(), qo);
+    QueryExecution exec(&index, prepared, qo);
+    exec.SeedInitialBsf();
     exec.Run();
     EXPECT_EQ(exec.results().SortedResults()[0].squared_distance, 0.0f);
   }
@@ -80,8 +84,10 @@ TEST(ApproximateModeTest, KnnFillsFromBestLeaf) {
     QueryOptions qo;
     qo.approximate = true;
     qo.k = 10;
-    QueryExecution exec(&index, queries.data(q), qo);
-    exec.Initialize();
+    const PreparedQuery prepared =
+        PrepareQuery(queries.data(q), index.config(), qo);
+    QueryExecution exec(&index, prepared, qo);
+    exec.SeedInitialBsf();
     exec.Run();
     const auto got = exec.results().SortedResults();
     EXPECT_GE(got.size(), 1u);
@@ -126,8 +132,10 @@ TEST(BoundaryTest, KLargerThanCollectionReturnsEverything) {
   const SeriesCollection queries = GenerateUniformQueries(data, 2, 1.0, 119);
   QueryOptions qo;
   qo.k = 100;  // more than the 40 series available
-  QueryExecution exec(&index, queries.data(0), qo);
-  exec.Initialize();
+  const PreparedQuery prepared =
+      PrepareQuery(queries.data(0), index.config(), qo);
+  QueryExecution exec(&index, prepared, qo);
+  exec.SeedInitialBsf();
   exec.Run();
   const auto got = exec.results().SortedResults();
   EXPECT_EQ(got.size(), 40u);
@@ -185,8 +193,10 @@ TEST(BoundaryTest, ChunkSmallerThanLeafCapacity) {
   for (size_t q = 0; q < queries.size(); ++q) {
     QueryOptions qo;
     qo.num_threads = 2;
-    QueryExecution exec(&index, queries.data(q), qo);
-    exec.Initialize();
+    const PreparedQuery prepared =
+        PrepareQuery(queries.data(q), index.config(), qo);
+    QueryExecution exec(&index, prepared, qo);
+    exec.SeedInitialBsf();
     exec.Run();
     const float exact =
         BruteForceKnn(data, queries.data(q), 1)[0].squared_distance;
@@ -205,8 +215,10 @@ TEST(BoundaryTest, LeafCapacityOneStillExact) {
   for (size_t q = 0; q < queries.size(); ++q) {
     QueryOptions qo;
     qo.num_threads = 2;
-    QueryExecution exec(&index, queries.data(q), qo);
-    exec.Initialize();
+    const PreparedQuery prepared =
+        PrepareQuery(queries.data(q), index.config(), qo);
+    QueryExecution exec(&index, prepared, qo);
+    exec.SeedInitialBsf();
     exec.Run();
     const float exact =
         BruteForceKnn(data, queries.data(q), 1)[0].squared_distance;
@@ -330,8 +342,10 @@ TEST(SerializeTest, RoundTripIsBitIdentical) {
   for (size_t q = 0; q < queries.size(); ++q) {
     QueryOptions qo;
     qo.num_threads = 2;
-    QueryExecution exec(&*loaded, queries.data(q), qo);
-    exec.Initialize();
+    const PreparedQuery prepared =
+        PrepareQuery(queries.data(q), loaded->config(), qo);
+    QueryExecution exec(&*loaded, prepared, qo);
+    exec.SeedInitialBsf();
     exec.Run();
     const float exact =
         BruteForceKnn(data, queries.data(q), 1)[0].squared_distance;
@@ -355,10 +369,13 @@ TEST(SerializeTest, LoadedIndexIsAValidStealReplica) {
     QueryOptions qo;
     qo.num_threads = 2;
     qo.num_batches = 8;
-    QueryExecution victim(&built, queries.data(q), qo);
-    QueryExecution thief(&*loaded, queries.data(q), qo);
-    victim.Initialize();
-    thief.Initialize();
+    // Thief and victim share the prepared artifact, as on a real steal.
+    const PreparedQuery prepared =
+        PrepareQuery(queries.data(q), built.config(), qo);
+    QueryExecution victim(&built, prepared, qo);
+    QueryExecution thief(&*loaded, prepared, qo);
+    victim.SeedInitialBsf();
+    thief.SeedInitialBsf();
     std::vector<int> va, th;
     for (int b = 0; b < 8; ++b) (b < 4 ? va : th).push_back(b);
     victim.RunBatchSubset(va);

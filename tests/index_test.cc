@@ -190,14 +190,10 @@ TEST(ApproxSearchTest, ReturnsARealDistanceAboveExact) {
   const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
   const SeriesCollection queries = GenerateUniformQueries(data, 20, 1.0, 17);
   for (size_t q = 0; q < queries.size(); ++q) {
-    const IsaxConfig& config = index.config();
-    std::vector<double> paa(config.segments());
-    std::vector<uint8_t> sax(config.segments());
-    ComputePaa(queries.data(q), config.paa, paa.data());
-    ComputeSax(queries.data(q), config, sax.data());
+    const PreparedQuery prepared =
+        PreparedQuery::Prepare(queries.data(q), index.config());
     uint32_t id = 0;
-    const float approx = ApproximateSearchSquared(index, queries.data(q),
-                                                  paa.data(), sax.data(), &id);
+    const float approx = ApproximateSearchSquared(index, prepared, &id);
     const float actual =
         SquaredEuclidean(queries.data(q), data.data(id), 64);
     EXPECT_TRUE(NearlyEqual(approx, actual));
@@ -212,14 +208,9 @@ TEST(ApproxSearchTest, FindsExactMatchForDatasetMember) {
   const Index index = Index::Build(SeriesCollection(data), SmallOptions(64));
   // Querying with a member itself must return distance 0 (its own leaf).
   for (uint32_t probe : {0u, 100u, 499u}) {
-    const IsaxConfig& config = index.config();
-    std::vector<double> paa(config.segments());
-    std::vector<uint8_t> sax(config.segments());
-    ComputePaa(data.data(probe), config.paa, paa.data());
-    ComputeSax(data.data(probe), config, sax.data());
-    EXPECT_EQ(ApproximateSearchSquared(index, data.data(probe), paa.data(),
-                                       sax.data()),
-              0.0f);
+    const PreparedQuery prepared =
+        PreparedQuery::Prepare(data.data(probe), index.config());
+    EXPECT_EQ(ApproximateSearchSquared(index, prepared), 0.0f);
   }
 }
 
@@ -325,6 +316,24 @@ TEST(KnnSetTest, KeepsKSmallest) {
   EXPECT_EQ(set.Threshold(), 3.0f);
 }
 
+TEST(KnnSetTest, DuplicateIdNeverConsumesTwoSlots) {
+  KnnSet set(3);
+  EXPECT_TRUE(set.Offer(5.0f, 7));
+  EXPECT_FALSE(set.Offer(5.0f, 7));  // exact duplicate
+  EXPECT_FALSE(set.Offer(2.0f, 7));  // same id, better distance: still a dup
+  EXPECT_TRUE(set.Offer(1.0f, 1));
+  EXPECT_TRUE(set.Offer(2.0f, 2));
+  EXPECT_EQ(set.Threshold(), 5.0f);
+  // Evicting id 7 must free its membership slot for a later re-offer.
+  EXPECT_TRUE(set.Offer(3.0f, 3));
+  EXPECT_EQ(set.Threshold(), 3.0f);
+  EXPECT_TRUE(set.Offer(0.5f, 7));
+  const auto results = set.SortedResults();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].id, 7u);
+  EXPECT_EQ(results[0].squared_distance, 0.5f);
+}
+
 TEST(KnnSetTest, ThresholdInfiniteUntilFull) {
   KnnSet set(4);
   set.Offer(1.0f, 0);
@@ -371,8 +380,10 @@ TEST_P(ExactSearchTest, MatchesBruteForce) {
     options.k = param.k;
     options.queue_threshold = param.queue_threshold;
     options.num_batches = param.num_batches;
-    QueryExecution exec(&index, queries.data(q), options);
-    const float initial = exec.Initialize();
+    const PreparedQuery prepared =
+        PrepareQuery(queries.data(q), index.config(), options);
+    QueryExecution exec(&index, prepared, options);
+    const float initial = exec.SeedInitialBsf();
     EXPECT_GE(initial, 0.0f);
     exec.Run();
     const auto got = exec.results().SortedResults();
@@ -410,8 +421,10 @@ TEST(ExactSearchTest, DtwMatchesBruteForce) {
     options.num_threads = 4;
     options.use_dtw = true;
     options.dtw_window = window;
-    QueryExecution exec(&index, queries.data(q), options);
-    exec.Initialize();
+    const PreparedQuery prepared =
+        PrepareQuery(queries.data(q), index.config(), options);
+    QueryExecution exec(&index, prepared, options);
+    exec.SeedInitialBsf();
     exec.Run();
     const auto got = exec.results().SortedResults();
     const auto expected = BruteForceKnnDtw(data, queries.data(q), 1, window);
@@ -433,8 +446,10 @@ TEST(ExactSearchTest, DtwKnnMatchesBruteForce) {
     options.k = 5;
     options.use_dtw = true;
     options.dtw_window = window;
-    QueryExecution exec(&index, queries.data(q), options);
-    exec.Initialize();
+    const PreparedQuery prepared =
+        PrepareQuery(queries.data(q), index.config(), options);
+    QueryExecution exec(&index, prepared, options);
+    exec.SeedInitialBsf();
     exec.Run();
     const auto got = exec.results().SortedResults();
     const auto expected = BruteForceKnnDtw(data, queries.data(q), 5, window);
@@ -459,9 +474,11 @@ TEST(ExactSearchTest, SharedBsfCellAcceleratesAndStaysExact) {
     std::atomic<int> improvements{0};
     QueryOptions options;
     options.num_threads = 2;
-    QueryExecution exec(&index, queries.data(q), options, &cell,
+    const PreparedQuery prepared =
+        PrepareQuery(queries.data(q), index.config(), options);
+    QueryExecution exec(&index, prepared, options, &cell,
                         [&](float) { improvements.fetch_add(1); });
-    exec.Initialize();
+    exec.SeedInitialBsf();
     exec.Run();
     const auto got = exec.results().SortedResults();
     ASSERT_EQ(got.size(), 1u);
@@ -475,8 +492,10 @@ TEST(ExactSearchTest, StatsArePopulated) {
   const SeriesCollection queries = GenerateUniformQueries(data, 1, 2.0, 39);
   QueryOptions options;
   options.num_threads = 2;
-  QueryExecution exec(&index, queries.data(0), options);
-  exec.Initialize();
+  const PreparedQuery prepared =
+      PrepareQuery(queries.data(0), index.config(), options);
+  QueryExecution exec(&index, prepared, options);
+  exec.SeedInitialBsf();
   exec.Run();
   const QueryStats stats = exec.stats();
   EXPECT_GT(stats.initial_bsf, 0.0);
@@ -491,8 +510,10 @@ TEST(ExactSearchTest, StealBatchesOutsideProcessingIsEmpty) {
   const SeriesCollection queries = GenerateUniformQueries(data, 1, 1.0, 43);
   QueryOptions options;
   options.num_threads = 1;
-  QueryExecution exec(&index, queries.data(0), options);
-  exec.Initialize();
+  const PreparedQuery prepared =
+      PrepareQuery(queries.data(0), index.config(), options);
+  QueryExecution exec(&index, prepared, options);
+  exec.SeedInitialBsf();
   EXPECT_TRUE(exec.StealBatches(4).empty());  // not running yet
   exec.Run();
   EXPECT_TRUE(exec.StealBatches(4).empty());  // already done
@@ -509,10 +530,13 @@ TEST(ExactSearchTest, RunBatchSubsetCoversStolenWork) {
     QueryOptions options;
     options.num_threads = 2;
     options.num_batches = 8;
-    QueryExecution victim(&index, queries.data(q), options);
-    QueryExecution thief(&index, queries.data(q), options);
-    victim.Initialize();
-    thief.Initialize();
+    // One prepared artifact for both sides, as in the real steal protocol.
+    const PreparedQuery prepared =
+        PrepareQuery(queries.data(q), index.config(), options);
+    QueryExecution victim(&index, prepared, options);
+    QueryExecution thief(&index, prepared, options);
+    victim.SeedInitialBsf();
+    thief.SeedInitialBsf();
     std::vector<int> victim_ids, thief_ids;
     for (int b = 0; b < 8; ++b) {
       (b % 2 == 0 ? victim_ids : thief_ids).push_back(b);
