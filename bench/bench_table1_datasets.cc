@@ -1,7 +1,9 @@
 // Table 1: the datasets of the evaluation. Prints the registry (paper size
-// vs. reproduction stand-in size) and benchmarks the generation of each
-// stand-in, verifying every dataset used by the figure benches is
-// available and correctly shaped.
+// vs. reproduction stand-in size) and benchmarks materializing each
+// dataset, verifying every dataset used by the figure benches is available
+// and correctly shaped. With ODYSSEY_DATA_DIR set, file-backed specs ingest
+// the real archives (memory-mapped, z-normalized on ingest) instead of
+// running the generators, and the bench reports the ingest bandwidth.
 
 #include <benchmark/benchmark.h>
 
@@ -12,23 +14,27 @@
 namespace odyssey {
 namespace {
 
-void BM_Table1_Generate(benchmark::State& state, const std::string& name) {
-  const DatasetSpec spec = Table1Dataset(name, 0.25 * bench::BenchScale());
+void BM_Table1_Load(benchmark::State& state, const std::string& name) {
+  const StatusOr<DatasetSpec> spec =
+      Table1Dataset(name, 0.25 * bench::BenchScale());
+  ODYSSEY_CHECK_MSG(spec.ok(), spec.status().ToString().c_str());
   for (auto _ : state) {
-    const SeriesCollection data = spec.Generate(/*seed=*/1);
-    benchmark::DoNotOptimize(data.data(0));
-    state.counters["series"] = static_cast<double>(data.size());
-    state.counters["length"] = static_cast<double>(data.length());
+    StatusOr<SeriesCollection> data = spec->Load(/*seed=*/1);
+    ODYSSEY_CHECK_MSG(data.ok(), data.status().ToString().c_str());
+    benchmark::DoNotOptimize(data->data(0));
+    state.counters["series"] = static_cast<double>(data->size());
+    state.counters["length"] = static_cast<double>(data->length());
     state.counters["MB"] =
-        static_cast<double>(data.MemoryBytes()) / (1024.0 * 1024.0);
+        static_cast<double>(data->MemoryBytes()) / (1024.0 * 1024.0);
   }
+  state.SetLabel(spec->file_backed() ? "file" : "synthetic");
 }
 
 void RegisterAll() {
   for (const auto& spec : Table1Datasets()) {
-    benchmark::RegisterBenchmark(("BM_Table1_Generate/" + spec.name).c_str(),
+    benchmark::RegisterBenchmark(("BM_Table1_Load/" + spec.name).c_str(),
                                  [name = spec.name](benchmark::State& s) {
-                                   BM_Table1_Generate(s, name);
+                                   BM_Table1_Load(s, name);
                                  })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
@@ -41,9 +47,9 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   odyssey::bench::WireJsonOutput(&argc, &argv);
   std::printf(
-      "=== Table 1: datasets (paper -> reproduction stand-in) ===\n"
+      "=== Table 1: datasets (paper -> reproduction) ===\n"
       "%-10s %14s %8s %10s   %s\n",
-      "dataset", "paper #series", "length", "repro #", "description");
+      "dataset", "paper #series", "length", "repro #", "source");
   for (const auto& spec : odyssey::Table1Datasets()) {
     std::printf("%-10s %14zu %8zu %10zu   %s\n", spec.name.c_str(),
                 spec.paper_count, spec.length, spec.count,

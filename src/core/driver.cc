@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
@@ -63,8 +65,9 @@ OdysseyCluster::OdysseyCluster(const SeriesCollection& dataset,
   }
   partition_seconds_ = watch.ElapsedSeconds();
 
-  // Stage 2: every node loads its group's chunk and builds its index. Nodes
-  // build concurrently, as on a real cluster.
+  // Stage 2: every node subsets its group's chunk straight out of the
+  // caller's collection and builds its index. Nodes build concurrently, as
+  // on a real cluster; no intermediate per-group copy is materialized.
   nodes_.reserve(layout_.num_nodes());
   for (int n = 0; n < layout_.num_nodes(); ++n) {
     nodes_.push_back(std::make_unique<NodeRuntime>(n, layout_));
@@ -82,6 +85,111 @@ OdysseyCluster::OdysseyCluster(const SeriesCollection& dataset,
     }
     for (auto& t : builders) t.join();
   }
+}
+
+OdysseyCluster::OdysseyCluster(GroupChunks groups,
+                               const OdysseyOptions& options,
+                               double partition_seconds,
+                               double ingest_seconds)
+    : options_(options),
+      layout_([&] {
+        auto layout = ReplicationLayout::Make(options.num_nodes,
+                                              options.num_groups);
+        ODYSSEY_CHECK_MSG(layout.ok(), layout.status().ToString().c_str());
+        return *layout;
+      }()),
+      partition_seconds_(partition_seconds),
+      ingest_seconds_(ingest_seconds) {
+  BuildNodes(std::move(groups));
+}
+
+StatusOr<std::unique_ptr<OdysseyCluster>> OdysseyCluster::IngestAndBuild(
+    SeriesIngestor& source, const OdysseyOptions& options) {
+  auto layout = ReplicationLayout::Make(options.num_nodes, options.num_groups);
+  if (!layout.ok()) return layout.status();
+  if (source.length() != options.index_options.config.series_length()) {
+    return Status::InvalidArgument(
+        "archive series length " + std::to_string(source.length()) +
+        " does not match the index config length " +
+        std::to_string(options.index_options.config.series_length()));
+  }
+  if (!options.custom_chunks.empty()) {
+    return Status::InvalidArgument(
+        "custom_chunks index into a whole collection and cannot drive a "
+        "streaming build");
+  }
+
+  // Stage 0+1 interleaved: pull one bounded chunk at a time and partition
+  // it on arrival, appending each group's share directly into the group's
+  // storage. Peak transient heap is a single ingest chunk; the full archive
+  // only ever exists distributed across the groups (as on a real cluster).
+  GroupChunks groups;
+  groups.data.resize(layout->num_groups(), SeriesCollection(source.length()));
+  groups.ids.resize(layout->num_groups());
+  double ingest_seconds = 0.0;
+  double partition_seconds = 0.0;
+  ThreadPool pool(options.build_threads_per_node);
+  Stopwatch watch;
+  uint64_t chunk_index = 0;
+  for (;; ++chunk_index) {
+    watch.Restart();
+    StatusOr<SeriesCollection> chunk = source.NextChunk();
+    if (!chunk.ok()) return chunk.status();
+    ingest_seconds += watch.ElapsedSeconds();
+    if (chunk->empty()) break;
+    const uint32_t base =
+        static_cast<uint32_t>(source.series_read() - chunk->size());
+    watch.Restart();
+    // Per-chunk seed: kRandomShuffle must not deal every chunk the same
+    // permutation.
+    const std::vector<std::vector<uint32_t>> local = PartitionSeries(
+        *chunk, layout->num_groups(), options.partitioning,
+        options.index_options.config, options.seed + chunk_index, &pool,
+        options.density_options);
+    for (int g = 0; g < layout->num_groups(); ++g) {
+      for (uint32_t id : local[g]) {
+        groups.data[g].Append(chunk->data(id));
+        groups.ids[g].push_back(base + id);
+      }
+    }
+    partition_seconds += watch.ElapsedSeconds();
+  }
+  if (chunk_index == 0) {
+    return Status::InvalidArgument("archive is empty: " + source.path());
+  }
+  return std::unique_ptr<OdysseyCluster>(
+      new OdysseyCluster(std::move(groups), options, partition_seconds,
+                         ingest_seconds));
+}
+
+void OdysseyCluster::BuildNodes(GroupChunks groups) {
+  // Stage 2 of the streaming path: every node loads its group's chunk and
+  // builds its index concurrently, as on a real cluster. Replicas copy the
+  // group's chunk (each node's private RAM); a group with a single member
+  // moves it instead, so EQUALLY-SPLIT layouts never duplicate data.
+  nodes_.reserve(layout_.num_nodes());
+  for (int n = 0; n < layout_.num_nodes(); ++n) {
+    nodes_.push_back(std::make_unique<NodeRuntime>(n, layout_));
+  }
+  std::vector<std::thread> builders;
+  builders.reserve(layout_.num_nodes());
+  for (int n = 0; n < layout_.num_nodes(); ++n) {
+    builders.emplace_back([&, n] {
+      const int g = layout_.GroupOf(n);
+      // Only this thread touches group g's storage when it is the sole
+      // member, so the move cannot race with a replica's copy.
+      const bool sole_member = layout_.GroupMembers(g).size() == 1;
+      SeriesCollection chunk = sole_member
+                                   ? std::move(groups.data[g])
+                                   : SeriesCollection(groups.data[g]);
+      std::vector<uint32_t> ids = sole_member ? std::move(groups.ids[g])
+                                              : groups.ids[g];
+      nodes_[n]->LoadChunk(std::move(chunk), std::move(ids));
+      nodes_[n]->BuildIndex(options_.index_options,
+                            options_.build_threads_per_node);
+    });
+  }
+  for (auto& t : builders) t.join();
 }
 
 OdysseyCluster::~OdysseyCluster() = default;

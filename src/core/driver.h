@@ -7,6 +7,7 @@
 #include "src/core/cost_model.h"
 #include "src/core/node_runtime.h"
 #include "src/core/partitioning.h"
+#include "src/dataset/ingest.h"
 
 namespace odyssey {
 
@@ -81,6 +82,19 @@ class OdysseyCluster {
   OdysseyCluster(const SeriesCollection& dataset, const OdysseyOptions& options);
   ~OdysseyCluster();
 
+  /// Streaming build from an on-disk archive: pulls fixed-size chunks from
+  /// `source` and partitions each chunk as it arrives, appending every
+  /// group's share straight into that group's node storage. The coordinator
+  /// therefore never materializes the whole archive in one collection — its
+  /// transient heap is one ingest chunk at a time — which is how the real
+  /// system feeds billion-scale archives whose ingest bandwidth, not tree
+  /// build, dominates wall-clock. kDensityAware partitioning is applied per
+  /// chunk (a streaming approximation of the global buffer histogram).
+  /// Errors (I/O failures, length mismatch with the index config, invalid
+  /// layout) come back as Status instead of aborting.
+  static StatusOr<std::unique_ptr<OdysseyCluster>> IngestAndBuild(
+      SeriesIngestor& source, const OdysseyOptions& options);
+
   OdysseyCluster(const OdysseyCluster&) = delete;
   OdysseyCluster& operator=(const OdysseyCluster&) = delete;
 
@@ -102,6 +116,9 @@ class OdysseyCluster {
 
   /// Stage-1 cost: partitioning the raw collection.
   double partition_seconds() const { return partition_seconds_; }
+  /// Time IngestAndBuild spent pulling chunks off disk (0 for the in-memory
+  /// constructor).
+  double ingest_seconds() const { return ingest_seconds_; }
   /// Paper's index-time measures: the maximum across nodes.
   double max_buffer_seconds() const;
   double max_tree_seconds() const;
@@ -118,6 +135,23 @@ class OdysseyCluster {
   const NodeRuntime& node(int i) const { return *nodes_[i]; }
 
  private:
+  /// Per-group raw data + global ids, accumulated by the streaming build
+  /// as chunks are partitioned on arrival.
+  struct GroupChunks {
+    std::vector<SeriesCollection> data;
+    std::vector<std::vector<uint32_t>> ids;
+  };
+
+  /// Streaming-build constructor body: every group's chunk is already
+  /// materialized; just load the nodes and build their indexes.
+  OdysseyCluster(GroupChunks groups, const OdysseyOptions& options,
+                 double partition_seconds, double ingest_seconds);
+
+  /// Stage 2 of the streaming path: every node loads its group's chunk and
+  /// builds its index concurrently (single-member groups move their chunk;
+  /// replicas copy it).
+  void BuildNodes(GroupChunks groups);
+
   /// Builds the batch's PreparedQuery artifacts across a driver-side
   /// thread pool and reports the elapsed preparation time.
   PreparedBatch PrepareQueries(const SeriesCollection& queries,
@@ -133,6 +167,7 @@ class OdysseyCluster {
   OdysseyOptions options_;
   ReplicationLayout layout_;
   double partition_seconds_ = 0.0;
+  double ingest_seconds_ = 0.0;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
 };
 

@@ -1,9 +1,13 @@
 #include "src/dataset/file_io.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <memory>
+#include <vector>
+
+#include "src/dataset/ingest.h"
 
 namespace odyssey {
 namespace {
@@ -17,6 +21,16 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// fclose flushes stdio buffers; an unchecked close can silently drop the
+/// tail of a write. Every writer finishes through this.
+Status CloseChecked(FilePtr f, const std::string& path) {
+  std::FILE* raw = f.release();
+  if (raw != nullptr && std::fclose(raw) != 0) {
+    return Status::IoError("close failed (data may be incomplete): " + path);
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -40,63 +54,78 @@ Status WriteCollection(const SeriesCollection& collection,
       return Status::IoError("short data write: " + path);
     }
   }
-  return Status::Ok();
+  return CloseChecked(std::move(f), path);
 }
 
 StatusOr<SeriesCollection> ReadCollection(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) {
-    return Status::IoError("cannot open for reading: " + path);
-  }
-  char magic[4];
-  uint32_t version = 0, count = 0, length = 0;
-  if (std::fread(magic, 1, 4, f.get()) != 4 ||
-      std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
-      std::fread(&count, sizeof(count), 1, f.get()) != 1 ||
-      std::fread(&length, sizeof(length), 1, f.get()) != 1) {
-    return Status::IoError("short header read: " + path);
-  }
-  if (std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::InvalidArgument("bad magic in " + path);
-  }
-  if (version != kVersion) {
-    return Status::InvalidArgument("unsupported version in " + path);
-  }
-  if (length == 0) {
-    return Status::InvalidArgument("zero series length in " + path);
-  }
-  SeriesCollection out(length);
-  float* dst = out.AppendUninitialized(count);
-  if (std::fread(dst, sizeof(float), static_cast<size_t>(count) * length,
-                 f.get()) != static_cast<size_t>(count) * length) {
-    return Status::IoError("short data read: " + path);
-  }
-  return out;
+  IngestOptions options;
+  options.format = DataFormat::kOdyssey;
+  options.znormalize = false;  // bit-preserving read of what was written
+  return IngestFile(path, options);
 }
 
 StatusOr<SeriesCollection> ReadRawFloats(const std::string& path,
                                          size_t length) {
   if (length == 0) return Status::InvalidArgument("length must be positive");
-  FilePtr f(std::fopen(path.c_str(), "rb"));
+  IngestOptions options;
+  options.format = DataFormat::kRawFloat;
+  options.length = length;
+  options.znormalize = false;  // bit-preserving read of the archive
+  return IngestFile(path, options);
+}
+
+Status WriteRawFloats(const SeriesCollection& collection,
+                      const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) {
-    return Status::IoError("cannot open for reading: " + path);
+    return Status::IoError("cannot open for writing: " + path);
   }
-  std::fseek(f.get(), 0, SEEK_END);
-  const long bytes = std::ftell(f.get());
-  std::fseek(f.get(), 0, SEEK_SET);
-  if (bytes < 0) return Status::IoError("cannot stat: " + path);
-  const size_t total_floats = static_cast<size_t>(bytes) / sizeof(float);
-  if (total_floats % length != 0) {
-    return Status::InvalidArgument(
-        "file size is not a multiple of the series length: " + path);
+  const size_t length = collection.length();
+  for (size_t i = 0; i < collection.size(); ++i) {
+    if (std::fwrite(collection.data(i), sizeof(float), length, f.get()) !=
+        length) {
+      return Status::IoError("short data write: " + path);
+    }
   }
-  SeriesCollection out(length);
-  const size_t count = total_floats / length;
-  float* dst = out.AppendUninitialized(count);
-  if (std::fread(dst, sizeof(float), total_floats, f.get()) != total_floats) {
-    return Status::IoError("short data read: " + path);
+  return CloseChecked(std::move(f), path);
+}
+
+Status WriteFvecs(const SeriesCollection& collection,
+                  const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
   }
-  return out;
+  const uint32_t dim = static_cast<uint32_t>(collection.length());
+  for (size_t i = 0; i < collection.size(); ++i) {
+    if (std::fwrite(&dim, sizeof(dim), 1, f.get()) != 1 ||
+        std::fwrite(collection.data(i), sizeof(float), dim, f.get()) != dim) {
+      return Status::IoError("short data write: " + path);
+    }
+  }
+  return CloseChecked(std::move(f), path);
+}
+
+Status WriteBvecs(const SeriesCollection& collection,
+                  const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const uint32_t dim = static_cast<uint32_t>(collection.length());
+  std::vector<uint8_t> row(dim);
+  for (size_t i = 0; i < collection.size(); ++i) {
+    const float* values = collection.data(i);
+    for (uint32_t t = 0; t < dim; ++t) {
+      const float clamped = std::min(255.0f, std::max(0.0f, values[t]));
+      row[t] = static_cast<uint8_t>(std::lround(clamped));
+    }
+    if (std::fwrite(&dim, sizeof(dim), 1, f.get()) != 1 ||
+        std::fwrite(row.data(), 1, dim, f.get()) != dim) {
+      return Status::IoError("short data write: " + path);
+    }
+  }
+  return CloseChecked(std::move(f), path);
 }
 
 }  // namespace odyssey

@@ -12,6 +12,13 @@ namespace odyssey {
 /// count u32, length u32) followed by count*length little-endian floats.
 /// Matches the flat raw-float layout of the public data-series archives the
 /// paper uses, plus a small header for safety.
+///
+/// All readers here go through the memory-mapped ingestion layer
+/// (src/dataset/ingest.h): 64-bit sizes from fstat (no long-ftell
+/// truncation on >2 GiB archives), header counts validated against the
+/// actual file size before any allocation, and graceful fallback to
+/// buffered reads when mmap is unavailable. For bounded-memory chunked
+/// ingest (and z-normalize-on-ingest) use SeriesIngestor directly.
 
 /// Writes `collection` to `path`, overwriting any existing file.
 Status WriteCollection(const SeriesCollection& collection,
@@ -24,6 +31,20 @@ StatusOr<SeriesCollection> ReadCollection(const std::string& path);
 /// floats). `length` must be supplied by the caller.
 StatusOr<SeriesCollection> ReadRawFloats(const std::string& path,
                                          size_t length);
+
+/// Writes `collection` as a headerless raw-float archive (Seismic/Astro
+/// style: series back to back, no header).
+Status WriteRawFloats(const SeriesCollection& collection,
+                      const std::string& path);
+
+/// Writes `collection` in TEXMEX fvecs layout (per vector: int32 dimension
+/// header + that many float32s) — the SIFT/Deep1B interchange format.
+Status WriteFvecs(const SeriesCollection& collection, const std::string& path);
+
+/// Writes `collection` in TEXMEX bvecs layout (per vector: int32 dimension
+/// header + that many uint8s). Values are clamped to [0, 255] and rounded;
+/// intended for fixture generation and SIFT1B-style byte archives.
+Status WriteBvecs(const SeriesCollection& collection, const std::string& path);
 
 }  // namespace odyssey
 

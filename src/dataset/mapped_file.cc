@@ -1,0 +1,130 @@
+#include "src/dataset/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+namespace odyssey {
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + ": " + path + " (" + std::strerror(errno) + ")";
+}
+
+bool MmapDisabledByEnv() {
+  const char* env = std::getenv("ODYSSEY_NO_MMAP");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+}  // namespace
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path, Mode mode) {
+  MappedFile file;
+  file.path_ = path;
+  file.fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (file.fd_ < 0) {
+    return Status::IoError(Errno("cannot open for reading", path));
+  }
+  struct stat st;
+  if (::fstat(file.fd_, &st) != 0) {
+    return Status::IoError(Errno("cannot stat", path));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  file.size_ = static_cast<uint64_t>(st.st_size);
+  // On an ILP32 build a >4 GiB file exceeds what one mmap (size_t length)
+  // can address: fall back to positioned reads rather than silently mapping
+  // a truncated prefix that ReadAt's 64-bit bounds check would overrun.
+  const bool addressable =
+      file.size_ <= std::numeric_limits<size_t>::max();
+  if (mode == Mode::kAuto && file.size_ > 0 && addressable &&
+      !MmapDisabledByEnv()) {
+    void* map = ::mmap(nullptr, static_cast<size_t>(file.size_), PROT_READ,
+                       MAP_PRIVATE, file.fd_,
+                       /*offset=*/0);
+    if (map != MAP_FAILED) {
+      file.map_ = map;
+      // Advisory only: ingestion sweeps the archive front to back, so ask
+      // the kernel for aggressive read-ahead. Failure is harmless.
+      (void)::posix_madvise(map, file.size_, POSIX_MADV_SEQUENTIAL);
+    }
+    // mmap failure (e.g. a filesystem without mapping support) is not an
+    // error: the fd stays open and every ReadAt goes through pread.
+  }
+  return file;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      map_(std::exchange(other.map_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    map_ = std::exchange(other.map_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { Close(); }
+
+void MappedFile::Close() {
+  if (map_ != nullptr) {
+    // A live mapping implies size_ fit a size_t (checked at Open).
+    ::munmap(map_, static_cast<size_t>(size_));
+    map_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status MappedFile::ReadAt(uint64_t offset, void* dst, size_t n) const {
+  if (n == 0) return Status::Ok();
+  if (offset > size_ || n > size_ - offset) {
+    return Status::IoError("read past end of file: " + path_);
+  }
+  if (map_ != nullptr) {
+    std::memcpy(dst, static_cast<const uint8_t*>(map_) + offset, n);
+    return Status::Ok();
+  }
+  uint8_t* out = static_cast<uint8_t*>(dst);
+  size_t done = 0;
+  while (done < n) {
+    const uint64_t pos = offset + done;
+    if (pos > static_cast<uint64_t>(std::numeric_limits<off_t>::max())) {
+      // 32-bit off_t without _FILE_OFFSET_BITS=64 cannot address this
+      // byte; fail loudly instead of wrapping the offset.
+      return Status::IoError("offset exceeds this platform's off_t: " +
+                             path_);
+    }
+    const ssize_t got = ::pread(fd_, out + done, n - done,
+                                static_cast<off_t>(pos));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("read failed", path_));
+    }
+    if (got == 0) {
+      // The file shrank underneath us (fstat said the bytes existed).
+      return Status::IoError("short read (file truncated?): " + path_);
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::Ok();
+}
+
+}  // namespace odyssey

@@ -1,0 +1,68 @@
+#ifndef ODYSSEY_DATASET_MAPPED_FILE_H_
+#define ODYSSEY_DATASET_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace odyssey {
+
+/// RAII wrapper around one read-only data file. Preferred access is a
+/// memory map (`mmap` + `madvise(SEQUENTIAL)`, so the kernel read-ahead
+/// streams the archive without double-buffering it in heap); when mapping
+/// is unavailable — exotic filesystems, `ODYSSEY_NO_MMAP=1`, or an explicit
+/// `Mode::kBuffered` — every access degrades gracefully to positioned
+/// buffered reads (`pread`) through the same `ReadAt` API, so callers never
+/// branch on the access mode.
+///
+/// Sizes are 64-bit throughout (`fstat`, never `long ftell`), so >2 GiB
+/// archives work on every platform where they fit the filesystem.
+class MappedFile {
+ public:
+  enum class Mode {
+    kAuto,      ///< try mmap, silently fall back to buffered reads
+    kBuffered,  ///< never mmap (tests force this to cover the fallback)
+  };
+
+  /// Opens `path` read-only and stats it. Never reads data eagerly.
+  static StatusOr<MappedFile> Open(const std::string& path,
+                                   Mode mode = Mode::kAuto);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// Total file size in bytes (from fstat; 64-bit).
+  uint64_t size() const { return size_; }
+
+  /// True when the file is memory-mapped (data() is non-null).
+  bool mapped() const { return map_ != nullptr; }
+
+  /// Base of the mapping, or nullptr in buffered mode (and for empty
+  /// files). Valid for `size()` bytes.
+  const uint8_t* data() const { return static_cast<const uint8_t*>(map_); }
+
+  /// Copies `n` bytes starting at `offset` into `dst`. Works identically in
+  /// mapped (memcpy) and buffered (pread) mode; reading past EOF is an
+  /// IoError, never a short read.
+  Status ReadAt(uint64_t offset, void* dst, size_t n) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile() = default;
+  void Close();
+
+  std::string path_;
+  int fd_ = -1;
+  void* map_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_DATASET_MAPPED_FILE_H_

@@ -1,9 +1,60 @@
 #include "src/dataset/registry.h"
 
-#include "src/common/check.h"
+#include <sys/stat.h>
+
+#include <cctype>
+#include <cstdlib>
+
 #include "src/dataset/generators.h"
 
 namespace odyssey {
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+IngestOptions SpecIngestOptions(const DatasetSpec& spec, size_t chunk_size) {
+  IngestOptions options;
+  options.format = spec.source_format;
+  // Self-describing formats validate the spec's length against their own
+  // headers; raw floats require it.
+  options.length = spec.length;
+  options.znormalize = true;
+  options.max_series = spec.count;
+  if (chunk_size != 0) options.chunk_size = chunk_size;
+  return options;
+}
+
+}  // namespace
+
+std::string FindDatasetFile(const std::string& name) {
+  const char* dir = std::getenv("ODYSSEY_DATA_DIR");
+  if (dir == nullptr || *dir == '\0') return "";
+  std::string stem(dir);
+  if (!stem.empty() && stem.back() != '/') stem += '/';
+  for (char c : name) stem += static_cast<char>(std::tolower(c));
+  for (const char* ext : {".fvecs", ".bvecs", ".bin", ".raw", ".f32"}) {
+    const std::string candidate = stem + ext;
+    if (FileExists(candidate)) return candidate;
+  }
+  return "";
+}
+
+StatusOr<SeriesCollection> DatasetSpec::Load(uint64_t seed) const {
+  if (!file_backed()) return Generate(seed);
+  return IngestFile(source_path, SpecIngestOptions(*this, /*chunk_size=*/0));
+}
+
+StatusOr<SeriesIngestor> DatasetSpec::OpenIngestor(size_t chunk_size) const {
+  if (!file_backed()) {
+    return Status::FailedPrecondition(
+        "dataset " + name + " is not file-backed (set ODYSSEY_DATA_DIR)");
+  }
+  return SeriesIngestor::Open(source_path,
+                              SpecIngestOptions(*this, chunk_size));
+}
 
 std::vector<DatasetSpec> Table1Datasets(double scale) {
   auto scaled = [scale](size_t base) {
@@ -11,33 +62,55 @@ std::vector<DatasetSpec> Table1Datasets(double scale) {
     return n < 128 ? 128 : n;
   };
   std::vector<DatasetSpec> specs;
-  specs.push_back({"Seismic", "seismic records (stand-in)", 256,
-                   scaled(40000), 100'000'000, 100.0,
-                   [](size_t c, uint64_t s) { return GenerateSeismicLike(c, 256, s); }});
-  specs.push_back({"Astro", "astronomical data (stand-in)", 256,
-                   scaled(40000), 270'000'000, 265.0,
-                   [](size_t c, uint64_t s) { return GenerateAstroLike(c, 256, s); }});
-  specs.push_back({"Deep", "deep embeddings (stand-in)", 96,
-                   scaled(100000), 1'000'000'000, 358.0,
-                   [](size_t c, uint64_t s) { return GenerateEmbeddingLike(c, 96, 256, s); }});
-  specs.push_back({"Sift", "image descriptors (stand-in)", 128,
-                   scaled(80000), 1'000'000'000, 477.0,
-                   [](size_t c, uint64_t s) { return GenerateEmbeddingLike(c, 128, 512, s); }});
-  specs.push_back({"Yan-TtI", "image and text embeddings (stand-in)", 200,
-                   scaled(50000), 1'000'000'000, 800.0,
-                   [](size_t c, uint64_t s) { return GenerateCrossModalLike(c, 200, s); }});
-  specs.push_back({"Random", "random walks (as in the paper)", 256,
-                   scaled(40000), 100'000'000, 100.0,
-                   [](size_t c, uint64_t s) { return GenerateRandomWalk(c, 256, s); }});
+  auto add = [&](const char* name, const char* description, size_t length,
+                 size_t count, size_t paper_count, double paper_size_gb,
+                 std::function<SeriesCollection(size_t, uint64_t)> generate) {
+    DatasetSpec spec;
+    spec.name = name;
+    spec.description = description;
+    spec.length = length;
+    spec.count = count;
+    spec.paper_count = paper_count;
+    spec.paper_size_gb = paper_size_gb;
+    spec.generate = std::move(generate);
+    specs.push_back(std::move(spec));
+  };
+  add("Seismic", "seismic records (stand-in)", 256, scaled(40000),
+      100'000'000, 100.0,
+      [](size_t c, uint64_t s) { return GenerateSeismicLike(c, 256, s); });
+  add("Astro", "astronomical data (stand-in)", 256, scaled(40000),
+      270'000'000, 265.0,
+      [](size_t c, uint64_t s) { return GenerateAstroLike(c, 256, s); });
+  add("Deep", "deep embeddings (stand-in)", 96, scaled(100000),
+      1'000'000'000, 358.0,
+      [](size_t c, uint64_t s) { return GenerateEmbeddingLike(c, 96, 256, s); });
+  add("Sift", "image descriptors (stand-in)", 128, scaled(80000),
+      1'000'000'000, 477.0,
+      [](size_t c, uint64_t s) { return GenerateEmbeddingLike(c, 128, 512, s); });
+  add("Yan-TtI", "image and text embeddings (stand-in)", 200, scaled(50000),
+      1'000'000'000, 800.0,
+      [](size_t c, uint64_t s) { return GenerateCrossModalLike(c, 200, s); });
+  add("Random", "random walks (as in the paper)", 256, scaled(40000),
+      100'000'000, 100.0,
+      [](size_t c, uint64_t s) { return GenerateRandomWalk(c, 256, s); });
+  // Real archives override the generators wherever ODYSSEY_DATA_DIR holds
+  // one. The env var is re-read on every call (not cached) so tests and
+  // long-lived tools can re-point it.
+  for (DatasetSpec& spec : specs) {
+    spec.source_path = FindDatasetFile(spec.name);
+    if (spec.file_backed()) {
+      spec.source_format = FormatFromPath(spec.source_path);
+      spec.description = "real archive: " + spec.source_path;
+    }
+  }
   return specs;
 }
 
-DatasetSpec Table1Dataset(const std::string& name, double scale) {
+StatusOr<DatasetSpec> Table1Dataset(const std::string& name, double scale) {
   for (auto& spec : Table1Datasets(scale)) {
     if (spec.name == name) return spec;
   }
-  ODYSSEY_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
-  return {};
+  return Status::NotFound("unknown dataset: " + name);
 }
 
 }  // namespace odyssey

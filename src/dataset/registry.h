@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
+#include "src/dataset/ingest.h"
 #include "src/dataset/series_collection.h"
 
 namespace odyssey {
@@ -12,6 +14,12 @@ namespace odyssey {
 /// One row of the paper's Table 1, scaled to in-memory reproduction size.
 /// `paper_count`/`paper_size_gb` record what the paper used; `Generate`
 /// produces our stand-in at `count` series (a configurable fraction).
+///
+/// When the environment variable ODYSSEY_DATA_DIR points at a directory
+/// holding the real archives (see FindDatasetFile for the naming scheme),
+/// the spec becomes *file-backed*: `Load` ingests up to `count` series from
+/// the archive through the memory-mapped ingestion layer, z-normalizing on
+/// ingest, instead of generating the synthetic stand-in.
 struct DatasetSpec {
   std::string name;
   std::string description;
@@ -20,17 +28,42 @@ struct DatasetSpec {
   size_t paper_count;         ///< paper size (series)
   double paper_size_gb;       ///< paper on-disk size
   std::function<SeriesCollection(size_t count, uint64_t seed)> generate;
+  /// Real archive behind this spec (empty = synthetic stand-in only).
+  std::string source_path;
+  DataFormat source_format = DataFormat::kAuto;
 
+  bool file_backed() const { return !source_path.empty(); }
+
+  /// Synthetic stand-in, always available.
   SeriesCollection Generate(uint64_t seed) const { return generate(count, seed); }
+
+  /// The dataset this spec actually stands for: the real archive when
+  /// file-backed (first `count` series, z-normalized on ingest; `seed` is
+  /// ignored), the synthetic stand-in otherwise.
+  StatusOr<SeriesCollection> Load(uint64_t seed) const;
+
+  /// Chunked access to a file-backed spec for bounded-memory index builds.
+  /// Fails with FailedPrecondition when the spec is synthetic.
+  StatusOr<SeriesIngestor> OpenIngestor(size_t chunk_size) const;
 };
 
 /// The Table-1 datasets (Seismic, Astro, Deep, Sift, Yan-TtI, Random) as
 /// scaled stand-ins. `scale` multiplies the default reproduction counts
 /// (default counts are sized so every Table-1 bench finishes in seconds).
+/// Specs come back file-backed wherever ODYSSEY_DATA_DIR holds a matching
+/// archive.
 std::vector<DatasetSpec> Table1Datasets(double scale = 1.0);
 
-/// Looks up one dataset by (case-sensitive) name; aborts if absent.
-DatasetSpec Table1Dataset(const std::string& name, double scale = 1.0);
+/// Looks up one dataset by (case-sensitive) name. Unknown names are a
+/// NotFound error in every build mode — never a default-constructed spec.
+StatusOr<DatasetSpec> Table1Dataset(const std::string& name,
+                                    double scale = 1.0);
+
+/// Probes ODYSSEY_DATA_DIR for a real archive backing dataset `name`:
+/// <dir>/<lowercased-name>.{fvecs,bvecs,bin,raw,f32} (e.g. sift.fvecs,
+/// seismic.raw). Returns the first match, or "" when the variable is unset
+/// or no file exists.
+std::string FindDatasetFile(const std::string& name);
 
 }  // namespace odyssey
 

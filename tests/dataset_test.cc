@@ -242,15 +242,21 @@ TEST(RegistryTest, ContainsAllTable1Rows) {
 }
 
 TEST(RegistryTest, SpecsMatchPaperLengths) {
-  EXPECT_EQ(Table1Dataset("Seismic").length, 256u);
-  EXPECT_EQ(Table1Dataset("Deep").length, 96u);
-  EXPECT_EQ(Table1Dataset("Sift").length, 128u);
-  EXPECT_EQ(Table1Dataset("Yan-TtI").length, 200u);
+  EXPECT_EQ(Table1Dataset("Seismic")->length, 256u);
+  EXPECT_EQ(Table1Dataset("Deep")->length, 96u);
+  EXPECT_EQ(Table1Dataset("Sift")->length, 128u);
+  EXPECT_EQ(Table1Dataset("Yan-TtI")->length, 200u);
+}
+
+TEST(RegistryTest, UnknownNameIsNotFoundInEveryBuildMode) {
+  const StatusOr<DatasetSpec> spec = Table1Dataset("NoSuchDataset");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kNotFound);
 }
 
 TEST(RegistryTest, ScaleControlsCount) {
-  const DatasetSpec small = Table1Dataset("Random", 0.01);
-  const DatasetSpec big = Table1Dataset("Random", 0.1);
+  const DatasetSpec small = *Table1Dataset("Random", 0.01);
+  const DatasetSpec big = *Table1Dataset("Random", 0.1);
   EXPECT_LT(small.count, big.count);
   const SeriesCollection data = small.Generate(1);
   EXPECT_EQ(data.size(), small.count);
