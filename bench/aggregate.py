@@ -52,7 +52,9 @@ def flatten(merged: dict) -> dict:
     return out
 
 
-def diff(old_path: pathlib.Path, new_path: pathlib.Path) -> int:
+def diff(old_path: pathlib.Path, new_path: pathlib.Path,
+         fail_above: float | None = None,
+         fail_filter: str = "") -> int:
     old = flatten(json.loads(old_path.read_text()))
     new = flatten(json.loads(new_path.read_text()))
     common = sorted(set(old) & set(new))
@@ -60,6 +62,7 @@ def diff(old_path: pathlib.Path, new_path: pathlib.Path) -> int:
         print("no common benchmarks between the two files", file=sys.stderr)
         return 1
     width = max(len(name) for name in common)
+    regressions = []
     print(f"{'benchmark':<{width}}  {'old_ms':>10}  {'new_ms':>10}  ratio")
     for name in common:
         o, n = old[name], new[name]
@@ -68,12 +71,31 @@ def diff(old_path: pathlib.Path, new_path: pathlib.Path) -> int:
             if abs(ratio - 1.0) > 0.10 else ""
         print(f"{name:<{width}}  {o / 1e6:>10.3f}  {n / 1e6:>10.3f}  "
               f"{ratio:>5.2f}{flag}")
+        if (fail_above is not None and ratio > fail_above
+                and fail_filter in name):
+            regressions.append((name, ratio))
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))
     if only_old:
         print(f"\nonly in {old_path.name}: {len(only_old)} benchmarks")
     if only_new:
         print(f"only in {new_path.name}: {len(only_new)} benchmarks")
+    if fail_above is not None:
+        # A gated benchmark that vanished from the new run (renamed target,
+        # bench that failed to register) must not slip past the gate as a
+        # no-op: a regression could hide behind a rename.
+        for name in only_old:
+            if fail_filter in name:
+                regressions.append((name, float("nan")))
+                print(f"gated benchmark missing from {new_path.name}: {name}",
+                      file=sys.stderr)
+    if regressions:
+        scope = f" matching '{fail_filter}'" if fail_filter else ""
+        print(f"\nFAIL: {len(regressions)} benchmark(s){scope} regressed "
+              f"beyond {fail_above:.2f}x or went missing:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}  {ratio:.2f}x", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -86,12 +108,25 @@ def main() -> int:
                         help="merged output path (default: %(default)s)")
     parser.add_argument("--diff", action="store_true",
                         help="compare two merged files instead of merging")
+    parser.add_argument("--fail-above", type=float, default=None,
+                        metavar="RATIO",
+                        help="with --diff: exit non-zero when any common "
+                             "benchmark's new/old real-time ratio exceeds "
+                             "RATIO (e.g. 1.10 gates >10%% regressions, the "
+                             "PR gate for the build-time series)")
+    parser.add_argument("--fail-filter", default="", metavar="SUBSTR",
+                        help="with --fail-above: only benchmarks whose "
+                             "target/name contains SUBSTR count as gate "
+                             "failures (e.g. 'Build' to gate only the "
+                             "build-time series); all ratios are still "
+                             "printed")
     args = parser.parse_args()
 
     if args.diff:
         if len(args.inputs) != 2:
             parser.error("--diff needs exactly two merged files (old new)")
-        return diff(pathlib.Path(args.inputs[0]), pathlib.Path(args.inputs[1]))
+        return diff(pathlib.Path(args.inputs[0]), pathlib.Path(args.inputs[1]),
+                    args.fail_above, args.fail_filter)
 
     if len(args.inputs) != 1:
         parser.error("merge mode needs exactly one input directory")

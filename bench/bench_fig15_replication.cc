@@ -4,12 +4,28 @@
 //  (c)/(d) total time (index build + queries): for few queries the build
 //          cost of FULL dominates (EQUALLY-SPLIT wins); for many queries
 //          it is amortized (FULL wins) — the paper's central trade-off.
+//  (e)     build time + transient bundle bytes, shared-chunk vs legacy
+//          per-node-copy build: FULL/PARTIAL-k replicas indexing one
+//          immutable bundle per group cut both by ~replication_degree().
+//  (f)     streaming build from disk with/without the double-buffered
+//          overlap pipeline: pull of chunk i+1 hidden behind the
+//          summarize+partition of chunk i (overlap_s counter). The win
+//          tracks how IO-bound the pulls are — on a page-cache-warm
+//          archive (CI), the pull is mostly z-normalization CPU and the
+//          overlap_s counter is the interesting output; on cold spinning
+//          storage the hidden seconds come off the wall clock.
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <system_error>
 
 #include "bench/bench_common.h"
+#include "src/common/summary_stats.h"
+#include "src/dataset/file_io.h"
 
 namespace odyssey {
 namespace {
@@ -55,6 +71,86 @@ void RunReplication(benchmark::State& state, int nodes, int groups,
   state.counters["nodes"] = nodes;
 }
 
+// (e): stage 1+2 only (no queries) — wall build time plus the transient
+// bundle bytes and summary count the build materialized, from the
+// build_stats counters (the same ones the shared_chunk_test suite asserts
+// once-per-group on).
+void RunBuild(benchmark::State& state, int nodes, int groups, bool shared) {
+  const SeriesCollection& data = Data();
+  OdysseyOptions options = bench::ClusterOptions(
+      256, nodes, groups, SchedulingPolicy::kPredictDynamic, true);
+  options.share_chunks = shared;
+  for (auto _ : state) {
+    build_stats::Reset();
+    OdysseyCluster cluster(data, options);
+    state.counters["build_s"] =
+        cluster.partition_seconds() + cluster.index_seconds();
+    state.counters["transient_chunk_bytes"] =
+        static_cast<double>(build_stats::ChunkBytes());
+    state.counters["summaries"] =
+        static_cast<double>(build_stats::SummariesBuilt());
+    state.counters["bundles"] = static_cast<double>(build_stats::ChunksBuilt());
+  }
+  state.counters["nodes"] = nodes;
+}
+
+// (f): streaming IngestAndBuild from an on-disk archive, with and without
+// the double-buffered ingest overlap. The archive is the bench dataset
+// dumped once to a temp file, so the pulls are real disk reads.
+void RunStreamingBuild(benchmark::State& state, int nodes, int groups,
+                       bool overlap) {
+  // Per-process name (two users / concurrent runners must not collide on a
+  // shared /tmp), written once and removed at exit.
+  static const std::string path = [] {
+    std::string p = (std::filesystem::temp_directory_path() /
+                     ("odyssey_bench_fig15_stream." +
+                      std::to_string(::getpid()) + ".raw"))
+                        .string();
+    const Status written = WriteRawFloats(Data(), p);
+    if (!written.ok()) {
+      std::fprintf(stderr, "bench: %s\n", written.ToString().c_str());
+      p.clear();
+      return p;
+    }
+    std::atexit([] {
+      std::error_code ec;
+      std::filesystem::remove(
+          std::filesystem::temp_directory_path() /
+              ("odyssey_bench_fig15_stream." + std::to_string(::getpid()) +
+               ".raw"),
+          ec);
+    });
+    return p;
+  }();
+  if (path.empty()) {
+    state.SkipWithError("cannot write streaming archive");
+    return;
+  }
+  OdysseyOptions options = bench::ClusterOptions(
+      256, nodes, groups, SchedulingPolicy::kPredictDynamic, true);
+  options.overlap_ingest = overlap;
+  IngestOptions ingest;
+  ingest.length = 256;
+  ingest.chunk_size = 4096;
+  for (auto _ : state) {
+    StatusOr<SeriesIngestor> source = SeriesIngestor::Open(path, ingest);
+    if (!source.ok()) {
+      state.SkipWithError(source.status().ToString().c_str());
+      return;
+    }
+    auto cluster = OdysseyCluster::IngestAndBuild(*source, options);
+    if (!cluster.ok()) {
+      state.SkipWithError(cluster.status().ToString().c_str());
+      return;
+    }
+    state.counters["ingest_s"] = (*cluster)->ingest_seconds();
+    state.counters["overlap_s"] = (*cluster)->overlap_seconds();
+    state.counters["build_s"] =
+        (*cluster)->partition_seconds() + (*cluster)->index_seconds();
+  }
+  state.counters["nodes"] = nodes;
+}
+
 void RegisterAll() {
   const struct {
     const char* name;
@@ -90,6 +186,37 @@ void RegisterAll() {
             ->UseRealTime();
       }
     }
+  }
+  // (e) build-only series: shared bundle vs legacy per-node copies.
+  for (const auto& strategy : kStrategies) {
+    for (int nodes : {2, 4, 8}) {
+      const int groups = strategy.groups < 0 ? nodes : strategy.groups;
+      if (!bench::ValidLayout(nodes, groups) || nodes < strategy.min_nodes) {
+        continue;
+      }
+      for (const bool shared : {true, false}) {
+        benchmark::RegisterBenchmark(
+            (std::string("BM_Fig15e_Build/") + strategy.name + "/nodes:" +
+             std::to_string(nodes) + (shared ? "/shared" : "/legacy"))
+                .c_str(),
+            [=](benchmark::State& s) { RunBuild(s, nodes, groups, shared); })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1)
+            ->UseRealTime();
+      }
+    }
+  }
+  // (f) streaming build: double-buffered ingest overlap on/off (FULL over 4
+  // nodes — the shape whose build the sharing helps most).
+  for (const bool overlap : {true, false}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Fig15f_StreamingBuild/FULL/nodes:4/overlap:") +
+         (overlap ? "on" : "off"))
+            .c_str(),
+        [=](benchmark::State& s) { RunStreamingBuild(s, 4, 1, overlap); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1)
+        ->UseRealTime();
   }
 }
 

@@ -32,6 +32,40 @@ void CountSax();
 void CountEnvelope();
 
 }  // namespace summary_stats
+
+namespace build_stats {
+
+/// Process-wide counters of *build-time* chunk summarization — the
+/// index-construction mirror of summary_stats' query-time promise. The
+/// SharedChunk subsystem (src/core/shared_chunk.h) promises each replication
+/// group materializes exactly one immutable {series, PAA, SAX, buffers}
+/// bundle per chunk, shared by every replica's tree build; the legacy
+/// per-node copy path builds one private bundle per node instead. Tests and
+/// bench_fig15_replication read these counters to prove the sharing ratio.
+
+/// Number of SharedChunk bundles materialized (shared path: one per group;
+/// legacy path: one per node).
+uint64_t ChunksBuilt();
+/// Total bytes of all materialized bundles (series + PAA + SAX + buffers) —
+/// the transient build memory the shared path divides by the replication
+/// degree.
+uint64_t ChunkBytes();
+/// Series summarized into bundles (PAA + SAX rows written). Equals the
+/// dataset size on the shared path; replication_degree() times that on the
+/// legacy copy path.
+uint64_t SummariesBuilt();
+/// Seconds the streaming build spent pulling chunk i+1 concurrently with
+/// summarizing/partitioning chunk i (the double-buffered overlap pipeline).
+double OverlapSeconds();
+
+/// Zeroes all counters (test setup).
+void Reset();
+
+/// Increment hooks, called by SharedChunk and the streaming driver.
+void CountChunk(uint64_t bytes, uint64_t summaries);
+void AddOverlapSeconds(double seconds);
+
+}  // namespace build_stats
 }  // namespace odyssey
 
 #endif  // ODYSSEY_COMMON_SUMMARY_STATS_H_

@@ -8,6 +8,7 @@
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
+#include "src/common/summary_stats.h"
 #include "src/common/thread_pool.h"
 
 namespace odyssey {
@@ -65,14 +66,48 @@ OdysseyCluster::OdysseyCluster(const SeriesCollection& dataset,
   }
   partition_seconds_ = watch.ElapsedSeconds();
 
-  // Stage 2: every node subsets its group's chunk straight out of the
-  // caller's collection and builds its index. Nodes build concurrently, as
-  // on a real cluster; no intermediate per-group copy is materialized.
+  // Stage 2: index construction, per replication group.
   nodes_.reserve(layout_.num_nodes());
   for (int n = 0; n < layout_.num_nodes(); ++n) {
     nodes_.push_back(std::make_unique<NodeRuntime>(n, layout_));
   }
-  {
+  if (options_.share_chunks) {
+    // Shared path: each group materializes and summarizes its chunk exactly
+    // once (Section 3.3: a group's members hold identical data); every
+    // member then builds its own — bit-identical — tree from views of that
+    // one bundle. Under FULL replication this is 1 copy + 1 summarization
+    // instead of Nsn of each.
+    std::vector<std::shared_ptr<const SharedChunk>> bundles(
+        layout_.num_groups());
+    {
+      std::vector<std::thread> groups;
+      groups.reserve(layout_.num_groups());
+      for (int g = 0; g < layout_.num_groups(); ++g) {
+        groups.emplace_back([&, g] {
+          ThreadPool pool(static_cast<size_t>(
+              std::max(1, options_.build_threads_per_node)));
+          bundles[g] = SharedChunk::Build(dataset.Subset(chunks[g]),
+                                          chunks[g],
+                                          options_.index_options.config,
+                                          &pool);
+        });
+      }
+      for (auto& t : groups) t.join();
+    }
+    std::vector<std::thread> builders;
+    builders.reserve(layout_.num_nodes());
+    for (int n = 0; n < layout_.num_nodes(); ++n) {
+      builders.emplace_back([&, n] {
+        nodes_[n]->LoadSharedChunk(bundles[layout_.GroupOf(n)]);
+        nodes_[n]->BuildIndex(options_.index_options,
+                              options_.build_threads_per_node);
+      });
+    }
+    for (auto& t : builders) t.join();
+  } else {
+    // Legacy copy path: every node subsets its group's chunk straight out
+    // of the caller's collection and summarizes it privately. Kept for the
+    // shared-vs-copy benchmarks and bit-identity tests.
     std::vector<std::thread> builders;
     builders.reserve(layout_.num_nodes());
     for (int n = 0; n < layout_.num_nodes(); ++n) {
@@ -90,7 +125,8 @@ OdysseyCluster::OdysseyCluster(const SeriesCollection& dataset,
 OdysseyCluster::OdysseyCluster(GroupChunks groups,
                                const OdysseyOptions& options,
                                double partition_seconds,
-                               double ingest_seconds)
+                               double ingest_seconds,
+                               double overlap_seconds)
     : options_(options),
       layout_([&] {
         auto layout = ReplicationLayout::Make(options.num_nodes,
@@ -99,7 +135,8 @@ OdysseyCluster::OdysseyCluster(GroupChunks groups,
         return *layout;
       }()),
       partition_seconds_(partition_seconds),
-      ingest_seconds_(ingest_seconds) {
+      ingest_seconds_(ingest_seconds),
+      overlap_seconds_(overlap_seconds) {
   BuildNodes(std::move(groups));
 }
 
@@ -121,56 +158,139 @@ StatusOr<std::unique_ptr<OdysseyCluster>> OdysseyCluster::IngestAndBuild(
 
   // Stage 0+1 interleaved: pull one bounded chunk at a time and partition
   // it on arrival, appending each group's share directly into the group's
-  // storage. Peak transient heap is a single ingest chunk; the full archive
-  // only ever exists distributed across the groups (as on a real cluster).
+  // storage. Peak transient heap is one ingest chunk (two with the overlap
+  // pipeline: the chunk being processed + the one in flight); the full
+  // archive only ever exists distributed across the groups (as on a real
+  // cluster). On the shared path each arriving chunk is summarized exactly
+  // once — before partitioning, so DENSITY-AWARE reuses the same table —
+  // and the rows are scattered into per-group tables alongside the series;
+  // the group bundles are then adopted at build time with zero
+  // re-summarization, and with overlap_ingest the next chunk's disk read
+  // runs concurrently with all of this.
+  const IsaxConfig& config = options.index_options.config;
+  const size_t w = static_cast<size_t>(config.segments());
   GroupChunks groups;
   groups.data.resize(layout->num_groups(), SeriesCollection(source.length()));
   groups.ids.resize(layout->num_groups());
+  groups.summarized = options.share_chunks;
+  if (groups.summarized) {
+    groups.paa.resize(layout->num_groups());
+    groups.sax.resize(layout->num_groups());
+  }
   double ingest_seconds = 0.0;
   double partition_seconds = 0.0;
   ThreadPool pool(options.build_threads_per_node);
+  const bool overlap = options.share_chunks && options.overlap_ingest;
+  std::unique_ptr<ChunkPrefetcher> prefetcher;
+  if (overlap) prefetcher = std::make_unique<ChunkPrefetcher>(&source);
   Stopwatch watch;
   uint64_t chunk_index = 0;
+  uint32_t base = 0;  // global id of the current chunk's first series
+  std::vector<double> chunk_paa;
+  std::vector<uint8_t> chunk_sax;
   for (;; ++chunk_index) {
     watch.Restart();
-    StatusOr<SeriesCollection> chunk = source.NextChunk();
+    StatusOr<SeriesCollection> chunk =
+        overlap ? prefetcher->Next() : source.NextChunk();
     if (!chunk.ok()) return chunk.status();
-    ingest_seconds += watch.ElapsedSeconds();
+    if (!overlap) ingest_seconds += watch.ElapsedSeconds();
     if (chunk->empty()) break;
-    const uint32_t base =
-        static_cast<uint32_t>(source.series_read() - chunk->size());
+    const size_t n = chunk->size();
     watch.Restart();
+    const std::vector<uint8_t>* precomputed_sax = nullptr;
+    if (options.share_chunks) {
+      chunk_paa.resize(n * w);
+      chunk_sax.resize(n * w);
+      pool.ParallelFor(n, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          double* paa = chunk_paa.data() + i * w;
+          ComputePaa(chunk->data(i), config.paa, paa);
+          ComputeSaxFromPaa(paa, config, chunk_sax.data() + i * w);
+        }
+      });
+      precomputed_sax = &chunk_sax;
+    }
     // Per-chunk seed: kRandomShuffle must not deal every chunk the same
     // permutation.
     const std::vector<std::vector<uint32_t>> local = PartitionSeries(
-        *chunk, layout->num_groups(), options.partitioning,
-        options.index_options.config, options.seed + chunk_index, &pool,
-        options.density_options);
+        *chunk, layout->num_groups(), options.partitioning, config,
+        options.seed + chunk_index, &pool, options.density_options,
+        precomputed_sax);
     for (int g = 0; g < layout->num_groups(); ++g) {
       for (uint32_t id : local[g]) {
         groups.data[g].Append(chunk->data(id));
         groups.ids[g].push_back(base + id);
+        if (options.share_chunks) {
+          groups.paa[g].insert(groups.paa[g].end(),
+                               chunk_paa.data() + id * w,
+                               chunk_paa.data() + (id + 1) * w);
+          groups.sax[g].insert(groups.sax[g].end(),
+                               chunk_sax.data() + id * w,
+                               chunk_sax.data() + (id + 1) * w);
+        }
       }
     }
+    base += static_cast<uint32_t>(n);
     partition_seconds += watch.ElapsedSeconds();
+  }
+  double overlap_seconds = 0.0;
+  if (overlap) {
+    ingest_seconds = prefetcher->pull_seconds();
+    overlap_seconds = prefetcher->overlap_seconds();
+    build_stats::AddOverlapSeconds(overlap_seconds);
+    prefetcher.reset();
   }
   if (chunk_index == 0) {
     return Status::InvalidArgument("archive is empty: " + source.path());
   }
   return std::unique_ptr<OdysseyCluster>(
       new OdysseyCluster(std::move(groups), options, partition_seconds,
-                         ingest_seconds));
+                         ingest_seconds, overlap_seconds));
 }
 
 void OdysseyCluster::BuildNodes(GroupChunks groups) {
-  // Stage 2 of the streaming path: every node loads its group's chunk and
-  // builds its index concurrently, as on a real cluster. Replicas copy the
-  // group's chunk (each node's private RAM); a group with a single member
-  // moves it instead, so EQUALLY-SPLIT layouts never duplicate data.
   nodes_.reserve(layout_.num_nodes());
   for (int n = 0; n < layout_.num_nodes(); ++n) {
     nodes_.push_back(std::make_unique<NodeRuntime>(n, layout_));
   }
+  if (groups.summarized) {
+    // Shared path: each group adopts its accumulated series + PAA/SAX
+    // tables (computed once per ingest chunk, never recomputed here) as one
+    // immutable bundle — the only per-group work left is grouping the
+    // summarization buffers — and every member indexes views of it.
+    std::vector<std::shared_ptr<const SharedChunk>> bundles(
+        layout_.num_groups());
+    {
+      std::vector<std::thread> adopters;
+      adopters.reserve(layout_.num_groups());
+      for (int g = 0; g < layout_.num_groups(); ++g) {
+        adopters.emplace_back([&, g] {
+          ThreadPool pool(static_cast<size_t>(
+              std::max(1, options_.build_threads_per_node)));
+          bundles[g] = SharedChunk::Adopt(
+              std::move(groups.data[g]), std::move(groups.ids[g]),
+              std::move(groups.paa[g]), std::move(groups.sax[g]),
+              options_.index_options.config, &pool);
+        });
+      }
+      for (auto& t : adopters) t.join();
+    }
+    std::vector<std::thread> builders;
+    builders.reserve(layout_.num_nodes());
+    for (int n = 0; n < layout_.num_nodes(); ++n) {
+      builders.emplace_back([&, n] {
+        nodes_[n]->LoadSharedChunk(bundles[layout_.GroupOf(n)]);
+        nodes_[n]->BuildIndex(options_.index_options,
+                              options_.build_threads_per_node);
+      });
+    }
+    for (auto& t : builders) t.join();
+    return;
+  }
+  // Legacy copy path: every node loads its group's chunk and builds its
+  // index concurrently, as on a real cluster. Replicas copy the group's
+  // chunk (each node's private RAM); a group with a single member moves it
+  // instead, so EQUALLY-SPLIT layouts never duplicate data.
   std::vector<std::thread> builders;
   builders.reserve(layout_.num_nodes());
   for (int n = 0; n < layout_.num_nodes(); ++n) {

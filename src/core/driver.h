@@ -1,12 +1,22 @@
 #ifndef ODYSSEY_CORE_DRIVER_H_
 #define ODYSSEY_CORE_DRIVER_H_
 
+/// The Odyssey coordinator (paper Figure 3): OdysseyCluster drives all five
+/// stages of a deployment — stage 1 partitioning (Section 3.4), stage 2
+/// distributed index construction over replication groups (Section 3.3,
+/// here via one shared immutable chunk bundle per group), stage 3
+/// predictive scheduling (Sections 2 and 3.1), stage 4 query execution on
+/// the nodes, and stage 5 answer merging. IngestAndBuild is the streaming
+/// variant: bounded chunks are pulled (double-buffered, overlapping pulls
+/// with summarization), partitioned and summarized on arrival.
+
 #include <memory>
 #include <vector>
 
 #include "src/core/cost_model.h"
 #include "src/core/node_runtime.h"
 #include "src/core/partitioning.h"
+#include "src/core/shared_chunk.h"
 #include "src/dataset/ingest.h"
 
 namespace odyssey {
@@ -28,6 +38,18 @@ struct OdysseyOptions {
   /// Stage-2 index construction.
   IndexOptions index_options;
   int build_threads_per_node = 4;
+  /// Build each replication group's chunk bundle (series + PAA + SAX +
+  /// summarization buffers, src/core/shared_chunk.h) exactly once and let
+  /// every replica index views of it — replication_degree() times less
+  /// transient build memory and summarization than the legacy path, with
+  /// bit-identical trees. Off = legacy path: every node materializes and
+  /// summarizes a private copy of its group's chunk (kept for the
+  /// shared-vs-copy benchmarks and equivalence tests).
+  bool share_chunks = true;
+  /// Streaming builds only: pull chunk i+1 off disk concurrently with
+  /// summarizing/partitioning chunk i (double-buffered ingest; observable
+  /// via overlap_seconds()). Requires share_chunks.
+  bool overlap_ingest = true;
 
   /// Stage-3/4 query answering.
   SchedulingPolicy scheduling = SchedulingPolicy::kPredictDynamic;
@@ -119,6 +141,10 @@ class OdysseyCluster {
   /// Time IngestAndBuild spent pulling chunks off disk (0 for the in-memory
   /// constructor).
   double ingest_seconds() const { return ingest_seconds_; }
+  /// Of ingest_seconds(), the part that ran concurrently with
+  /// summarization/partitioning (the double-buffered pipeline's win; 0
+  /// without overlap_ingest or for the in-memory constructor).
+  double overlap_seconds() const { return overlap_seconds_; }
   /// Paper's index-time measures: the maximum across nodes.
   double max_buffer_seconds() const;
   double max_tree_seconds() const;
@@ -136,20 +162,29 @@ class OdysseyCluster {
 
  private:
   /// Per-group raw data + global ids, accumulated by the streaming build
-  /// as chunks are partitioned on arrival.
+  /// as chunks are partitioned on arrival. On the shared path the per-chunk
+  /// PAA/SAX rows (computed once per ingest chunk, before partitioning) are
+  /// scattered alongside, so the group bundles are adopted at build time
+  /// without ever re-summarizing.
   struct GroupChunks {
     std::vector<SeriesCollection> data;
     std::vector<std::vector<uint32_t>> ids;
+    std::vector<std::vector<double>> paa;   // shared path only
+    std::vector<std::vector<uint8_t>> sax;  // shared path only
+    bool summarized = false;                // paa/sax are filled
   };
 
   /// Streaming-build constructor body: every group's chunk is already
   /// materialized; just load the nodes and build their indexes.
   OdysseyCluster(GroupChunks groups, const OdysseyOptions& options,
-                 double partition_seconds, double ingest_seconds);
+                 double partition_seconds, double ingest_seconds,
+                 double overlap_seconds);
 
-  /// Stage 2 of the streaming path: every node loads its group's chunk and
-  /// builds its index concurrently (single-member groups move their chunk;
-  /// replicas copy it).
+  /// Stage 2 of the streaming path. Shared: each group adopts one immutable
+  /// bundle from its accumulated tables and every member indexes views of
+  /// it. Legacy: every node loads its group's chunk and builds its index
+  /// concurrently (single-member groups move their chunk; replicas copy
+  /// it).
   void BuildNodes(GroupChunks groups);
 
   /// Builds the batch's PreparedQuery artifacts across a driver-side
@@ -168,6 +203,7 @@ class OdysseyCluster {
   ReplicationLayout layout_;
   double partition_seconds_ = 0.0;
   double ingest_seconds_ = 0.0;
+  double overlap_seconds_ = 0.0;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
 };
 

@@ -24,19 +24,40 @@ void NodeRuntime::LoadChunk(SeriesCollection chunk,
                             std::vector<uint32_t> global_ids) {
   ODYSSEY_CHECK(chunk.size() == global_ids.size());
   ODYSSEY_CHECK_MSG(!chunk.empty(), "node received an empty chunk");
-  global_ids_ = std::move(global_ids);
+  global_ids_ =
+      std::make_shared<const std::vector<uint32_t>>(std::move(global_ids));
   // The chunk is stashed inside the index at BuildIndex time; keep it here
   // until then.
   pending_chunk_ = std::make_unique<SeriesCollection>(std::move(chunk));
+  pending_shared_.reset();
+}
+
+void NodeRuntime::LoadSharedChunk(std::shared_ptr<const SharedChunk> chunk) {
+  ODYSSEY_CHECK(chunk != nullptr);
+  ODYSSEY_CHECK_MSG(!chunk->data().empty(), "node received an empty chunk");
+  ODYSSEY_CHECK(chunk->global_ids().size() == chunk->size());
+  // Alias the bundle's id vector: the ids share the bundle's refcount and
+  // are never copied per replica.
+  global_ids_ = std::shared_ptr<const std::vector<uint32_t>>(
+      chunk, &chunk->global_ids());
+  pending_shared_ = std::move(chunk);
+  pending_chunk_.reset();
 }
 
 BuildTimings NodeRuntime::BuildIndex(const IndexOptions& options,
                                      int build_threads) {
-  ODYSSEY_CHECK_MSG(pending_chunk_ != nullptr, "LoadChunk before BuildIndex");
+  ODYSSEY_CHECK_MSG(pending_chunk_ != nullptr || pending_shared_ != nullptr,
+                    "LoadChunk/LoadSharedChunk before BuildIndex");
   ThreadPool pool(static_cast<size_t>(std::max(1, build_threads)));
-  index_ = std::make_unique<Index>(Index::Build(
-      std::move(*pending_chunk_), options, &pool, &build_timings_));
+  if (pending_shared_ != nullptr) {
+    index_ = std::make_unique<Index>(Index::BuildFromShared(
+        std::move(pending_shared_), options, &pool, &build_timings_));
+  } else {
+    index_ = std::make_unique<Index>(Index::Build(
+        std::move(*pending_chunk_), options, &pool, &build_timings_));
+  }
   pending_chunk_.reset();
+  pending_shared_.reset();
   return build_timings_;
 }
 
@@ -302,7 +323,7 @@ void NodeRuntime::SendLocalAnswer(int query_id,
   answer.query_id = query_id;
   answer.neighbors.reserve(local.size());
   for (const Neighbor& n : local) {
-    answer.neighbors.push_back({n.squared_distance, global_ids_[n.id]});
+    answer.neighbors.push_back({n.squared_distance, (*global_ids_)[n.id]});
   }
   cluster_->Send(cluster_->coordinator_id(), std::move(answer));
 }

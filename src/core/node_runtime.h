@@ -1,6 +1,15 @@
 #ifndef ODYSSEY_CORE_NODE_RUNTIME_H_
 #define ODYSSEY_CORE_NODE_RUNTIME_H_
 
+/// One simulated Odyssey system node (paper Sections 3.2 and 3.5): stage-2
+/// index construction over the node's chunk — either a private copy
+/// (LoadChunk) or a view of its replication group's shared bundle
+/// (LoadSharedChunk, Section 3.3's replicas-index-one-chunk property) —
+/// and the stage-4 per-batch runtime: a comms thread implementing the
+/// work-stealing manager of Algorithm 3 plus the BSF book-keeping array of
+/// Section 3.4, and a main thread running query answering and the
+/// PerformWorkStealing loop of Algorithm 4.
+
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -12,6 +21,7 @@
 
 #include "src/core/replication.h"
 #include "src/core/scheduler.h"
+#include "src/core/shared_chunk.h"
 #include "src/core/worksteal.h"
 #include "src/index/threshold_model.h"
 #include "src/net/sim_cluster.h"
@@ -64,15 +74,25 @@ class NodeRuntime {
 
   int id() const { return id_; }
 
-  /// Stage 2a: receives this node's chunk. `global_ids[i]` is the original
-  /// dataset id of local series i (answers are reported globally).
+  /// Stage 2a: receives this node's chunk as a private copy.
+  /// `global_ids[i]` is the original dataset id of local series i (answers
+  /// are reported globally). BuildIndex then summarizes the copy here —
+  /// the legacy per-node path the shared build is benchmarked against.
   void LoadChunk(SeriesCollection chunk, std::vector<uint32_t> global_ids);
+
+  /// Stage 2a, shared path: receives the node's replication group's
+  /// immutable bundle (series + SAX + buffers + global ids, summarized
+  /// exactly once for the whole group). BuildIndex then only builds this
+  /// node's tree from the bundle's views.
+  void LoadSharedChunk(std::shared_ptr<const SharedChunk> chunk);
 
   /// Stage 2b-c: builds the local index with `build_threads` workers.
   BuildTimings BuildIndex(const IndexOptions& options, int build_threads);
 
   const Index& index() const;
-  size_t chunk_size() const { return global_ids_.size(); }
+  size_t chunk_size() const {
+    return global_ids_ != nullptr ? global_ids_->size() : 0;
+  }
   const BuildTimings& build_timings() const { return build_timings_; }
 
   /// Starts the node's threads for one query batch. `cluster` and `queries`
@@ -103,9 +123,12 @@ class NodeRuntime {
   const int id_;
   const ReplicationLayout layout_;
 
-  // Immutable after BuildIndex.
-  std::vector<uint32_t> global_ids_;
+  // Immutable after BuildIndex. global_ids_ aliases the shared bundle's id
+  // vector on the shared path (no per-replica copy) and owns a private
+  // vector on the legacy path.
+  std::shared_ptr<const std::vector<uint32_t>> global_ids_;
   std::unique_ptr<SeriesCollection> pending_chunk_;  // between Load and Build
+  std::shared_ptr<const SharedChunk> pending_shared_;
   std::unique_ptr<Index> index_;
   BuildTimings build_timings_;
 

@@ -46,11 +46,17 @@ size_t SmallestChunk(const std::vector<std::vector<uint32_t>>& chunks) {
 /// query's neighborhood.
 std::vector<std::vector<uint32_t>> DensityAwarePartition(
     const SeriesCollection& data, int num_chunks, const IsaxConfig& config,
-    ThreadPool* pool, const DensityAwareOptions& options) {
-  // Steps 1-2: compute iSAX summaries, group into summarization buffers.
-  const std::vector<uint8_t> sax_table = ComputeSaxTable(data, config, pool);
-  SummarizationBuffers buffers =
-      BuildBuffers(sax_table, data.size(), config, pool);
+    ThreadPool* pool, const DensityAwareOptions& options,
+    const std::vector<uint8_t>* precomputed_sax) {
+  // Steps 1-2: compute iSAX summaries (unless the caller already has them),
+  // group into summarization buffers.
+  std::vector<uint8_t> owned_table;
+  if (precomputed_sax == nullptr) {
+    owned_table = ComputeSaxTable(data, config, pool);
+    precomputed_sax = &owned_table;
+  }
+  SummarizationBuffers buffers = BuildBuffers(
+      precomputed_sax->data(), data.size(), config, pool);
 
   // Step 3: order buffers by Gray-code rank of their root key.
   std::vector<size_t> order(buffers.buffer_count());
@@ -139,10 +145,16 @@ const char* PartitioningSchemeToString(PartitioningScheme scheme) {
 std::vector<std::vector<uint32_t>> PartitionSeries(
     const SeriesCollection& data, int num_chunks, PartitioningScheme scheme,
     const IsaxConfig& config, uint64_t seed, ThreadPool* pool,
-    const DensityAwareOptions& density_options) {
+    const DensityAwareOptions& density_options,
+    const std::vector<uint8_t>* precomputed_sax) {
   ODYSSEY_CHECK(num_chunks >= 1);
   ODYSSEY_CHECK_MSG(data.size() >= static_cast<size_t>(num_chunks),
                     "fewer series than chunks");
+  // A table sized for a different collection or iSAX geometry must fail
+  // here, not read out of bounds inside the buffer grouping.
+  ODYSSEY_CHECK(precomputed_sax == nullptr ||
+                precomputed_sax->size() ==
+                    data.size() * static_cast<size_t>(config.segments()));
   std::vector<uint32_t> ids(data.size());
   std::iota(ids.begin(), ids.end(), 0u);
 
@@ -162,8 +174,8 @@ std::vector<std::vector<uint32_t>> PartitionSeries(
       break;
     }
     case PartitioningScheme::kDensityAware:
-      chunks =
-          DensityAwarePartition(data, num_chunks, config, pool, density_options);
+      chunks = DensityAwarePartition(data, num_chunks, config, pool,
+                                     density_options, precomputed_sax);
       break;
   }
   return chunks;

@@ -1,6 +1,16 @@
 #ifndef ODYSSEY_CORE_PARTITIONING_H_
 #define ODYSSEY_CORE_PARTITIONING_H_
 
+/// Stage-1 partitioning (paper Section 3.4): how the coordinator cuts the
+/// raw collection into one chunk per replication group before any index
+/// exists — equal contiguous ranges, the RS random-shuffle preprocessing,
+/// or the DENSITY-AWARE scheme of Section 3.4.1 (Figures 8-9) that spreads
+/// Gray-code-adjacent summarization buffers across chunks so no node ends
+/// up the sole owner of a query's neighborhood. Deterministic output is
+/// part of the contract: replicas that load the same chunk must build
+/// bit-identical indexes (see src/core/shared_chunk.h, which makes that
+/// sharing literal).
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -40,11 +50,17 @@ struct DensityAwareOptions {
 /// Every returned chunk is sorted ascending (determinism: replicas loading
 /// the same chunk must build identical indexes). `config` is needed only by
 /// kDensityAware (it summarizes the collection); `pool` parallelizes that
-/// summarization and may be null.
+/// summarization and may be null. When the caller already summarized `data`
+/// (the SharedChunk streaming build computes every chunk's SAX table once,
+/// before partitioning), pass the table as `precomputed_sax`
+/// (data.size() * config.segments() bytes — checked) and kDensityAware
+/// consumes it instead of re-summarizing — partitioning then never
+/// recomputes a summary the index build will reuse.
 std::vector<std::vector<uint32_t>> PartitionSeries(
     const SeriesCollection& data, int num_chunks, PartitioningScheme scheme,
     const IsaxConfig& config, uint64_t seed, ThreadPool* pool = nullptr,
-    const DensityAwareOptions& density_options = {});
+    const DensityAwareOptions& density_options = {},
+    const std::vector<uint8_t>* precomputed_sax = nullptr);
 
 }  // namespace odyssey
 

@@ -5,14 +5,26 @@ namespace odyssey {
 StatusOr<ReplicationLayout> ReplicationLayout::Make(int num_nodes,
                                                     int num_groups) {
   if (num_nodes < 1) {
-    return Status::InvalidArgument("num_nodes must be >= 1");
+    return Status::InvalidArgument("num_nodes must be >= 1, got " +
+                                   std::to_string(num_nodes));
   }
   if (num_groups < 1 || num_groups > num_nodes) {
-    return Status::InvalidArgument("num_groups must be in [1, num_nodes]");
+    return Status::InvalidArgument(
+        "num_groups must be in [1, num_nodes] = [1, " +
+        std::to_string(num_nodes) + "], got " + std::to_string(num_groups));
   }
+  // Direction audit: PARTIAL-k's k is num_groups, and every cluster holds
+  // one node of each group, so it is num_groups (k) that must divide
+  // num_nodes (Nsn) — Nsn % k == 0, giving Nsn/k equal-size clusters. The
+  // reverse reading ("num_nodes divides num_groups") would only admit the
+  // degenerate EQUALLY-SPLIT shape. Spell out both operands so a failing
+  // caller sees which is which.
   if (num_nodes % num_groups != 0) {
     return Status::InvalidArgument(
-        "num_groups must divide num_nodes (equal-size replication groups)");
+        "num_groups (" + std::to_string(num_groups) +
+        ") must divide num_nodes (" + std::to_string(num_nodes) +
+        ") so PARTIAL-" + std::to_string(num_groups) +
+        " forms equal-size replication groups");
   }
   return ReplicationLayout(num_nodes, num_groups);
 }

@@ -1,6 +1,14 @@
 #ifndef ODYSSEY_CORE_SCHEDULER_H_
 #define ODYSSEY_CORE_SCHEDULER_H_
 
+/// Stage-3 query scheduling (paper Sections 2, 3.1 and Figure 4): the
+/// assignment of a batch's queries to the nodes of one replication group,
+/// either statically up front or dynamically on request, optionally ordered
+/// and balanced by per-query execution-time predictions from the initial
+/// best-so-far distance (the CostModel of Section 3.1.1). These are pure
+/// assignment algorithms — the message flow lives in the driver, and the
+/// per-node execution they feed is src/core/node_runtime.h.
+
 #include <string>
 #include <vector>
 

@@ -1,0 +1,115 @@
+#ifndef ODYSSEY_CORE_SHARED_CHUNK_H_
+#define ODYSSEY_CORE_SHARED_CHUNK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/dataset/series_collection.h"
+#include "src/index/buffers.h"
+#include "src/isax/isax_word.h"
+
+namespace odyssey {
+
+/// One replication group's immutable data bundle (the build-time mirror of
+/// PR 2's PreparedQuery): the z-normalized series block, the series'
+/// global ids, their PAA table (built through the SIMD KernelTable::paa
+/// path), their full-cardinality SAX table, and the summarization buffers
+/// the tree build consumes. Built exactly once per group per chunk and
+/// handed by shared_ptr to every group member — replicas index *views* of
+/// one bundle instead of each materializing a private copy, which is how
+/// the paper's PARTIAL-k replication (Section 3.3, Figure 7) avoids paying
+/// k× memory and k× summarization for bit-identical data (the same design
+/// MESSI uses for its shared in-memory summary array).
+///
+/// Immutability is the thread-safety contract: after Build/Adopt returns,
+/// no member mutates, so any number of concurrent tree builds and query
+/// executions may read the bundle without synchronization. The refcount is
+/// the lifetime contract: the bundle lives until the last Index drops it.
+class SharedChunk {
+ public:
+  /// Summarizes `data` (one PAA + one SAX row per series, through
+  /// ComputePaa's dispatched kernel) and groups the rows into summarization
+  /// buffers. `global_ids` may be empty for standalone indexes (local ids
+  /// are then global). `pool` parallelizes summarization; may be null.
+  static std::shared_ptr<const SharedChunk> Build(
+      SeriesCollection data, std::vector<uint32_t> global_ids,
+      const IsaxConfig& config, ThreadPool* pool = nullptr);
+
+  /// Wraps pre-computed tables without re-summarizing — the streaming
+  /// build scatters per-ingest-chunk tables into per-group tables and
+  /// adopts them here; index deserialization adopts its stored table with
+  /// an empty PAA table. `paa_table` may be empty (not every producer
+  /// retains it); `sax_table` must hold data.size() * config.segments()
+  /// bytes. `build_buffers` is false when no tree build will follow (the
+  /// deserialization path, which already has its tree).
+  static std::shared_ptr<const SharedChunk> Adopt(
+      SeriesCollection data, std::vector<uint32_t> global_ids,
+      std::vector<double> paa_table, std::vector<uint8_t> sax_table,
+      const IsaxConfig& config, ThreadPool* pool = nullptr,
+      bool build_buffers = true);
+
+  SharedChunk(const SharedChunk&) = delete;
+  SharedChunk& operator=(const SharedChunk&) = delete;
+
+  const IsaxConfig& config() const { return config_; }
+  const SeriesCollection& data() const { return data_; }
+  /// Original dataset id of local series i; empty when local ids are global.
+  const std::vector<uint32_t>& global_ids() const { return global_ids_; }
+  size_t size() const { return data_.size(); }
+
+  /// Full-cardinality SAX summary of local series `id` (segments() bytes).
+  const uint8_t* sax(uint32_t id) const {
+    return sax_table_.data() +
+           static_cast<size_t>(id) * static_cast<size_t>(config_.segments());
+  }
+  const std::vector<uint8_t>& sax_table() const { return sax_table_; }
+  /// PAA of local series `id` (segments() doubles), or empty table when the
+  /// producer did not retain PAAs (see Adopt). Retained deliberately even
+  /// though the tree build only needs the quantized SAX rows: the PAA rows
+  /// are the higher-resolution summary that re-partitioning / re-indexing
+  /// at a different cardinality would otherwise have to recompute, and
+  /// shared once per group they cost segments()*8 bytes per series
+  /// (divided by the replication degree). Producers that will never need
+  /// them can Adopt with an empty table.
+  const std::vector<double>& paa_table() const { return paa_table_; }
+  const SummarizationBuffers& buffers() const { return buffers_; }
+
+  /// Wall seconds spent producing this bundle's summaries *here* — the
+  /// paper's "buffer time", paid once per group and reported by every
+  /// replica that indexes this bundle. For Build that is summarization +
+  /// buffer grouping; for Adopt only the grouping (the adopted PAA/SAX
+  /// rows were computed upstream, e.g. on the streaming ingest path, and
+  /// are timed there).
+  double summarize_seconds() const { return summarize_seconds_; }
+
+  /// Heap bytes of the whole bundle (series + ids + PAA + SAX + buffers):
+  /// what one group materializes once on the shared path and every node
+  /// duplicates on the legacy copy path.
+  size_t MemoryBytes() const;
+
+ private:
+  SharedChunk(SeriesCollection data, std::vector<uint32_t> global_ids,
+              const IsaxConfig& config)
+      : config_(config),
+        data_(std::move(data)),
+        global_ids_(std::move(global_ids)) {}
+
+  /// Shared tail of Build/Adopt: buffers, timing, counters.
+  static std::shared_ptr<const SharedChunk> Finish(
+      std::unique_ptr<SharedChunk> chunk, ThreadPool* pool,
+      bool build_buffers, double summarize_seconds_so_far);
+
+  IsaxConfig config_;
+  SeriesCollection data_;
+  std::vector<uint32_t> global_ids_;
+  std::vector<double> paa_table_;    // size() * segments, may be empty
+  std::vector<uint8_t> sax_table_;   // size() * segments
+  SummarizationBuffers buffers_;     // empty when !build_buffers
+  double summarize_seconds_ = 0.0;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_CORE_SHARED_CHUNK_H_

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "src/common/math_utils.h"
+#include "src/common/stopwatch.h"
 
 namespace odyssey {
 namespace {
@@ -273,6 +274,80 @@ StatusOr<SeriesCollection> IngestFile(const std::string& path,
   StatusOr<SeriesIngestor> ingestor = SeriesIngestor::Open(path, options);
   if (!ingestor.ok()) return ingestor.status();
   return ingestor->ReadAll();
+}
+
+ChunkPrefetcher::ChunkPrefetcher(SeriesIngestor* source) : source_(source) {
+  ODYSSEY_CHECK(source != nullptr);
+  puller_ = std::thread([this] { PullLoop(); });
+}
+
+ChunkPrefetcher::~ChunkPrefetcher() {
+  // Cancel rather than drain: at most the pull already in flight finishes;
+  // an early-aborting consumer must not pay for reading the whole archive.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+    slot_emptied_.notify_all();
+  }
+  if (puller_.joinable()) puller_.join();
+}
+
+void ChunkPrefetcher::PullLoop() {
+  Stopwatch watch;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled_) {
+        finished_ = true;
+        return;
+      }
+    }
+    watch.Restart();
+    StatusOr<SeriesCollection> chunk = source_->NextChunk();
+    const double pulled = watch.ElapsedSeconds();
+    const bool terminal = !chunk.ok() || chunk->empty();
+    std::unique_lock<std::mutex> lock(mu_);
+    pull_seconds_ += pulled;
+    slot_emptied_.wait(lock, [this] { return !has_chunk_ || cancelled_; });
+    if (cancelled_) {
+      finished_ = true;
+      return;
+    }
+    if (!chunk.ok()) terminal_error_ = chunk.status();
+    slot_ = std::move(chunk);
+    has_chunk_ = true;
+    if (terminal) finished_ = true;
+    slot_filled_.notify_all();
+    if (terminal) return;
+  }
+}
+
+StatusOr<SeriesCollection> ChunkPrefetcher::Next() {
+  Stopwatch watch;
+  std::unique_lock<std::mutex> lock(mu_);
+  slot_filled_.wait(lock, [this] { return has_chunk_ || finished_; });
+  wait_seconds_ += watch.ElapsedSeconds();
+  if (!has_chunk_) {
+    // The terminal chunk was already consumed: keep mirroring NextChunk,
+    // which re-reports an error (next_ never advanced past it) and reports
+    // end-of-archive again after a clean EOF.
+    if (!terminal_error_.ok()) return terminal_error_;
+    return SeriesCollection(source_->length());
+  }
+  StatusOr<SeriesCollection> chunk = std::move(slot_);
+  has_chunk_ = false;
+  slot_emptied_.notify_all();
+  return chunk;
+}
+
+double ChunkPrefetcher::pull_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pull_seconds_;
+}
+
+double ChunkPrefetcher::overlap_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pull_seconds_ > wait_seconds_ ? pull_seconds_ - wait_seconds_ : 0.0;
 }
 
 }  // namespace odyssey

@@ -1,9 +1,12 @@
 #ifndef ODYSSEY_DATASET_INGEST_H_
 #define ODYSSEY_DATASET_INGEST_H_
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/status.h"
@@ -122,6 +125,60 @@ class SeriesIngestor {
 /// One-call ingest of a whole archive (Open + ReadAll).
 StatusOr<SeriesCollection> IngestFile(const std::string& path,
                                       const IngestOptions& options);
+
+/// Double-buffered pull pipeline over one SeriesIngestor: a background
+/// thread keeps exactly one chunk in flight, so the consumer's processing
+/// of chunk i (partitioning + summarization in the streaming index build)
+/// overlaps with the disk read of chunk i+1. Peak heap therefore stays at
+/// two chunks (the one being processed + the one being pulled) — still
+/// bounded, unlike read-ahead queues that can outrun a slow consumer.
+///
+/// Single-consumer: Next() must be called from one thread. The wrapped
+/// ingestor must outlive the prefetcher and must not be touched by anyone
+/// else while the prefetcher is alive (the background thread owns it).
+class ChunkPrefetcher {
+ public:
+  explicit ChunkPrefetcher(SeriesIngestor* source);
+  /// Joins the background thread. At most the one in-flight pull completes
+  /// first — remaining chunks are left unread (early abort of a streaming
+  /// consumer must not cost a full archive scan).
+  ~ChunkPrefetcher();
+
+  ChunkPrefetcher(const ChunkPrefetcher&) = delete;
+  ChunkPrefetcher& operator=(const ChunkPrefetcher&) = delete;
+
+  /// The next chunk, in archive order — blocking only for whatever part of
+  /// its pull has not already overlapped the caller's processing. Mirrors
+  /// SeriesIngestor::NextChunk: an empty collection signals end of archive,
+  /// and after an error every further Next() re-reports that error (a
+  /// partially read archive never masquerades as a complete one).
+  StatusOr<SeriesCollection> Next();
+
+  /// Total wall seconds the background thread spent inside NextChunk — the
+  /// streaming build's ingest_seconds when prefetching.
+  double pull_seconds() const;
+  /// Seconds of pulling that overlapped the consumer (pull time the
+  /// consumer never waited for): pull_seconds() minus the time Next()
+  /// spent blocked.
+  double overlap_seconds() const;
+
+ private:
+  void PullLoop();
+
+  SeriesIngestor* const source_;
+  std::thread puller_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_filled_;
+  std::condition_variable slot_emptied_;
+  bool has_chunk_ = false;     // slot_ holds an unconsumed result
+  bool finished_ = false;      // puller exited (EOF, error, or cancelled)
+  bool cancelled_ = false;     // destructor ran: stop pulling
+  StatusOr<SeriesCollection> slot_ = SeriesCollection(1);
+  Status terminal_error_ = Status::Ok();  // sticky error for re-reporting
+  double pull_seconds_ = 0.0;
+  double wait_seconds_ = 0.0;  // time Next() spent blocked on the slot
+};
 
 }  // namespace odyssey
 

@@ -25,17 +25,17 @@ std::vector<uint8_t> ComputeSaxTable(const SeriesCollection& data,
   return table;
 }
 
-SummarizationBuffers BuildBuffers(const std::vector<uint8_t>& sax_table,
+SummarizationBuffers BuildBuffers(const uint8_t* sax_table,
                                   size_t series_count,
                                   const IsaxConfig& config, ThreadPool* pool) {
   const size_t w = static_cast<size_t>(config.segments());
-  ODYSSEY_CHECK(sax_table.size() == series_count * w);
+  ODYSSEY_CHECK(series_count == 0 || sax_table != nullptr);
 
   // Per-series root keys, computed in parallel.
   std::vector<uint32_t> keys(series_count);
   auto key_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      keys[i] = RootKey(sax_table.data() + i * w, config);
+      keys[i] = RootKey(sax_table + i * w, config);
     }
   };
   if (pool != nullptr) {

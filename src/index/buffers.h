@@ -29,8 +29,9 @@ struct SummarizationBuffers {
   size_t buffer_count() const { return keys.size(); }
 };
 
-/// Groups all series of `sax_table` by root key.
-SummarizationBuffers BuildBuffers(const std::vector<uint8_t>& sax_table,
+/// Groups all series of `sax_table` (a view of `series_count` rows of
+/// config.segments() bytes — e.g. a SharedChunk's table) by root key.
+SummarizationBuffers BuildBuffers(const uint8_t* sax_table,
                                   size_t series_count,
                                   const IsaxConfig& config, ThreadPool* pool);
 

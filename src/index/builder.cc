@@ -1,36 +1,51 @@
 #include "src/index/builder.h"
 
+#include <utility>
+
 #include "src/common/stopwatch.h"
-#include "src/index/buffers.h"
 
 namespace odyssey {
 
 Index Index::Build(SeriesCollection chunk, const IndexOptions& options,
                    ThreadPool* pool, BuildTimings* timings) {
   ODYSSEY_CHECK(chunk.length() == options.config.series_length());
+  // The private path is the shared path with a refcount of one: the bundle
+  // is built here and referenced only by this index.
+  return BuildFromShared(
+      SharedChunk::Build(std::move(chunk), {}, options.config, pool), options,
+      pool, timings);
+}
+
+Index Index::BuildFromShared(std::shared_ptr<const SharedChunk> chunk,
+                             const IndexOptions& options, ThreadPool* pool,
+                             BuildTimings* timings) {
+  ODYSSEY_CHECK(chunk != nullptr);
+  const IsaxConfig& config = options.config;
+  ODYSSEY_CHECK(chunk->config().series_length() == config.series_length());
+  ODYSSEY_CHECK(chunk->config().segments() == config.segments());
+  ODYSSEY_CHECK(chunk->config().max_bits == config.max_bits);
+  ODYSSEY_CHECK_MSG(
+      chunk->buffers().buffer_count() > 0 || chunk->size() == 0,
+      "SharedChunk carries no summarization buffers (adopted with "
+      "build_buffers=false?)");
   Index index(std::move(chunk), options);
 
   Stopwatch watch;
-  index.sax_table_ =
-      ComputeSaxTable(index.data_, options.config, pool);
-  const SummarizationBuffers buffers = BuildBuffers(
-      index.sax_table_, index.data_.size(), options.config, pool);
-  const double buffer_seconds = watch.ElapsedSeconds();
-
-  watch.Restart();
-  index.tree_ = IndexTree::Build(buffers, index.sax_table_, options.config,
-                                 options.leaf_capacity, pool);
+  index.tree_ =
+      IndexTree::Build(index.chunk_->buffers(), index.chunk_->sax_table().data(),
+                       config, options.leaf_capacity, pool);
   const double tree_seconds = watch.ElapsedSeconds();
 
   if (timings != nullptr) {
-    timings->buffer_seconds = buffer_seconds;
+    timings->buffer_seconds = index.chunk_->summarize_seconds();
     timings->tree_seconds = tree_seconds;
   }
   return index;
 }
 
 size_t Index::IndexMemoryBytes() const {
-  return sax_table_.capacity() * sizeof(uint8_t) + tree_.MemoryBytes();
+  return chunk_->sax_table().capacity() * sizeof(uint8_t) +
+         tree_.MemoryBytes();
 }
 
 }  // namespace odyssey

@@ -127,7 +127,7 @@ Status SaveIndexToFile(const Index& index, const std::string& path) {
   const uint32_t max_bits = static_cast<uint32_t>(config.max_bits);
   const uint32_t leaf_capacity =
       static_cast<uint32_t>(index.options().leaf_capacity);
-  const uint32_t count = static_cast<uint32_t>(index.data_.size());
+  const uint32_t count = static_cast<uint32_t>(index.data().size());
   if (!WriteBytes(f.get(), kMagic, 4) || !WriteValue(f.get(), kVersion) ||
       !WriteValue(f.get(), length) || !WriteValue(f.get(), segments) ||
       !WriteValue(f.get(), max_bits) || !WriteValue(f.get(), leaf_capacity) ||
@@ -135,12 +135,12 @@ Status SaveIndexToFile(const Index& index, const std::string& path) {
     return Status::IoError("short header write: " + path);
   }
   for (uint32_t i = 0; i < count; ++i) {
-    if (!WriteBytes(f.get(), index.data_.data(i), length * sizeof(float))) {
+    if (!WriteBytes(f.get(), index.data().data(i), length * sizeof(float))) {
       return Status::IoError("short data write: " + path);
     }
   }
-  if (!WriteBytes(f.get(), index.sax_table_.data(),
-                  index.sax_table_.size())) {
+  if (!WriteBytes(f.get(), index.sax_table().data(),
+                  index.sax_table().size())) {
     return Status::IoError("short SAX-table write: " + path);
   }
   const IndexTree& tree = index.tree();
@@ -192,12 +192,16 @@ StatusOr<Index> LoadIndexFromFile(const std::string& path) {
                  static_cast<size_t>(count) * length * sizeof(float))) {
     return Status::IoError("short data read: " + path);
   }
-  Index index(std::move(data), options);
-  index.sax_table_.resize(static_cast<size_t>(count) * segments);
-  if (!ReadBytes(f.get(), index.sax_table_.data(),
-                 index.sax_table_.size())) {
+  std::vector<uint8_t> sax_table(static_cast<size_t>(count) * segments);
+  if (!ReadBytes(f.get(), sax_table.data(), sax_table.size())) {
     return Status::IoError("short SAX-table read: " + path);
   }
+  // The tree is loaded below, not rebuilt, so the adopted bundle skips the
+  // summarization buffers (and carries no PAA table — the file stores none).
+  Index index(SharedChunk::Adopt(std::move(data), {}, {}, std::move(sax_table),
+                                 options.config, /*pool=*/nullptr,
+                                 /*build_buffers=*/false),
+              options);
 
   uint32_t root_count = 0;
   if (!ReadValue(f.get(), &root_count)) {
@@ -217,7 +221,7 @@ StatusOr<Index> LoadIndexFromFile(const std::string& path) {
     }
     bool ok = true;
     auto root = ReadNode(f.get(), IsaxWord::Root(options.config, key),
-                         index.sax_table_, options.config, &ok);
+                         index.sax_table(), options.config, &ok);
     if (!ok) {
       return Status::InvalidArgument("corrupt subtree in " + path);
     }

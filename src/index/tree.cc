@@ -7,9 +7,8 @@
 namespace odyssey {
 
 IndexTree IndexTree::Build(const SummarizationBuffers& buffers,
-                           const std::vector<uint8_t>& sax_table,
-                           const IsaxConfig& config, size_t leaf_capacity,
-                           ThreadPool* pool) {
+                           const uint8_t* sax_table, const IsaxConfig& config,
+                           size_t leaf_capacity, ThreadPool* pool) {
   ODYSSEY_CHECK(leaf_capacity >= 1);
   IndexTree tree;
   tree.keys_ = buffers.keys;
@@ -21,8 +20,8 @@ IndexTree IndexTree::Build(const SummarizationBuffers& buffers,
       auto root = std::make_unique<TreeNode>(
           IsaxWord::Root(config, buffers.keys[b]));
       for (uint32_t id : buffers.series[b]) {
-        root->Insert(id, sax_table.data() + static_cast<size_t>(id) * w,
-                     config, leaf_capacity);
+        root->Insert(id, sax_table + static_cast<size_t>(id) * w, config,
+                     leaf_capacity);
       }
       tree.roots_[b] = std::move(root);
     }

@@ -21,11 +21,13 @@ class IndexTree {
 
   /// Builds all subtrees from summarization buffers. Each subtree is
   /// independent, so construction parallelizes over buffers (the paper's
-  /// "tree time" phase).
+  /// "tree time" phase). `sax_table` is a *view* of the chunk's
+  /// full-cardinality summary rows (one row of config.segments() bytes per
+  /// series, covering every id the buffers mention) — typically a
+  /// SharedChunk's table, read concurrently by every replica's build.
   static IndexTree Build(const SummarizationBuffers& buffers,
-                         const std::vector<uint8_t>& sax_table,
-                         const IsaxConfig& config, size_t leaf_capacity,
-                         ThreadPool* pool);
+                         const uint8_t* sax_table, const IsaxConfig& config,
+                         size_t leaf_capacity, ThreadPool* pool);
 
   /// Deserialization support: adopts pre-built subtrees. `keys` must be
   /// sorted ascending and parallel to `roots`.

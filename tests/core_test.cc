@@ -76,6 +76,38 @@ TEST(ReplicationTest, RejectsInvalidShapes) {
   EXPECT_FALSE(ReplicationLayout::Make(6, 4).ok());  // 4 does not divide 6
 }
 
+TEST(ReplicationTest, InvalidShapeErrorsNameTheRightInvariant) {
+  // Divisibility runs group -> nodes: PARTIAL-k needs k (= num_groups) to
+  // divide Nsn (= num_nodes), never the other way around. The message must
+  // state that direction with both operands, so a caller who mixed up the
+  // two arguments can see which is which.
+  const auto indivisible = ReplicationLayout::Make(6, 4);
+  ASSERT_FALSE(indivisible.ok());
+  EXPECT_NE(indivisible.status().message().find(
+                "num_groups (4) must divide num_nodes (6)"),
+            std::string::npos)
+      << indivisible.status().ToString();
+
+  // num_groups <= 0 and num_groups > num_nodes are range errors, reported
+  // before any divisibility talk.
+  for (int bad_groups : {0, -3}) {
+    const auto low = ReplicationLayout::Make(4, bad_groups);
+    ASSERT_FALSE(low.ok());
+    EXPECT_NE(low.status().message().find("must be in [1, num_nodes]"),
+              std::string::npos)
+        << low.status().ToString();
+  }
+  const auto high = ReplicationLayout::Make(4, 9);
+  ASSERT_FALSE(high.ok());
+  EXPECT_NE(high.status().message().find("[1, 4], got 9"), std::string::npos)
+      << high.status().ToString();
+
+  // Every valid divisor shape is accepted, including both extremes.
+  for (int groups : {1, 2, 3, 6}) {
+    EXPECT_TRUE(ReplicationLayout::Make(6, groups).ok()) << groups;
+  }
+}
+
 // ----------------------------------------------------------- Partitioning
 
 class PartitioningTest : public ::testing::TestWithParam<PartitioningScheme> {

@@ -52,7 +52,7 @@ TEST(BuffersTest, GroupsCoverAllSeriesByKey) {
   const SeriesCollection data = GenerateRandomWalk(500, 64, 2);
   const std::vector<uint8_t> table = ComputeSaxTable(data, config, nullptr);
   const SummarizationBuffers buffers =
-      BuildBuffers(table, data.size(), config, nullptr);
+      BuildBuffers(table.data(), data.size(), config, nullptr);
   size_t total = 0;
   for (size_t b = 0; b < buffers.buffer_count(); ++b) {
     if (b > 0) {

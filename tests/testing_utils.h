@@ -9,9 +9,45 @@
 #include "src/distance/dtw.h"
 #include "src/distance/euclidean.h"
 #include "src/index/query_engine.h"
+#include "src/index/tree.h"
 
 namespace odyssey {
 namespace testing_utils {
+
+/// Deep structural equality of two index subtrees: same words, same split
+/// segments, same leaf payloads (ids and SAX rows) in the same order. This
+/// is the replica bit-identity Odyssey's data-free work-stealing relies on,
+/// and what "shared-chunk builds equal legacy copy builds" means.
+inline bool NodesIdentical(const TreeNode* a, const TreeNode* b) {
+  if (a->word().symbols != b->word().symbols ||
+      a->word().bits != b->word().bits ||
+      a->subtree_size() != b->subtree_size() ||
+      a->is_leaf() != b->is_leaf()) {
+    return false;
+  }
+  if (a->is_leaf()) {
+    if (a->ids() != b->ids()) return false;
+    const size_t w = a->word().symbols.size();
+    for (size_t i = 0; i < a->ids().size(); ++i) {
+      for (size_t s = 0; s < w; ++s) {
+        if (a->leaf_sax(i)[s] != b->leaf_sax(i)[s]) return false;
+      }
+    }
+    return true;
+  }
+  return a->split_segment() == b->split_segment() &&
+         NodesIdentical(a->left(), b->left()) &&
+         NodesIdentical(a->right(), b->right());
+}
+
+inline bool TreesIdentical(const IndexTree& a, const IndexTree& b) {
+  if (a.root_count() != b.root_count()) return false;
+  for (size_t r = 0; r < a.root_count(); ++r) {
+    if (a.root_key(r) != b.root_key(r)) return false;
+    if (!NodesIdentical(a.root(r), b.root(r))) return false;
+  }
+  return true;
+}
 
 /// Exact k-NN by exhaustive scan (squared Euclidean), the ground truth every
 /// index / distributed configuration must reproduce.

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the repo's markdown docs.
+
+Scans the given markdown files (default: every *.md at the repo root) for
+inline links and checks that every *relative* target — `[text](path)`,
+optionally with a `#anchor` — exists in the working tree. External links
+(http/https/mailto) are ignored; `file#anchor` only checks `file`;
+path-less pure anchors (`#section`) are accepted as-is.
+
+    python3 tools/check_doc_links.py            # repo-root *.md
+    python3 tools/check_doc_links.py README.md ARCHITECTURE.md
+
+Exit codes: 0 = all links resolve, 1 = at least one broken link (listed on
+stderr). CI runs this as the docs job, so a renamed file or section cannot
+silently orphan README/ARCHITECTURE/ROADMAP cross-references.
+"""
+
+import pathlib
+import re
+import sys
+
+# [text](target) — target captured up to the closing paren; markdown images
+# ![alt](target) match too, which is what we want.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(doc: pathlib.Path, repo_root: pathlib.Path) -> list:
+    broken = []
+    for lineno, line in enumerate(doc.read_text().splitlines(), start=1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            # Relative to the doc's own directory, like a markdown viewer.
+            resolved = (doc.parent / path).resolve()
+            try:
+                resolved.relative_to(repo_root)
+            except ValueError:
+                broken.append((doc, lineno, target, "escapes the repo"))
+                continue
+            if not resolved.exists():
+                broken.append((doc, lineno, target, "does not exist"))
+    return broken
+
+
+def main() -> int:
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    if len(sys.argv) > 1:
+        docs = [pathlib.Path(arg).resolve() for arg in sys.argv[1:]]
+    else:
+        docs = sorted(repo_root.glob("*.md"))
+    missing = [d for d in docs if not d.exists()]
+    if missing:
+        for d in missing:
+            print(f"error: no such file: {d}", file=sys.stderr)
+        return 1
+
+    broken = []
+    checked = 0
+    for doc in docs:
+        broken.extend(check_file(doc, repo_root))
+        checked += 1
+    if broken:
+        print(f"{len(broken)} broken intra-repo link(s):", file=sys.stderr)
+        for doc, lineno, target, why in broken:
+            rel = doc.relative_to(repo_root)
+            print(f"  {rel}:{lineno}: ({target}) {why}", file=sys.stderr)
+        return 1
+    print(f"checked {checked} file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
