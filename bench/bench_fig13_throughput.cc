@@ -1,12 +1,25 @@
 // Figure 13: query throughput (queries/second) as the number of nodes
 // grows (Random, FULL replication, WORK-STEAL). Expected shape: throughput
 // increases close to linearly with nodes for all batch sizes.
+//
+// Executor panels (ISSUE 5):
+//   BM_Fig13b_Executor/{pooled,legacy} — the persistent per-node executor
+//     (query phases as pool tasks, zero thread creation) against the
+//     per-query-spawn baseline, same cluster shape; counters record the
+//     throughput and the per-batch thread-spawn count of each mode.
+//   BM_Fig13c_StreamOverlap/inflight:{1,2,4} — AnswerStream online
+//     admission: each query summarized at its arrival time, dispatched
+//     immediately, nodes running up to `inflight` queries concurrently on
+//     their pools; counters record throughput, prep-overlap seconds and
+//     the in-flight high-water mark.
 
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "src/common/summary_stats.h"
 
 namespace odyssey {
 namespace {
@@ -28,6 +41,67 @@ void RunThroughput(benchmark::State& state, int nodes, int queries) {
       seconds > 0.0 ? static_cast<double>(queries) / seconds : 0.0;
 }
 
+void RunExecutorPanel(benchmark::State& state, bool pooled) {
+  // Light queries on purpose: the panel measures the per-query *executor*
+  // overhead (spawn/join vs pooled epochs), so the fixed costs must not
+  // drown in index-scan time.
+  const int queries = 400;
+  const SeriesCollection& data =
+      bench::CachedDataset("Random", bench::Scaled(3000), 256, 21);
+  const SeriesCollection batch = bench::MixedQueries(data, queries, 25);
+  OdysseyOptions options = bench::ClusterOptions(
+      256, /*nodes=*/4, /*groups=*/1, SchedulingPolicy::kDynamic, true,
+      /*threads_per_node=*/4);
+  options.use_executor = pooled;
+  OdysseyCluster cluster(data, options);
+  // Warm-up: the pooled mode creates its persistent executors on the first
+  // batch; the panel measures steady-state answering.
+  cluster.AnswerBatch(batch);
+  double seconds = 0.0;
+  uint64_t spawned = 0;
+  for (auto _ : state) {
+    const uint64_t before = executor_stats::ThreadsSpawned();
+    const BatchReport report = cluster.AnswerBatch(batch);
+    seconds = report.query_seconds;
+    spawned = executor_stats::ThreadsSpawned() - before;
+  }
+  state.counters["throughput_qps"] =
+      seconds > 0.0 ? static_cast<double>(queries) / seconds : 0.0;
+  // Pooled steady state: 0. Legacy: num_threads per query (plus steals).
+  state.counters["threads_spawned_per_batch"] =
+      static_cast<double>(spawned);
+}
+
+void RunStreamOverlap(benchmark::State& state, int inflight) {
+  const int queries = 100;
+  const SeriesCollection& data =
+      bench::CachedDataset("Random", bench::Scaled(12000), 256, 21);
+  const SeriesCollection batch = bench::MixedQueries(data, queries, 27);
+  OdysseyOptions options = bench::ClusterOptions(
+      256, /*nodes=*/4, /*groups=*/1, SchedulingPolicy::kDynamic, true,
+      /*threads_per_node=*/4);
+  options.stream_max_inflight = inflight;
+  OdysseyCluster cluster(data, options);
+  // A steady trickle: arrivals spaced so preparation genuinely interleaves
+  // with execution instead of bursting at t=0.
+  std::vector<double> arrivals(batch.size());
+  for (size_t q = 0; q < batch.size(); ++q) {
+    arrivals[q] = 2e-4 * static_cast<double>(q);
+  }
+  double seconds = 0.0, overlap = 0.0;
+  int hwm = 0;
+  for (auto _ : state) {
+    const BatchReport report = cluster.AnswerStream(batch, arrivals);
+    seconds = report.query_seconds;
+    overlap = report.prep_overlap_seconds;
+    hwm = report.queries_in_flight_hwm;
+  }
+  state.counters["throughput_qps"] =
+      seconds > 0.0 ? static_cast<double>(queries) / seconds : 0.0;
+  state.counters["prep_overlap_s"] = overlap;
+  state.counters["inflight_hwm"] = hwm;
+}
+
 void RegisterAll() {
   for (int queries : {25, 50, 100, 200}) {
     for (int nodes : {1, 2, 4, 8}) {
@@ -42,6 +116,24 @@ void RegisterAll() {
           ->Iterations(1)
           ->UseRealTime();
     }
+  }
+  for (bool pooled : {true, false}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Fig13b_Executor/") + (pooled ? "pooled" : "legacy"))
+            .c_str(),
+        [pooled](benchmark::State& s) { RunExecutorPanel(s, pooled); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1)
+        ->UseRealTime();
+  }
+  for (int inflight : {1, 2, 4}) {
+    benchmark::RegisterBenchmark(
+        ("BM_Fig13c_StreamOverlap/inflight:" + std::to_string(inflight))
+            .c_str(),
+        [inflight](benchmark::State& s) { RunStreamOverlap(s, inflight); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1)
+        ->UseRealTime();
   }
 }
 

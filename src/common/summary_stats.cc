@@ -83,4 +83,54 @@ void AddOverlapSeconds(double seconds) {
 }
 
 }  // namespace build_stats
+
+namespace executor_stats {
+namespace {
+
+// Thread creation is rare (pools and persistent node threads, never the
+// query hot path — that is the point); the in-flight mark is updated once
+// per query admission. Own lines anyway, mirroring the other stat groups.
+alignas(64) std::atomic<uint64_t> g_threads_spawned{0};
+alignas(64) std::atomic<uint64_t> g_inflight_hwm{0};
+alignas(64) std::atomic<uint64_t> g_prep_overlap_nanos{0};
+
+}  // namespace
+
+uint64_t ThreadsSpawned() {
+  return g_threads_spawned.load(std::memory_order_relaxed);
+}
+uint64_t QueriesInFlightHwm() {
+  return g_inflight_hwm.load(std::memory_order_relaxed);
+}
+double PrepOverlapSeconds() {
+  return static_cast<double>(
+             g_prep_overlap_nanos.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+void Reset() {
+  g_threads_spawned.store(0, std::memory_order_relaxed);
+  g_inflight_hwm.store(0, std::memory_order_relaxed);
+  g_prep_overlap_nanos.store(0, std::memory_order_relaxed);
+}
+
+void CountThreadsSpawned(uint64_t n) {
+  g_threads_spawned.fetch_add(n, std::memory_order_relaxed);
+}
+
+void RecordQueriesInFlight(uint64_t n) {
+  uint64_t current = g_inflight_hwm.load(std::memory_order_relaxed);
+  while (n > current &&
+         !g_inflight_hwm.compare_exchange_weak(current, n,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
+void AddPrepOverlapSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  g_prep_overlap_nanos.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                                 std::memory_order_relaxed);
+}
+
+}  // namespace executor_stats
 }  // namespace odyssey

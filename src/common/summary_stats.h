@@ -66,6 +66,35 @@ void CountChunk(uint64_t bytes, uint64_t summaries);
 void AddOverlapSeconds(double seconds);
 
 }  // namespace build_stats
+
+namespace executor_stats {
+
+/// Process-wide counters of stage-4 *executor* work — the thread-ownership
+/// mirror of summary_stats' and build_stats' promises. The persistent
+/// per-node executor (src/core/node_runtime.h) promises the query hot path
+/// spawns zero threads: every std::thread creation (pool workers, the
+/// persistent comms/main threads, the stream prep thread, and the legacy
+/// per-query spawn path kept for benchmarks) increments ThreadsSpawned(),
+/// so tests can assert the count stays constant across batches regardless
+/// of query count. QueriesInFlightHwm() is the high-water mark of queries
+/// one node ran concurrently on its pool (AnswerStream's partitioned-pool
+/// admission); PrepOverlapSeconds() is query-preparation time that ran
+/// concurrently with execution (the online-admission overlap win).
+
+uint64_t ThreadsSpawned();
+uint64_t QueriesInFlightHwm();
+double PrepOverlapSeconds();
+
+/// Zeroes all counters (test setup).
+void Reset();
+
+/// Increment hooks, called at every std::thread creation site.
+void CountThreadsSpawned(uint64_t n);
+/// Max-updates the in-flight high-water mark.
+void RecordQueriesInFlight(uint64_t n);
+void AddPrepOverlapSeconds(double seconds);
+
+}  // namespace executor_stats
 }  // namespace odyssey
 
 #endif  // ODYSSEY_COMMON_SUMMARY_STATS_H_

@@ -3,13 +3,20 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/summary_stats.h"
 
 namespace odyssey {
 
 ThreadPool::ThreadPool(size_t num_threads) {
-  const size_t n = std::max<size_t>(1, num_threads);
-  threads_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
+  Grow(std::max<size_t>(1, num_threads));
+}
+
+void ThreadPool::Grow(size_t num_threads) {
+  if (num_threads <= threads_.size()) return;
+  const size_t delta = num_threads - threads_.size();
+  executor_stats::CountThreadsSpawned(delta);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < delta; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -24,11 +31,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  SubmitTagged(std::move(task), nullptr);
+}
+
+void ThreadPool::SubmitTagged(std::function<void()> task,
+                              const TaskGroup* group) {
   ODYSSEY_CHECK(task != nullptr);
   {
     std::unique_lock<std::mutex> lock(mu_);
     ODYSSEY_CHECK_MSG(!stop_, "Submit after shutdown");
-    queue_.push(std::move(task));
+    queue_.push_back({std::move(task), group});
   }
   cv_.notify_one();
 }
@@ -38,33 +50,42 @@ void ThreadPool::WaitIdle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+bool ThreadPool::TryRunOneGroupTask(const TaskGroup* group) {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = queue_.begin();
+    while (it != queue_.end() && it->group != group) ++it;
+    if (it == queue_.end()) return false;
+    task = std::move(it->fn);
+    queue_.erase(it);
+    ++active_;
+  }
+  task();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;
   const size_t workers = std::min(count, threads_.size());
   const size_t chunk = (count + workers - 1) / workers;
-  // `pending` is guarded by done_mu (not an atomic): the final decrement
-  // must happen-before the waiter can destroy done_mu/done_cv, which only a
-  // mutex-held handoff guarantees.
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  size_t pending = 0;
+  // One TaskGroup epoch: the group's mutex-held completion handoff keeps
+  // the stack-local state safe to destroy after Wait, and its helping
+  // makes ParallelFor callable from inside a pool task without deadlock.
+  TaskGroup group(this);
   for (size_t w = 0; w < workers; ++w) {
     const size_t begin = w * chunk;
     const size_t end = std::min(count, begin + chunk);
     if (begin >= end) break;
-    {
-      std::lock_guard<std::mutex> lock(done_mu);
-      ++pending;
-    }
-    Submit([&, begin, end] {
-      fn(begin, end);
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (--pending == 0) done_cv.notify_all();
-    });
+    group.Submit([&fn, begin, end] { fn(begin, end); });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return pending == 0; });
+  group.Wait();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -77,8 +98,8 @@ void ThreadPool::WorkerLoop() {
         if (stop_) return;
         continue;
       }
-      task = std::move(queue_.front());
-      queue_.pop();
+      task = std::move(queue_.front().fn);
+      queue_.pop_front();
       ++active_;
     }
     task();
@@ -88,6 +109,52 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+  ODYSSEY_CHECK(pool != nullptr);
+}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Submit(std::function<void()> task) {
+  ODYSSEY_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->SubmitTagged(
+      [this, task = std::move(task)] {
+        task();
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) cv_.notify_all();
+      },
+      this);
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) return;
+    }
+    if (pool_->TryRunOneGroupTask(this)) continue;
+    // None of this group's tasks are queued any more — each is either
+    // running on a worker (or a helping waiter) or already finished. Block
+    // until the running ones notify; helping with foreign work here could
+    // capture this thread in an arbitrarily long task, so it sleeps
+    // instead.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+    return;
+  }
+}
+
+void TaskGroup::RunTasks(int n, const std::function<void(int)>& fn) {
+  for (int i = 0; i < n; ++i) {
+    Submit([&fn, i] { fn(i); });
+  }
+  Wait();
 }
 
 }  // namespace odyssey

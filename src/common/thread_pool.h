@@ -4,18 +4,23 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace odyssey {
 
-/// Fixed-size worker pool. Used by index construction and by each simulated
-/// system node's query-answering workers. Tasks are arbitrary closures;
-/// WaitIdle() blocks until every submitted task has finished, which is how
-/// the builder separates its "buffer" and "tree" phases.
+class TaskGroup;
+
+/// Fixed-size worker pool. Used by index construction, by the coordinator's
+/// preparation/estimation work, and — via the persistent per-node executor —
+/// by every system node's query-answering phases. Tasks are arbitrary
+/// closures; WaitIdle() blocks until every submitted task has finished,
+/// which is how the builder separates its "buffer" and "tree" phases.
+/// Worker creation is counted in executor_stats::ThreadsSpawned() so the
+/// zero-threads-per-query promise of the executor is assertable.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -29,11 +34,29 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Grows the pool to `num_threads` workers, spawning only the missing
+  /// ones (no-op when already at least that wide; pools never shrink).
+  /// This is how the node executor widens for a batch that asks for more
+  /// workers without tearing down and re-spawning the existing ones. Not
+  /// thread-safe against concurrent Grow/destruction; callers serialize
+  /// (the executor grows only between epochs).
+  void Grow(size_t num_threads);
+
   /// Enqueues a task. Thread-safe.
   void Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and no task is executing.
   void WaitIdle();
+
+  /// Pops and runs the oldest queued task belonging to `group` on the
+  /// calling thread; returns false when none of that group's tasks are
+  /// queued (they may still be running on workers). This is how
+  /// TaskGroup::Wait helps drain its own work instead of blocking a
+  /// thread: nested groups (an orchestrator task waiting on its phase
+  /// tasks) stay deadlock-free even when orchestrators occupy every pool
+  /// worker, and a waiter never gets stuck executing a foreign group's
+  /// (possibly long) task.
+  bool TryRunOneGroupTask(const TaskGroup* group);
 
   /// Runs fn(i) for i in [0, count) across the pool and waits for
   /// completion. Static contiguous-block partitioning: each worker receives
@@ -42,15 +65,71 @@ class ThreadPool {
   void ParallelFor(size_t count, const std::function<void(size_t begin, size_t end)>& fn);
 
  private:
+  friend class TaskGroup;
+
+  /// One queued closure, tagged with the group that tracks it (null for
+  /// plain Submit calls) so TryRunOneGroupTask can claim selectively.
+  struct Task {
+    std::function<void()> fn;
+    const TaskGroup* group = nullptr;
+  };
+
+  void SubmitTagged(std::function<void()> task, const TaskGroup* group);
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable cv_;       // signals workers: work available / stop
   std::condition_variable idle_cv_;  // signals WaitIdle: everything drained
   size_t active_ = 0;
   bool stop_ = false;
+};
+
+/// A reusable set of tasks on a shared pool — the executor's barrier-phase
+/// primitive. Unlike ThreadPool::WaitIdle (which waits for *everything* on
+/// the pool), Wait() blocks only until this group's own tasks finish, so
+/// several groups (e.g. concurrent in-flight queries partitioning one
+/// node's pool) can share a pool without observing each other. A group is
+/// reusable across epochs: Submit/Wait cycles can repeat indefinitely
+/// (QueryExecution runs each of its phases as one epoch; the Wait between
+/// them is the phase barrier, executed by the orchestrating thread).
+///
+/// Wait() *helps*: while any of this group's tasks are still queued it
+/// runs them on the calling thread instead of sleeping, and only blocks
+/// once every one of them is running or done. Helping makes nested groups
+/// safe — an orchestrator task that Wait()s on its phase tasks cannot
+/// deadlock the pool, because a blocked orchestrator executes its own
+/// queued work itself — and because helping is group-scoped, a waiter
+/// never gets captured by a foreign group's long-running task.
+class TaskGroup {
+ public:
+  /// `pool` must outlive the group.
+  explicit TaskGroup(ThreadPool* pool);
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Waits for any still-pending tasks (a group must not die before its
+  /// tasks do: they borrow the group's completion state).
+  ~TaskGroup();
+
+  /// Enqueues a task onto the pool, tracked by this group. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted to this group has finished, helping
+  /// to run queued pool tasks meanwhile. After Wait returns the group is
+  /// empty and immediately reusable for the next epoch.
+  void Wait();
+
+  /// Barrier-phase convenience: submits fn(0) .. fn(n-1) and Wait()s.
+  void RunTasks(int n, const std::function<void(int)>& fn);
+
+ private:
+  ThreadPool* const pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
 };
 
 }  // namespace odyssey

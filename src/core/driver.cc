@@ -48,6 +48,8 @@ OdysseyCluster::OdysseyCluster(const SeriesCollection& dataset,
         return *layout;
       }()) {
   ODYSSEY_CHECK(dataset.length() == options.index_options.config.series_length());
+  driver_pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(std::max(1, options_.build_threads_per_node)));
 
   // Stage 1: the coordinator partitions the collection into num_groups
   // chunks.
@@ -58,11 +60,10 @@ OdysseyCluster::OdysseyCluster(const SeriesCollection& dataset,
                   layout_.num_groups());
     chunks = options_.custom_chunks;
   } else {
-    ThreadPool pool(options_.build_threads_per_node);
     chunks = PartitionSeries(dataset, layout_.num_groups(),
                              options_.partitioning,
                              options_.index_options.config, options_.seed,
-                             &pool, options_.density_options);
+                             driver_pool_.get(), options_.density_options);
   }
   partition_seconds_ = watch.ElapsedSeconds();
 
@@ -137,6 +138,8 @@ OdysseyCluster::OdysseyCluster(GroupChunks groups,
       partition_seconds_(partition_seconds),
       ingest_seconds_(ingest_seconds),
       overlap_seconds_(overlap_seconds) {
+  driver_pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(std::max(1, options_.build_threads_per_node)));
   BuildNodes(std::move(groups));
 }
 
@@ -345,13 +348,13 @@ size_t OdysseyCluster::total_data_bytes() const {
 PreparedBatch OdysseyCluster::PrepareQueries(const SeriesCollection& queries,
                                              double* prepare_seconds) const {
   // Stage 3 pre-step: build every query's summaries (PAA, SAX, DTW
-  // envelope) exactly once. Scheduling estimates, every replica, and
-  // stolen-work runs all share these immutable artifacts.
+  // envelope) exactly once, on the coordinator's persistent pool.
+  // Scheduling estimates, every replica, and stolen-work runs all share
+  // these immutable artifacts.
   Stopwatch watch;
-  ThreadPool pool(options_.build_threads_per_node);
   PreparedBatch prepared =
       PrepareBatch(queries, options_.index_options.config,
-                   options_.query_options, &pool);
+                   options_.query_options, driver_pool_.get());
   *prepare_seconds = watch.ElapsedSeconds();
   return prepared;
 }
@@ -367,10 +370,11 @@ std::vector<double> OdysseyCluster::EstimateGroupQueries(
   // descent and one leaf scan per query.
   const Index& index = nodes_[layout_.GroupCoordinator(group)]->index();
   std::vector<double> estimates(prepared.size());
-  // The group coordinator is itself a multi-core node: estimation uses its
-  // worker threads, keeping the scheduling stage's overhead negligible
-  // relative to query answering (as in the paper).
-  ThreadPool pool(options_.build_threads_per_node);
+  // The group coordinator is itself a multi-core node: estimation uses
+  // pooled workers, keeping the scheduling stage's overhead negligible
+  // relative to query answering (as in the paper) — and, like every other
+  // stage-3/4 step, it creates no threads.
+  ThreadPool& pool = *driver_pool_;
   pool.ParallelFor(prepared.size(), [&](size_t begin, size_t end) {
     for (size_t q = begin; q < end; ++q) {
       const PreparedQuery& query = prepared.query(q);
@@ -403,6 +407,8 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
   node_options.query_options = options_.query_options;
   node_options.threshold_model = options_.threshold_model;
   node_options.share_bsf = options_.share_bsf;
+  node_options.use_executor = options_.use_executor;
+  node_options.max_inflight = 1;  // the paper's batch model
   node_options.seed = options_.seed;
 
   Stopwatch batch_watch;
@@ -415,23 +421,19 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
 
   // Stage 3: scheduling, per replication group (the driver acts for each
   // group coordinator; assignment travels as kAssignQuery messages and
-  // dynamic requests as kQueryRequest round-trips).
+  // dynamic requests as kQueryRequest round-trips). Groups with a single
+  // member have nothing to schedule, so they skip estimation entirely
+  // (scheduling is a no-op without replication); per-group estimation runs
+  // on the coordinator's persistent pool, one group at a time (on the real
+  // system each group coordinator estimates on its own node's workers).
   Stopwatch scheduling_watch;
   const bool dynamic = PolicyIsDynamic(options_.scheduling);
-  // Per-group execution-time estimates, computed concurrently — on the real
-  // system each group coordinator estimates on its own node. Groups with a
-  // single member have nothing to schedule, so they skip estimation
-  // entirely (scheduling is a no-op without replication).
   std::vector<std::vector<double>> group_estimates(layout_.num_groups());
   if (PolicyNeedsPredictions(options_.scheduling) &&
       layout_.replication_degree() > 1) {
-    std::vector<std::thread> estimators;
-    estimators.reserve(layout_.num_groups());
     for (int g = 0; g < layout_.num_groups(); ++g) {
-      estimators.emplace_back(
-          [&, g] { group_estimates[g] = EstimateGroupQueries(g, prepared); });
+      group_estimates[g] = EstimateGroupQueries(g, prepared);
     }
-    for (auto& t : estimators) t.join();
   }
   // Dynamic dispatch queues, per group.
   std::vector<std::deque<int>> dispatch(layout_.num_groups());
@@ -545,7 +547,11 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
   cluster.Broadcast(shutdown);
   for (auto& node : nodes_) node->JoinBatch();
 
-  for (auto& node : nodes_) report.node_stats.push_back(node->batch_stats());
+  for (auto& node : nodes_) {
+    report.node_stats.push_back(node->batch_stats());
+    report.queries_in_flight_hwm = std::max(
+        report.queries_in_flight_hwm, node->batch_stats().inflight_hwm);
+  }
   report.messages_sent = cluster.messages_sent();
   report.bsf_updates = cluster.messages_sent(MessageType::kBsfUpdate);
   report.steal_requests = cluster.messages_sent(MessageType::kStealRequest);
@@ -556,6 +562,8 @@ BatchReport OdysseyCluster::AnswerStream(
     const SeriesCollection& queries,
     const std::vector<double>& arrival_seconds) {
   ODYSSEY_CHECK(!queries.empty());
+  ODYSSEY_CHECK(queries.length() ==
+                options_.index_options.config.series_length());
   ODYSSEY_CHECK(arrival_seconds.size() == queries.size());
   ODYSSEY_CHECK(std::is_sorted(arrival_seconds.begin(),
                                arrival_seconds.end()));
@@ -572,29 +580,70 @@ BatchReport OdysseyCluster::AnswerStream(
   node_options.query_options = options_.query_options;
   node_options.threshold_model = options_.threshold_model;
   node_options.share_bsf = options_.share_bsf;
+  node_options.use_executor = options_.use_executor;
+  // A node with idle workers runs several admitted queries concurrently,
+  // partitioning its pool, instead of strictly one at a time.
+  node_options.max_inflight = std::max(1, options_.stream_max_inflight);
   node_options.seed = options_.seed;
 
-  // Summaries are prepared up front for the whole stream: arrival times
-  // gate *dispatch*, not preparation (on the real system the ingest tier
-  // summarizes each query on receipt, off the nodes' critical path).
-  double prepare_seconds = 0.0;
-  const PreparedBatch prepared = PrepareQueries(queries, &prepare_seconds);
+  // Online admission: slots are allocated up front, but each query is
+  // summarized by the prep thread at its modeled arrival time — while the
+  // nodes execute earlier arrivals — and dispatched the moment it is
+  // admitted. Preparation therefore overlaps execution instead of
+  // front-loading the whole stream's summarization (the ROADMAP's
+  // streaming-prepare item; prep_overlap_seconds observes the win).
+  PreparedBatch prepared = PreparedBatch::Allocate(queries.size());
 
   for (auto& node : nodes_) {
     node->StartBatch(&cluster, &prepared, node_options);
   }
 
-  // The arrival clock starts only now, after preparation: otherwise a slow
-  // prepare would release the first arrival_seconds worth of queries as one
-  // instantaneous burst and shift every later dispatch.
+  // The arrival clock starts now; the prep thread paces itself against it.
   Stopwatch batch_watch;
+
+  const IsaxConfig& config = options_.index_options.config;
+  const QueryOptions& qo = options_.query_options;
+  double prepare_seconds = 0.0;
+  double prep_overlap_seconds = 0.0;
+  // Released queries whose answers are still outstanding (each query owes
+  // one local answer per replication group; steal-split extras are capped
+  // by the remaining-counter floor). The prep thread samples this gauge to
+  // count only preparation that genuinely ran while something executed.
+  std::atomic<int> executing_queries{0};
+  executor_stats::CountThreadsSpawned(1);
+  std::thread prep([&] {
+    Stopwatch prep_watch;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      // Model the arrival: admission cannot precede the query's existence.
+      for (;;) {
+        const double wait = arrival_seconds[q] - batch_watch.ElapsedSeconds();
+        if (wait <= 0.0) break;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(wait, 500e-6)));
+      }
+      const bool busy_before =
+          executing_queries.load(std::memory_order_acquire) > 0;
+      prep_watch.Restart();
+      prepared.Admit(q, queries.data(q), config, qo.use_dtw, qo.dtw_window);
+      const double elapsed = prep_watch.ElapsedSeconds();
+      prepare_seconds += elapsed;
+      // Overlapped share: this admission ran while at least one earlier
+      // query was still executing (sampled around the work; a sparse
+      // trickle whose queries finish before the next arrival counts zero).
+      if (busy_before ||
+          executing_queries.load(std::memory_order_acquire) > 0) {
+        prep_overlap_seconds += elapsed;
+      }
+    }
+  });
 
   // Per-group released-query queues and parked dynamic requests: a request
   // that finds the queue empty while more queries are still to arrive is
-  // deferred until the next release.
+  // deferred until the next admission.
   std::vector<std::deque<int>> dispatch(layout_.num_groups());
   std::vector<std::deque<int>> parked(layout_.num_groups());
   int released = 0;
+  std::vector<int> answers_remaining(num_queries, layout_.num_groups());
 
   BatchReport report;
   report.answers.resize(num_queries);
@@ -613,7 +662,7 @@ BatchReport OdysseyCluster::AnswerStream(
       } else if (released == num_queries) {
         reply.type = MessageType::kNoMoreQueries;
       } else {
-        return;  // wait for the next arrival
+        return;  // wait for the next admission
       }
       const int node = parked[group].front();
       parked[group].pop_front();
@@ -622,13 +671,17 @@ BatchReport OdysseyCluster::AnswerStream(
   };
 
   while (terminated < layout_.num_nodes()) {
-    // Release every query whose arrival time has passed.
+    // Release every query the prep thread has admitted (admission implies
+    // its arrival time has passed). The admitted() acquire pairs with the
+    // Admit fetch_add, so a released slot's summaries are visible to every
+    // node the dispatch message reaches.
     while (released < num_queries &&
-           batch_watch.ElapsedSeconds() >= arrival_seconds[released]) {
+           static_cast<size_t>(released) < prepared.admitted()) {
       for (int g = 0; g < layout_.num_groups(); ++g) {
         dispatch[g].push_back(released);
       }
       ++released;
+      executing_queries.fetch_add(1, std::memory_order_acq_rel);
       for (int g = 0; g < layout_.num_groups(); ++g) serve(g);
     }
     Message m;
@@ -644,6 +697,10 @@ BatchReport OdysseyCluster::AnswerStream(
       case MessageType::kLocalAnswer: {
         std::vector<Neighbor>& bucket = candidates[m.query_id];
         bucket.insert(bucket.end(), m.neighbors.begin(), m.neighbors.end());
+        if (answers_remaining[m.query_id] > 0 &&
+            --answers_remaining[m.query_id] == 0) {
+          executing_queries.fetch_sub(1, std::memory_order_acq_rel);
+        }
         break;
       }
       case MessageType::kNodeTerminated:
@@ -653,14 +710,19 @@ BatchReport OdysseyCluster::AnswerStream(
         break;
     }
   }
+  // Termination of every node implies all queries were dispatched, so the
+  // prep thread has already run to completion.
+  prep.join();
 
   for (int q = 0; q < num_queries; ++q) {
     report.answers[q] = MergeAnswers(candidates[q], options_.query_options.k);
   }
-  // Preparation ran before the arrival clock; it is still part of the
-  // batch's answering makespan.
-  report.query_seconds = prepare_seconds + batch_watch.ElapsedSeconds();
+  // Preparation ran inside the answering window (that is the point); the
+  // makespan is just the window.
+  report.query_seconds = batch_watch.ElapsedSeconds();
   report.prepare_seconds = prepare_seconds;
+  report.prep_overlap_seconds = prep_overlap_seconds;
+  executor_stats::AddPrepOverlapSeconds(prep_overlap_seconds);
 
   Message shutdown;
   shutdown.type = MessageType::kShutdown;
@@ -668,7 +730,11 @@ BatchReport OdysseyCluster::AnswerStream(
   cluster.Broadcast(shutdown);
   for (auto& node : nodes_) node->JoinBatch();
 
-  for (auto& node : nodes_) report.node_stats.push_back(node->batch_stats());
+  for (auto& node : nodes_) {
+    report.node_stats.push_back(node->batch_stats());
+    report.queries_in_flight_hwm = std::max(
+        report.queries_in_flight_hwm, node->batch_stats().inflight_hwm);
+  }
   report.messages_sent = cluster.messages_sent();
   report.bsf_updates = cluster.messages_sent(MessageType::kBsfUpdate);
   report.steal_requests = cluster.messages_sent(MessageType::kStealRequest);

@@ -56,6 +56,17 @@ struct OdysseyOptions {
   WorkStealConfig worksteal;
   QueryOptions query_options;
   bool share_bsf = true;
+  /// Persistent per-node executor: query phases run as tasks on each
+  /// node's long-lived worker pool — zero thread creation on the query hot
+  /// path. Off = legacy mode: every query spawns and joins
+  /// `query_options.num_threads` std::threads (kept for the
+  /// pooled-vs-legacy benchmarks and equivalence tests).
+  bool use_executor = true;
+  /// AnswerStream only: max queries one node runs concurrently on its pool
+  /// (its in-flight admission depth). With > 1 a node whose workers are
+  /// idle starts the next admitted query instead of strictly serializing;
+  /// AnswerBatch always uses 1 (the paper's batch model).
+  int stream_max_inflight = 2;
   /// Optional models (owned by the caller, must outlive the cluster).
   const CostModel* cost_model = nullptr;
   const ThresholdModel* threshold_model = nullptr;
@@ -81,6 +92,14 @@ struct BatchReport {
   /// Time the driver spent on estimation + assignment (included in
   /// query_seconds).
   double scheduling_seconds = 0.0;
+  /// AnswerStream only: preparation time that ran concurrently with
+  /// execution — the prep thread summarizing arrivals while earlier
+  /// queries were already executing (0 for AnswerBatch, whose preparation
+  /// is a serial pre-step).
+  double prep_overlap_seconds = 0.0;
+  /// Highest number of queries any single node ran concurrently on its
+  /// pool (1 for AnswerBatch; up to stream_max_inflight for streams).
+  int queries_in_flight_hwm = 0;
   std::vector<NodeBatchStats> node_stats;
   size_t messages_sent = 0;
   size_t bsf_updates = 0;
@@ -204,6 +223,10 @@ class OdysseyCluster {
   double partition_seconds_ = 0.0;
   double ingest_seconds_ = 0.0;
   double overlap_seconds_ = 0.0;
+  /// Persistent coordinator-side pool (partitioning, batch preparation,
+  /// scheduling estimates): like the node executors, it is created once
+  /// per cluster so answering batches spawns no coordinator threads.
+  std::unique_ptr<ThreadPool> driver_pool_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
 };
 

@@ -6,7 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
-#include "src/common/thread_pool.h"
+#include "src/common/summary_stats.h"
 
 namespace odyssey {
 namespace {
@@ -18,7 +18,16 @@ NodeRuntime::NodeRuntime(int node_id, const ReplicationLayout& layout)
   ODYSSEY_CHECK(node_id >= 0 && node_id < layout.num_nodes());
 }
 
-NodeRuntime::~NodeRuntime() { JoinBatch(); }
+NodeRuntime::~NodeRuntime() {
+  JoinBatch();
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    stopping_ = true;
+  }
+  epoch_cv_.notify_all();
+  if (comms_thread_.joinable()) comms_thread_.join();
+  if (main_thread_.joinable()) main_thread_.join();
+}
 
 void NodeRuntime::LoadChunk(SeriesCollection chunk,
                             std::vector<uint32_t> global_ids) {
@@ -66,11 +75,60 @@ const Index& NodeRuntime::index() const {
   return *index_;
 }
 
+void NodeRuntime::EnsureExecutor() {
+  if (options_.use_executor) {
+    const size_t want =
+        static_cast<size_t>(std::max(1, options_.query_options.num_threads));
+    // The pool grows to the widest batch seen and never shrinks; growth
+    // spawns only the missing workers, so a wider batch pays exactly the
+    // delta and an equal-or-narrower one pays nothing.
+    if (workers_ == nullptr) {
+      workers_ = std::make_unique<ThreadPool>(want);
+    } else {
+      workers_->Grow(want);
+    }
+  }
+  if (!comms_thread_.joinable()) {
+    executor_stats::CountThreadsSpawned(2);
+    comms_thread_ = std::thread([this] { EpochThread(/*comms=*/true); });
+    main_thread_ = std::thread([this] { EpochThread(/*comms=*/false); });
+  }
+}
+
+void NodeRuntime::EpochThread(bool comms) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(epoch_mu_);
+      epoch_cv_.wait(lock, [this, seen] {
+        return stopping_ || epochs_started_ > seen;
+      });
+      if (epochs_started_ == seen) return;  // stopping, nothing new to run
+      seen = epochs_started_;
+    }
+    if (comms) {
+      CommsLoop();
+    } else {
+      MainLoop();
+    }
+    {
+      std::lock_guard<std::mutex> lock(epoch_mu_);
+      (comms ? comms_epochs_done_ : main_epochs_done_) = seen;
+    }
+    epoch_cv_.notify_all();
+  }
+}
+
 void NodeRuntime::StartBatch(SimCluster* cluster,
                              const PreparedBatch* queries,
                              const NodeBatchOptions& options) {
   ODYSSEY_CHECK(index_ != nullptr);
-  ODYSSEY_CHECK(!comms_thread_.joinable() && !main_thread_.joinable());
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    ODYSSEY_CHECK_MSG(comms_epochs_done_ == epochs_started_ &&
+                          main_epochs_done_ == epochs_started_,
+                      "StartBatch while an epoch is still running");
+  }
   cluster_ = cluster;
   queries_ = queries;
   options_ = options;
@@ -84,13 +142,24 @@ void NodeRuntime::StartBatch(SimCluster* cluster,
     done_nodes_.clear();
     steal_replies_.clear();
   }
-  comms_thread_ = std::thread([this] { CommsLoop(); });
-  main_thread_ = std::thread([this] { MainLoop(); });
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_ = 0;
+  }
+  EnsureExecutor();
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    ++epochs_started_;
+  }
+  epoch_cv_.notify_all();
 }
 
 void NodeRuntime::JoinBatch() {
-  if (main_thread_.joinable()) main_thread_.join();
-  if (comms_thread_.joinable()) comms_thread_.join();
+  std::unique_lock<std::mutex> lock(epoch_mu_);
+  epoch_cv_.wait(lock, [this] {
+    return comms_epochs_done_ == epochs_started_ &&
+           main_epochs_done_ == epochs_started_;
+  });
 }
 
 void NodeRuntime::CommsLoop() {
@@ -121,6 +190,7 @@ void NodeRuntime::CommsLoop() {
       case MessageType::kDone: {
         std::lock_guard<std::mutex> lock(state_mu_);
         done_nodes_.insert(m.from);
+        ++state_version_;  // wakes a steal-backoff wait: a peer finished
         state_cv_.notify_all();
         break;
       }
@@ -130,6 +200,7 @@ void NodeRuntime::CommsLoop() {
       case MessageType::kStealReply: {
         std::lock_guard<std::mutex> lock(state_mu_);
         steal_replies_.push_back(std::move(m));
+        ++state_version_;
         state_cv_.notify_all();
         break;
       }
@@ -140,24 +211,24 @@ void NodeRuntime::CommsLoop() {
 }
 
 void NodeRuntime::HandleStealRequest(int thief) {
-  // Algorithm 3: give away up to Nsend RS-batches of the active query that
+  // Algorithm 3: give away up to Nsend RS-batches of a running query that
   // satisfy the Take-Away property; always reply (an empty reply tells the
-  // thief to look elsewhere).
+  // thief to look elsewhere). With in-flight admission several own queries
+  // can be running — the first with stealable batches feeds the thief.
   Message reply;
   reply.type = MessageType::kStealReply;
   reply.from = id_;
-  {
+  if (options_.worksteal.enabled) {
     std::lock_guard<std::mutex> lock(exec_mu_);
-    if (current_exec_ != nullptr && options_.worksteal.enabled) {
-      std::vector<int> ids =
-          current_exec_->StealBatches(options_.worksteal.nsend);
-      if (!ids.empty()) {
-        reply.query_id = current_query_;
-        reply.bsf = bsf_board_[current_query_].load(std::memory_order_acquire);
-        reply.batch_ids = std::move(ids);
-        batch_stats_.batches_given_away +=
-            static_cast<int>(reply.batch_ids.size());
-      }
+    for (auto& [query_id, exec] : running_execs_) {
+      std::vector<int> ids = exec->StealBatches(options_.worksteal.nsend);
+      if (ids.empty()) continue;
+      reply.query_id = query_id;
+      reply.bsf = bsf_board_[query_id].load(std::memory_order_acquire);
+      reply.batch_ids = std::move(ids);
+      batch_stats_.batches_given_away +=
+          static_cast<int>(reply.batch_ids.size());
+      break;
     }
   }
   cluster_->Send(thief, std::move(reply));
@@ -182,11 +253,47 @@ int NodeRuntime::NextQuery() {
 }
 
 void NodeRuntime::MainLoop() {
-  // Algorithm 1: answer assigned queries one by one...
+  // Algorithm 1: answer assigned queries — one at a time in the paper's
+  // batch model, or up to max_inflight concurrently on the pool when the
+  // streaming path admits queries faster than they finish...
+  const int max_inflight = std::max(1, options_.max_inflight);
+  const bool concurrent =
+      max_inflight > 1 && options_.use_executor && workers_ != nullptr;
+  std::unique_ptr<TaskGroup> inflight_group;
+  if (concurrent) inflight_group = std::make_unique<TaskGroup>(workers_.get());
   for (;;) {
     const int qid = NextQuery();
     if (qid < 0) break;
-    ExecuteQuery(qid);
+    if (!concurrent) {
+      ExecuteQuery(qid);
+      continue;
+    }
+    {
+      // Admission control: claim an in-flight slot before asking the
+      // coordinator for more work.
+      std::unique_lock<std::mutex> lock(inflight_mu_);
+      inflight_cv_.wait(lock,
+                        [this, max_inflight] { return inflight_ < max_inflight; });
+      ++inflight_;
+      {
+        std::lock_guard<std::mutex> stats(stats_mu_);
+        batch_stats_.inflight_hwm =
+            std::max(batch_stats_.inflight_hwm, inflight_);
+      }
+      executor_stats::RecordQueriesInFlight(static_cast<uint64_t>(inflight_));
+    }
+    inflight_group->Submit([this, qid] {
+      ExecuteQuery(qid);
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_;
+      inflight_cv_.notify_all();
+    });
+  }
+  if (inflight_group != nullptr) inflight_group->Wait();
+  {
+    std::lock_guard<std::mutex> stats(stats_mu_);
+    batch_stats_.inflight_hwm = std::max(batch_stats_.inflight_hwm,
+                                         batch_stats_.queries_executed > 0 ? 1 : 0);
   }
   // ... then announce completion to every node and start stealing.
   Message done;
@@ -229,18 +336,24 @@ void NodeRuntime::ExecuteQuery(int query_id) {
   }
   {
     std::lock_guard<std::mutex> lock(exec_mu_);
-    current_exec_ = &exec;
-    current_query_ = query_id;
+    running_execs_.push_back({query_id, &exec});
   }
-  exec.Run();
+  exec.Run(options_.use_executor ? workers_.get() : nullptr);
   {
     std::lock_guard<std::mutex> lock(exec_mu_);
-    current_exec_ = nullptr;
-    current_query_ = -1;
+    for (auto it = running_execs_.begin(); it != running_execs_.end(); ++it) {
+      if (it->second == &exec) {
+        running_execs_.erase(it);
+        break;
+      }
+    }
   }
   SendLocalAnswer(query_id, exec.results().SortedResults());
-  ++batch_stats_.queries_executed;
-  batch_stats_.busy_seconds += watch.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++batch_stats_.queries_executed;
+    batch_stats_.busy_seconds += watch.ElapsedSeconds();
+  }
 }
 
 void NodeRuntime::PerformWorkStealing() {
@@ -261,7 +374,10 @@ void NodeRuntime::PerformWorkStealing() {
     }
     const int victim = ChooseStealVictim(peers, &rng_state);
     if (victim < 0) return;  // every group peer is done
-    ++batch_stats_.steal_attempts;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++batch_stats_.steal_attempts;
+    }
     Message request;
     request.type = MessageType::kStealRequest;
     request.from = id_;
@@ -274,11 +390,21 @@ void NodeRuntime::PerformWorkStealing() {
       steal_replies_.pop_front();
     }
     if (reply.batch_ids.empty()) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(options_.worksteal.retry_backoff_us));
+      // Timed back-off before retrying another victim — but woken early by
+      // the comms thread on protocol progress (a peer finishing, a reply
+      // landing) instead of sleeping blind, so an idle node reacts to
+      // mailbox arrivals immediately and burns no CPU in between.
+      std::unique_lock<std::mutex> lock(state_mu_);
+      const uint64_t seen = state_version_;
+      state_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.worksteal.retry_backoff_us),
+          [this, seen] { return state_version_ != seen; });
       continue;
     }
-    ++batch_stats_.successful_steals;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++batch_stats_.successful_steals;
+    }
     RunStolenWork(reply);
   }
 }
@@ -299,7 +425,9 @@ void NodeRuntime::RunStolenWork(const Message& reply) {
     };
   }
   // The stolen query's summaries come from the same batch-level prepared
-  // artifact the victim used — a steal costs no re-summarization.
+  // artifact the victim used — a steal costs no re-summarization — and the
+  // stolen phases run on the same persistent pool (idle by now: stealing
+  // only starts after the node's own queries finished).
   QueryExecution exec(index_.get(), queries_->query(query_id),
                       options_.query_options, &bsf_board_[query_id],
                       on_improve);
@@ -309,10 +437,18 @@ void NodeRuntime::RunStolenWork(const Message& reply) {
     exec.set_queue_threshold(
         options_.threshold_model->PredictThreshold(initial_bsf));
   }
-  exec.RunBatchSubset(reply.batch_ids);
-  batch_stats_.batches_stolen_run += static_cast<int>(reply.batch_ids.size());
+  exec.RunBatchSubset(reply.batch_ids,
+                      options_.use_executor ? workers_.get() : nullptr);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    batch_stats_.batches_stolen_run +=
+        static_cast<int>(reply.batch_ids.size());
+  }
   SendLocalAnswer(query_id, exec.results().SortedResults());
-  batch_stats_.busy_seconds += watch.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    batch_stats_.busy_seconds += watch.ElapsedSeconds();
+  }
 }
 
 void NodeRuntime::SendLocalAnswer(int query_id,

@@ -5,20 +5,27 @@
 /// index construction over the node's chunk — either a private copy
 /// (LoadChunk) or a view of its replication group's shared bundle
 /// (LoadSharedChunk, Section 3.3's replicas-index-one-chunk property) —
-/// and the stage-4 per-batch runtime: a comms thread implementing the
-/// work-stealing manager of Algorithm 3 plus the BSF book-keeping array of
-/// Section 3.4, and a main thread running query answering and the
-/// PerformWorkStealing loop of Algorithm 4.
+/// and the stage-4 *persistent executor*: a long-lived comms thread
+/// implementing the work-stealing manager of Algorithm 3 plus the BSF
+/// book-keeping array of Section 3.4, a long-lived main thread running
+/// query answering and the PerformWorkStealing loop of Algorithm 4, and a
+/// long-lived worker pool the query phases run on. All three survive
+/// across batches: StartBatch/JoinBatch are cheap epoch transitions, and
+/// the query hot path spawns zero threads (asserted through
+/// executor_stats::ThreadsSpawned).
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/core/replication.h"
 #include "src/core/scheduler.h"
 #include "src/core/shared_chunk.h"
@@ -41,6 +48,15 @@ struct NodeBatchOptions {
   /// System-wide BSF sharing (Section 3.4). Off only for the DMESSI
   /// baseline.
   bool share_bsf = true;
+  /// Run query phases on the node's persistent worker pool (zero thread
+  /// creation per query). Off = legacy per-query std::thread spawning,
+  /// kept for the pooled-vs-legacy benchmarks.
+  bool use_executor = true;
+  /// Maximum queries this node runs concurrently on its pool (>= 1). The
+  /// streaming path raises it so a node with idle workers admits the next
+  /// arrival instead of serializing; batch answering keeps the paper's
+  /// one-query-at-a-time model.
+  int max_inflight = 1;
   uint64_t seed = 0;
 };
 
@@ -51,6 +67,7 @@ struct NodeBatchStats {
   int successful_steals = 0;  ///< replies that carried batches
   int batches_given_away = 0; ///< RS-batches this node handed to thieves
   int batches_stolen_run = 0; ///< RS-batches this node ran for others
+  int inflight_hwm = 0;       ///< max queries simultaneously in flight
   double busy_seconds = 0.0;  ///< time spent executing (own + stolen) work
 };
 
@@ -60,10 +77,13 @@ struct NodeBatchStats {
 /// (Algorithms 1, 3 and 4). All interaction with other nodes and with the
 /// coordinator goes through the SimCluster mailboxes.
 ///
-/// Threads per active batch: a *comms thread* (the paper's work-stealing
-/// manager, which also maintains the BSF book-keeping array) and a *main
-/// thread* (query answering + the PerformWorkStealing loop); each query
-/// additionally spawns `query_options.num_threads` search workers.
+/// Thread ownership (per *process*, not per batch or per query): one comms
+/// thread (the paper's work-stealing manager, which also maintains the BSF
+/// book-keeping array), one main thread (query dispatch + the
+/// PerformWorkStealing loop), and `query_options.num_threads` pool workers
+/// — all created at the first StartBatch and reused by every later batch.
+/// Query executions borrow pool workers through TaskGroup epochs; with
+/// `max_inflight > 1` several in-flight queries partition the same pool.
 class NodeRuntime {
  public:
   NodeRuntime(int node_id, const ReplicationLayout& layout);
@@ -95,21 +115,31 @@ class NodeRuntime {
   }
   const BuildTimings& build_timings() const { return build_timings_; }
 
-  /// Starts the node's threads for one query batch. `cluster` and `queries`
-  /// (the driver's batch-level prepared artifact, plus the raw series it
-  /// points into) must outlive the batch. Replicas and stolen-work runs all
-  /// execute against the same PreparedQuery objects — nodes never
-  /// re-summarize. The node runs until the driver sends kShutdown; call
-  /// JoinBatch() afterwards.
+  /// Starts one query-batch epoch on the node's persistent threads,
+  /// creating them (and the worker pool) on first use. `cluster` and
+  /// `queries` (the driver's batch-level prepared artifact, plus the raw
+  /// series it points into) must outlive the batch; on the streaming path
+  /// `queries` slots may still be empty and are admitted later — the node
+  /// only reads a slot after the coordinator dispatches its query id.
+  /// The epoch runs until the driver sends kShutdown; call JoinBatch()
+  /// afterwards.
   void StartBatch(SimCluster* cluster, const PreparedBatch* queries,
                   const NodeBatchOptions& options);
 
-  /// Joins the batch threads (after the driver's kShutdown).
+  /// Waits for the current epoch to finish (after the driver's kShutdown).
+  /// The persistent threads stay parked for the next StartBatch; they are
+  /// joined only by the destructor.
   void JoinBatch();
 
   const NodeBatchStats& batch_stats() const { return batch_stats_; }
 
  private:
+  /// Creates the persistent comms/main threads and the worker pool on
+  /// first use (or grows the pool when a batch asks for more workers).
+  void EnsureExecutor();
+  /// Persistent-thread bodies: park between epochs, run one *Loop per
+  /// epoch. `comms` selects which loop.
+  void EpochThread(bool comms);
   void CommsLoop();
   void MainLoop();
   void ExecuteQuery(int query_id);
@@ -132,14 +162,26 @@ class NodeRuntime {
   std::unique_ptr<Index> index_;
   BuildTimings build_timings_;
 
-  // Per-batch state.
+  // Persistent executor: comms/main threads park between epochs; workers_
+  // serves the query phases (and in-flight orchestration) of every batch.
+  std::thread comms_thread_;
+  std::thread main_thread_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::mutex epoch_mu_;
+  std::condition_variable epoch_cv_;
+  uint64_t epochs_started_ = 0;   // guarded by epoch_mu_
+  uint64_t comms_epochs_done_ = 0;
+  uint64_t main_epochs_done_ = 0;
+  bool stopping_ = false;
+
+  // Per-epoch state.
   SimCluster* cluster_ = nullptr;
   const PreparedBatch* queries_ = nullptr;
   NodeBatchOptions options_;
   std::unique_ptr<std::atomic<float>[]> bsf_board_;  // one cell per query
-  std::thread comms_thread_;
-  std::thread main_thread_;
   NodeBatchStats batch_stats_;
+  std::mutex stats_mu_;  // guards queries_executed/busy_seconds/inflight_hwm
+                         // (written by concurrent in-flight orchestrators)
 
   // Scheduling / protocol state shared between the two threads.
   std::mutex state_mu_;
@@ -148,11 +190,20 @@ class NodeRuntime {
   bool no_more_queries_ = false;
   std::set<int> done_nodes_;
   std::deque<Message> steal_replies_;
+  /// Bumped by the comms thread on protocol progress (peer done, steal
+  /// reply); the steal loop's timed backoff wait wakes on it instead of
+  /// sleeping blind.
+  uint64_t state_version_ = 0;
 
-  // Work-stealing victim side: the currently running execution.
+  // In-flight admission (max_inflight > 1).
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  int inflight_ = 0;
+
+  // Work-stealing victim side: every currently running own-query execution
+  // (several when in-flight admission is on).
   std::mutex exec_mu_;
-  QueryExecution* current_exec_ = nullptr;
-  int current_query_ = -1;
+  std::vector<std::pair<int, QueryExecution*>> running_execs_;
 };
 
 }  // namespace odyssey

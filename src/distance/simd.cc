@@ -1,5 +1,6 @@
 #include "src/distance/simd.h"
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
@@ -345,9 +346,28 @@ ODYSSEY_TARGET_AVX2 inline float HorizontalSum256(__m256 v) {
   return HorizontalSum128(_mm_add_ps(lo, hi));
 }
 
+// Aligned-load fast path predicate: every operand sits on a 32-byte
+// boundary, so the kernel may use vmovaps and — when the length is a lane
+// multiple — drop the scalar tail entirely. SeriesCollection allocates its
+// storage 64-byte aligned, so for the common series lengths (multiples of
+// 8) every row qualifies. The fast paths keep the exact accumulation order
+// of the generic loops (same lane striping, FMA, and abandon cadence), so
+// results are bit-identical — asserted by the distance property tests.
+inline bool Aligned32(const float* p) {
+  return (reinterpret_cast<uintptr_t>(p) & 31u) == 0;
+}
+
 ODYSSEY_TARGET_AVX2
 float SquaredEuclideanAvx2K(const float* a, const float* b, size_t n) {
   __m256 acc = _mm256_setzero_ps();
+  if (n % 8 == 0 && Aligned32(a) && Aligned32(b)) {
+    for (size_t i = 0; i < n; i += 8) {
+      const __m256 d =
+          _mm256_sub_ps(_mm256_load_ps(a + i), _mm256_load_ps(b + i));
+      acc = _mm256_fmadd_ps(d, d, acc);
+    }
+    return HorizontalSum256(acc);
+  }
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     const __m256 d =
@@ -368,6 +388,22 @@ float SquaredEuclideanEarlyAbandonAvx2K(const float* a, const float* b,
   __m256 acc = _mm256_setzero_ps();
   float sum = 0.0f;
   size_t i = 0;
+  if (n % 16 == 0 && Aligned32(a) && Aligned32(b)) {
+    // Tail-free aligned variant of the loop below (the 16-point abandon
+    // block matches the lane unroll, so n % 16 == 0 leaves no remainder).
+    while (i < n) {
+      const __m256 d0 =
+          _mm256_sub_ps(_mm256_load_ps(a + i), _mm256_load_ps(b + i));
+      acc = _mm256_fmadd_ps(d0, d0, acc);
+      const __m256 d1 =
+          _mm256_sub_ps(_mm256_load_ps(a + i + 8), _mm256_load_ps(b + i + 8));
+      acc = _mm256_fmadd_ps(d1, d1, acc);
+      i += 16;
+      sum = HorizontalSum256(acc);
+      if (sum >= threshold) return sum;
+    }
+    return sum;
+  }
   // Two unrolled 8-lane FMAs per iteration, threshold check per 16 points.
   while (i + 16 <= n) {
     const __m256 d0 =
@@ -396,10 +432,27 @@ ODYSSEY_TARGET_AVX2 inline __m256 LbKeoghGap256(const float* upper,
   return _mm256_max_ps(_mm256_max_ps(du, dl), _mm256_setzero_ps());
 }
 
+ODYSSEY_TARGET_AVX2 inline __m256 LbKeoghGap256Aligned(
+    const float* upper, const float* lower, const float* candidate) {
+  const __m256 c = _mm256_load_ps(candidate);
+  const __m256 du = _mm256_sub_ps(c, _mm256_load_ps(upper));
+  const __m256 dl = _mm256_sub_ps(_mm256_load_ps(lower), c);
+  return _mm256_max_ps(_mm256_max_ps(du, dl), _mm256_setzero_ps());
+}
+
 ODYSSEY_TARGET_AVX2
 float LbKeoghAvx2K(const float* upper, const float* lower,
                    const float* candidate, size_t n) {
   __m256 acc = _mm256_setzero_ps();
+  if (n % 8 == 0 && Aligned32(upper) && Aligned32(lower) &&
+      Aligned32(candidate)) {
+    for (size_t i = 0; i < n; i += 8) {
+      const __m256 d =
+          LbKeoghGap256Aligned(upper + i, lower + i, candidate + i);
+      acc = _mm256_fmadd_ps(d, d, acc);
+    }
+    return HorizontalSum256(acc);
+  }
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     const __m256 d = LbKeoghGap256(upper + i, lower + i, candidate + i);
@@ -420,6 +473,21 @@ float LbKeoghEarlyAbandonAvx2K(const float* upper, const float* lower,
   __m256 acc = _mm256_setzero_ps();
   float sum = 0.0f;
   size_t i = 0;
+  if (n % 16 == 0 && Aligned32(upper) && Aligned32(lower) &&
+      Aligned32(candidate)) {
+    while (i < n) {
+      const __m256 d0 =
+          LbKeoghGap256Aligned(upper + i, lower + i, candidate + i);
+      acc = _mm256_fmadd_ps(d0, d0, acc);
+      const __m256 d1 = LbKeoghGap256Aligned(upper + i + 8, lower + i + 8,
+                                             candidate + i + 8);
+      acc = _mm256_fmadd_ps(d1, d1, acc);
+      i += 16;
+      sum = HorizontalSum256(acc);
+      if (sum >= threshold) return sum;
+    }
+    return sum;
+  }
   while (i + 16 <= n) {
     const __m256 d0 = LbKeoghGap256(upper + i, lower + i, candidate + i);
     acc = _mm256_fmadd_ps(d0, d0, acc);

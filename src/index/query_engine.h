@@ -151,12 +151,21 @@ class QueryExecution {
     options_.queue_threshold = threshold;
   }
 
-  /// Runs the full three-phase search over all RS-batches.
-  void Run();
+  /// Runs the full three-phase search over all RS-batches. With a `pool`,
+  /// the phases run as tasks on it — zero thread creation, the persistent
+  /// per-node executor path; each of the two parallel phases is one
+  /// TaskGroup epoch and the Wait between them is the phase barrier
+  /// (executed, helping, by the calling thread). Without one, the legacy
+  /// path spawns `options.num_threads` std::threads per call (kept for the
+  /// pooled-vs-legacy benchmarks; the spawns are counted in
+  /// executor_stats::ThreadsSpawned). Both paths claim work through the
+  /// same atomic cursors and produce identical answers.
+  void Run(ThreadPool* pool = nullptr);
 
   /// Thief-side entry: traverses and processes only the given batch ids
   /// (obtained from a victim's StealBatches) on this node's own index.
-  void RunBatchSubset(const std::vector<int>& batch_ids);
+  void RunBatchSubset(const std::vector<int>& batch_ids,
+                      ThreadPool* pool = nullptr);
 
   /// Work-stealing-manager side: selects up to `nsend` RS-batches per the
   /// Take-Away property, marks their queues stolen, and returns their ids.
@@ -182,7 +191,15 @@ class QueryExecution {
   /// Worker-thread-local bounded-queue builder for one batch.
   struct QueueBuilder;
 
-  void RunWorkers(const std::vector<int>& batch_ids);
+  void RunWorkers(const std::vector<int>& batch_ids, ThreadPool* pool);
+  /// Arms batches_/cursors for `batch_ids` and enters Phase::kTraversal.
+  void ArmBatches(const std::vector<int>& batch_ids);
+  /// Phase 1 worker body: Fetch&Add batch claims, then helping.
+  void TraversalPhase();
+  /// Phase 2 (single-threaded): sorts the queue array, enters kProcessing.
+  void PreprocessQueues();
+  /// Phase 3 worker body: Fetch&Add queue claims, skipping stolen ones.
+  void ProcessingPhase();
   void TraverseBatch(RsBatch* batch);
   void TraverseNode(const TreeNode* node, QueueBuilder* builder);
   void ProcessQueue(BoundedPq* queue);

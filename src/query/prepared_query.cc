@@ -57,7 +57,23 @@ PreparedBatch PreparedBatch::Prepare(const SeriesCollection& queries,
   } else {
     prepare_range(0, queries.size());
   }
+  batch.admitted_.store(queries.size(), std::memory_order_release);
   return batch;
+}
+
+PreparedBatch PreparedBatch::Allocate(size_t count) {
+  PreparedBatch batch;
+  batch.queries_.resize(count);
+  return batch;
+}
+
+size_t PreparedBatch::Admit(size_t i, const float* series,
+                            const IsaxConfig& config, bool build_dtw_envelope,
+                            size_t dtw_window) {
+  ODYSSEY_CHECK(i < queries_.size());
+  queries_[i] =
+      PreparedQuery::Prepare(series, config, build_dtw_envelope, dtw_window);
+  return admitted_.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
 
 const PreparedQuery& PreparedBatch::query(size_t i) const {

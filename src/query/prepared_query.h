@@ -1,6 +1,7 @@
 #ifndef ODYSSEY_QUERY_PREPARED_QUERY_H_
 #define ODYSSEY_QUERY_PREPARED_QUERY_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -63,13 +64,27 @@ class PreparedQuery {
 };
 
 /// The prepared form of one query batch: one PreparedQuery per query, built
-/// up front (optionally across a thread pool) and shared — by reference —
+/// either up front (Prepare, optionally across a thread pool) or
+/// incrementally (Allocate + Admit — the online-stream path, where each
+/// query is summarized at its arrival time) and shared — by reference —
 /// across scheduling estimates, all replicas, and work-stealing thieves.
 /// This turns the former O(replicas x retries) summarization cost into O(1)
 /// per query per batch.
 class PreparedBatch {
  public:
   PreparedBatch() = default;
+
+  // Movable despite the atomic admission counter (moves happen only at
+  // build/return time, never concurrently with admission).
+  PreparedBatch(PreparedBatch&& other) noexcept
+      : queries_(std::move(other.queries_)),
+        admitted_(other.admitted_.load(std::memory_order_relaxed)) {}
+  PreparedBatch& operator=(PreparedBatch&& other) noexcept {
+    queries_ = std::move(other.queries_);
+    admitted_.store(other.admitted_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Prepares every query of `queries`. When `pool` is non-null the
   /// per-query work is spread over the pool's workers (summaries are
@@ -80,12 +95,32 @@ class PreparedBatch {
                                size_t dtw_window = 0,
                                ThreadPool* pool = nullptr);
 
+  /// Allocates `count` empty slots for online admission (AnswerStream):
+  /// slot q is later filled in place by Admit at query q's arrival time.
+  /// Slots never reallocate, so admission on a prep thread is safe while
+  /// earlier queries execute; a slot must not be read before its admission
+  /// (readers are synchronized externally — the coordinator dispatches a
+  /// query only after admitting it, and dispatch messages order the
+  /// memory).
+  static PreparedBatch Allocate(size_t count);
+
+  /// Prepares slot `i` in place (the incremental form of Prepare's loop).
+  /// Thread-safe for distinct slots. Returns the admitted count so far.
+  size_t Admit(size_t i, const float* series, const IsaxConfig& config,
+               bool build_dtw_envelope = false, size_t dtw_window = 0);
+
+  /// Number of slots admitted so far (== size() after Prepare).
+  size_t admitted() const {
+    return admitted_.load(std::memory_order_acquire);
+  }
+
   size_t size() const { return queries_.size(); }
   bool empty() const { return queries_.empty(); }
   const PreparedQuery& query(size_t i) const;
 
  private:
   std::vector<PreparedQuery> queries_;
+  std::atomic<size_t> admitted_{0};
 };
 
 }  // namespace odyssey

@@ -357,6 +357,66 @@ TEST(SimdKernelTest, LbKeoghMatchesScalarOnEveryLengthTo256) {
   }
 }
 
+TEST(SimdKernelTest, AlignedFastPathBitIdenticalToUnaligned) {
+  // The AVX2 kernels take an aligned-load fast path when every operand sits
+  // on a 32-byte boundary and the length is a lane multiple. The fast path
+  // keeps the generic loops' exact accumulation order, so the same values
+  // at an aligned vs a misaligned address must give bit-identical results —
+  // exact EQ, no tolerance (gated like the AVX2 paths themselves).
+  const simd::KernelTable* avx2 = simd::Avx2Table();
+  if (avx2 == nullptr) GTEST_SKIP() << "CPU/build lacks AVX2";
+  Rng rng(61);
+  // Over-aligned buffers, plus +1-float shadow copies of the same values
+  // at deliberately misaligned addresses.
+  constexpr size_t kMax = 256;
+  auto aligned_buf = [](size_t n) {
+    void* p = nullptr;
+    ODYSSEY_CHECK(posix_memalign(&p, 64, (n + 8) * sizeof(float)) == 0);
+    return static_cast<float*>(p);
+  };
+  float* a = aligned_buf(kMax);
+  float* b = aligned_buf(kMax);
+  float* c = aligned_buf(kMax);
+  float* ua = aligned_buf(kMax) + 1;
+  float* ub = aligned_buf(kMax) + 1;
+  float* uc = aligned_buf(kMax) + 1;
+  for (size_t n = 8; n <= kMax; n += 8) {
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.NextGaussian());
+      b[i] = static_cast<float>(rng.NextGaussian());
+      c[i] = static_cast<float>(rng.NextGaussian());
+    }
+    std::copy(a, a + n, ua);
+    std::copy(b, b + n, ub);
+    std::copy(c, c + n, uc);
+    ASSERT_EQ(avx2->squared_euclidean(a, b, n),
+              avx2->squared_euclidean(ua, ub, n))
+        << "n=" << n;
+    const float exact = avx2->squared_euclidean(a, b, n);
+    for (float threshold : {exact * 0.25f, exact, exact * 4.0f + 1.0f}) {
+      ASSERT_EQ(avx2->squared_euclidean_early_abandon(a, b, n, threshold),
+                avx2->squared_euclidean_early_abandon(ua, ub, n, threshold))
+          << "n=" << n << " threshold=" << threshold;
+    }
+    // LB_Keogh: a/b as the (not necessarily ordered) band edges is fine for
+    // an identity check — the kernel only computes gaps against them.
+    ASSERT_EQ(avx2->lb_keogh(a, b, c, n), avx2->lb_keogh(ua, ub, uc, n))
+        << "n=" << n;
+    const float lb = avx2->lb_keogh(a, b, c, n);
+    for (float threshold : {lb * 0.25f, lb * 4.0f + 1.0f}) {
+      ASSERT_EQ(avx2->lb_keogh_early_abandon(a, b, c, n, threshold),
+                avx2->lb_keogh_early_abandon(ua, ub, uc, n, threshold))
+          << "n=" << n << " threshold=" << threshold;
+    }
+  }
+  std::free(a);
+  std::free(b);
+  std::free(c);
+  std::free(ua - 1);
+  std::free(ub - 1);
+  std::free(uc - 1);
+}
+
 TEST(SimdKernelTest, DtwRowBitIdenticalToScalar) {
   // The DTW row kernels use mul (not FMA) and a scalar dependency sweep so
   // every ISA must produce bit-identical DP rows — exact EQ, no tolerance.
