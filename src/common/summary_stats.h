@@ -72,14 +72,23 @@ namespace executor_stats {
 /// Process-wide counters of stage-4 *executor* work — the thread-ownership
 /// mirror of summary_stats' and build_stats' promises. The persistent
 /// per-node executor (src/core/node_runtime.h) promises the query hot path
-/// spawns zero threads: every std::thread creation (pool workers, the
-/// persistent comms/main threads, the stream prep thread, and the legacy
-/// per-query spawn path kept for benchmarks) increments ThreadsSpawned(),
-/// so tests can assert the count stays constant across batches regardless
-/// of query count. QueriesInFlightHwm() is the high-water mark of queries
-/// one node ran concurrently on its pool (AnswerStream's partitioned-pool
+/// spawns zero threads: every thread the process creates goes through
+/// CountedThread (src/common/sync.h), whose constructor is the repo's
+/// single sanctioned spawn site and increments ThreadsSpawned() — pool
+/// workers, the persistent comms/main threads, the stream prep thread,
+/// build/adopt workers, the ingest prefetcher, and the legacy per-query
+/// spawn path kept for benchmarks all count by construction, so tests can
+/// assert the count stays constant across batches regardless of query
+/// count. QueriesInFlightHwm() is the high-water mark of queries one node
+/// ran concurrently on its pool (AnswerStream's partitioned-pool
 /// admission); PrepOverlapSeconds() is query-preparation time that ran
 /// concurrently with execution (the online-admission overlap win).
+///
+/// Concurrency: every counter in this header is a relaxed atomic on its
+/// own cache line — no mutex, nothing for the thread-safety analysis to
+/// guard (audited when the annotated locking layer was introduced). Reads
+/// are exact only once the counted activity has quiesced, which is how the
+/// tests use them.
 
 uint64_t ThreadsSpawned();
 uint64_t QueriesInFlightHwm();
@@ -88,7 +97,8 @@ double PrepOverlapSeconds();
 /// Zeroes all counters (test setup).
 void Reset();
 
-/// Increment hooks, called at every std::thread creation site.
+/// Increment hook, called by CountedThread's constructor (the process's
+/// one sanctioned thread-spawn site).
 void CountThreadsSpawned(uint64_t n);
 /// Max-updates the in-flight high-water mark.
 void RecordQueriesInFlight(uint64_t n);

@@ -1,0 +1,18 @@
+#include "src/common/sync.h"
+
+#include "src/common/summary_stats.h"
+
+namespace odyssey {
+
+// The single raw-thread construction site outside ThreadPool's worker
+// storage: counting here (instead of at every caller) is what keeps the
+// ThreadsSpawned accounting honest by construction — a new dedicated
+// thread cannot be added to the codebase without it showing up in the
+// counter, because tools/lint_odyssey.py rejects std::thread anywhere
+// else.
+CountedThread::CountedThread(std::function<void()> fn)
+    : thread_(std::move(fn)) {
+  executor_stats::CountThreadsSpawned(1);
+}
+
+}  // namespace odyssey

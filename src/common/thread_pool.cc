@@ -1,9 +1,9 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/check.h"
-#include "src/common/summary_stats.h"
 
 namespace odyssey {
 
@@ -14,20 +14,19 @@ ThreadPool::ThreadPool(size_t num_threads) {
 void ThreadPool::Grow(size_t num_threads) {
   if (num_threads <= threads_.size()) return;
   const size_t delta = num_threads - threads_.size();
-  executor_stats::CountThreadsSpawned(delta);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < delta; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back(CountedThread([this] { WorkerLoop(); }));
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
-  for (auto& t : threads_) t.join();
+  cv_.SignalAll();
+  for (auto& t : threads_) t.Join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -38,22 +37,27 @@ void ThreadPool::SubmitTagged(std::function<void()> task,
                               const TaskGroup* group) {
   ODYSSEY_CHECK(task != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ODYSSEY_CHECK_MSG(!stop_, "Submit after shutdown");
     queue_.push_back({std::move(task), group});
   }
-  cv_.notify_one();
+  cv_.Signal();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.Wait(&mu_);
+}
+
+void ThreadPool::FinishTaskLocked() {
+  --active_;
+  if (queue_.empty() && active_ == 0) idle_cv_.SignalAll();
 }
 
 bool ThreadPool::TryRunOneGroupTask(const TaskGroup* group) {
   std::function<void()> task;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = queue_.begin();
     while (it != queue_.end() && it->group != group) ++it;
     if (it == queue_.end()) return false;
@@ -63,9 +67,8 @@ bool ThreadPool::TryRunOneGroupTask(const TaskGroup* group) {
   }
   task();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    --active_;
-    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    MutexLock lock(&mu_);
+    FinishTaskLocked();
   }
   return true;
 }
@@ -92,8 +95,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -104,9 +107,8 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      MutexLock lock(&mu_);
+      FinishTaskLocked();
     }
   }
 }
@@ -120,14 +122,14 @@ TaskGroup::~TaskGroup() { Wait(); }
 void TaskGroup::Submit(std::function<void()> task) {
   ODYSSEY_CHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++pending_;
   }
   pool_->SubmitTagged(
       [this, task = std::move(task)] {
         task();
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--pending_ == 0) cv_.notify_all();
+        MutexLock lock(&mu_);
+        if (--pending_ == 0) cv_.SignalAll();
       },
       this);
 }
@@ -135,7 +137,7 @@ void TaskGroup::Submit(std::function<void()> task) {
 void TaskGroup::Wait() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (pending_ == 0) return;
     }
     if (pool_->TryRunOneGroupTask(this)) continue;
@@ -144,8 +146,8 @@ void TaskGroup::Wait() {
     // until the running ones notify; helping with foreign work here could
     // capture this thread in an arbitrarily long task, so it sleeps
     // instead.
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(&mu_);
+    while (pending_ != 0) cv_.Wait(&mu_);
     return;
   }
 }

@@ -1,14 +1,12 @@
 #ifndef ODYSSEY_COMMON_THREAD_POOL_H_
 #define ODYSSEY_COMMON_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace odyssey {
 
@@ -19,8 +17,9 @@ class TaskGroup;
 /// by every system node's query-answering phases. Tasks are arbitrary
 /// closures; WaitIdle() blocks until every submitted task has finished,
 /// which is how the builder separates its "buffer" and "tree" phases.
-/// Worker creation is counted in executor_stats::ThreadsSpawned() so the
-/// zero-threads-per-query promise of the executor is assertable.
+/// Worker creation is counted in executor_stats::ThreadsSpawned() (via
+/// CountedThread) so the zero-threads-per-query promise of the executor is
+/// assertable.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -46,7 +45,7 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and no task is executing.
-  void WaitIdle();
+  void WaitIdle() ODYSSEY_EXCLUDES(mu_);
 
   /// Pops and runs the oldest queued task belonging to `group` on the
   /// calling thread; returns false when none of that group's tasks are
@@ -56,7 +55,7 @@ class ThreadPool {
   /// tasks) stay deadlock-free even when orchestrators occupy every pool
   /// worker, and a waiter never gets stuck executing a foreign group's
   /// (possibly long) task.
-  bool TryRunOneGroupTask(const TaskGroup* group);
+  bool TryRunOneGroupTask(const TaskGroup* group) ODYSSEY_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, count) across the pool and waits for
   /// completion. Static contiguous-block partitioning: each worker receives
@@ -74,16 +73,22 @@ class ThreadPool {
     const TaskGroup* group = nullptr;
   };
 
-  void SubmitTagged(std::function<void()> task, const TaskGroup* group);
-  void WorkerLoop();
+  void SubmitTagged(std::function<void()> task, const TaskGroup* group)
+      ODYSSEY_EXCLUDES(mu_);
+  void WorkerLoop() ODYSSEY_EXCLUDES(mu_);
+  /// Post-task bookkeeping shared by WorkerLoop and TryRunOneGroupTask:
+  /// retires the active slot and wakes WaitIdle when everything drained.
+  void FinishTaskLocked() ODYSSEY_REQUIRES(mu_);
 
-  std::vector<std::thread> threads_;
-  std::deque<Task> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;       // signals workers: work available / stop
-  std::condition_variable idle_cv_;  // signals WaitIdle: everything drained
-  size_t active_ = 0;
-  bool stop_ = false;
+  /// Worker handles: mutated only by Grow and the destructor, which the
+  /// owner serializes (see Grow); workers never touch it.
+  std::vector<CountedThread> threads_;
+  Mutex mu_;
+  CondVar cv_;       // signals workers: work available / stop
+  CondVar idle_cv_;  // signals WaitIdle: everything drained
+  std::deque<Task> queue_ ODYSSEY_GUARDED_BY(mu_);
+  size_t active_ ODYSSEY_GUARDED_BY(mu_) = 0;
+  bool stop_ ODYSSEY_GUARDED_BY(mu_) = false;
 };
 
 /// A reusable set of tasks on a shared pool — the executor's barrier-phase
@@ -115,21 +120,21 @@ class TaskGroup {
   ~TaskGroup();
 
   /// Enqueues a task onto the pool, tracked by this group. Thread-safe.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) ODYSSEY_EXCLUDES(mu_);
 
   /// Blocks until every task submitted to this group has finished, helping
   /// to run queued pool tasks meanwhile. After Wait returns the group is
   /// empty and immediately reusable for the next epoch.
-  void Wait();
+  void Wait() ODYSSEY_EXCLUDES(mu_);
 
   /// Barrier-phase convenience: submits fn(0) .. fn(n-1) and Wait()s.
   void RunTasks(int n, const std::function<void(int)>& fn);
 
  private:
   ThreadPool* const pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t pending_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  size_t pending_ ODYSSEY_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace odyssey

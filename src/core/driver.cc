@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <thread>  // std::this_thread::sleep_for (arrival pacing)
 #include <unordered_map>
 #include <utility>
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
 #include "src/common/summary_stats.h"
+#include "src/common/sync.h"
 #include "src/common/thread_pool.h"
 
 namespace odyssey {
@@ -81,7 +83,7 @@ OdysseyCluster::OdysseyCluster(const SeriesCollection& dataset,
     std::vector<std::shared_ptr<const SharedChunk>> bundles(
         layout_.num_groups());
     {
-      std::vector<std::thread> groups;
+      std::vector<CountedThread> groups;
       groups.reserve(layout_.num_groups());
       for (int g = 0; g < layout_.num_groups(); ++g) {
         groups.emplace_back([&, g] {
@@ -93,9 +95,9 @@ OdysseyCluster::OdysseyCluster(const SeriesCollection& dataset,
                                           &pool);
         });
       }
-      for (auto& t : groups) t.join();
+      for (auto& t : groups) t.Join();
     }
-    std::vector<std::thread> builders;
+    std::vector<CountedThread> builders;
     builders.reserve(layout_.num_nodes());
     for (int n = 0; n < layout_.num_nodes(); ++n) {
       builders.emplace_back([&, n] {
@@ -104,12 +106,12 @@ OdysseyCluster::OdysseyCluster(const SeriesCollection& dataset,
                               options_.build_threads_per_node);
       });
     }
-    for (auto& t : builders) t.join();
+    for (auto& t : builders) t.Join();
   } else {
     // Legacy copy path: every node subsets its group's chunk straight out
     // of the caller's collection and summarizes it privately. Kept for the
     // shared-vs-copy benchmarks and bit-identity tests.
-    std::vector<std::thread> builders;
+    std::vector<CountedThread> builders;
     builders.reserve(layout_.num_nodes());
     for (int n = 0; n < layout_.num_nodes(); ++n) {
       builders.emplace_back([&, n] {
@@ -119,7 +121,7 @@ OdysseyCluster::OdysseyCluster(const SeriesCollection& dataset,
                               options_.build_threads_per_node);
       });
     }
-    for (auto& t : builders) t.join();
+    for (auto& t : builders) t.Join();
   }
 }
 
@@ -264,7 +266,7 @@ void OdysseyCluster::BuildNodes(GroupChunks groups) {
     std::vector<std::shared_ptr<const SharedChunk>> bundles(
         layout_.num_groups());
     {
-      std::vector<std::thread> adopters;
+      std::vector<CountedThread> adopters;
       adopters.reserve(layout_.num_groups());
       for (int g = 0; g < layout_.num_groups(); ++g) {
         adopters.emplace_back([&, g] {
@@ -276,9 +278,9 @@ void OdysseyCluster::BuildNodes(GroupChunks groups) {
               options_.index_options.config, &pool);
         });
       }
-      for (auto& t : adopters) t.join();
+      for (auto& t : adopters) t.Join();
     }
-    std::vector<std::thread> builders;
+    std::vector<CountedThread> builders;
     builders.reserve(layout_.num_nodes());
     for (int n = 0; n < layout_.num_nodes(); ++n) {
       builders.emplace_back([&, n] {
@@ -287,14 +289,14 @@ void OdysseyCluster::BuildNodes(GroupChunks groups) {
                               options_.build_threads_per_node);
       });
     }
-    for (auto& t : builders) t.join();
+    for (auto& t : builders) t.Join();
     return;
   }
   // Legacy copy path: every node loads its group's chunk and builds its
   // index concurrently, as on a real cluster. Replicas copy the group's
   // chunk (each node's private RAM); a group with a single member moves it
   // instead, so EQUALLY-SPLIT layouts never duplicate data.
-  std::vector<std::thread> builders;
+  std::vector<CountedThread> builders;
   builders.reserve(layout_.num_nodes());
   for (int n = 0; n < layout_.num_nodes(); ++n) {
     builders.emplace_back([&, n] {
@@ -312,7 +314,7 @@ void OdysseyCluster::BuildNodes(GroupChunks groups) {
                             options_.build_threads_per_node);
     });
   }
-  for (auto& t : builders) t.join();
+  for (auto& t : builders) t.Join();
 }
 
 OdysseyCluster::~OdysseyCluster() = default;
@@ -610,8 +612,7 @@ BatchReport OdysseyCluster::AnswerStream(
   // by the remaining-counter floor). The prep thread samples this gauge to
   // count only preparation that genuinely ran while something executed.
   std::atomic<int> executing_queries{0};
-  executor_stats::CountThreadsSpawned(1);
-  std::thread prep([&] {
+  CountedThread prep([&] {
     Stopwatch prep_watch;
     for (size_t q = 0; q < queries.size(); ++q) {
       // Model the arrival: admission cannot precede the query's existence.
@@ -712,7 +713,7 @@ BatchReport OdysseyCluster::AnswerStream(
   }
   // Termination of every node implies all queries were dispatched, so the
   // prep thread has already run to completion.
-  prep.join();
+  prep.Join();
 
   for (int q = 0; q < num_queries; ++q) {
     report.answers[q] = MergeAnswers(candidates[q], options_.query_options.k);

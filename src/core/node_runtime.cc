@@ -21,12 +21,12 @@ NodeRuntime::NodeRuntime(int node_id, const ReplicationLayout& layout)
 NodeRuntime::~NodeRuntime() {
   JoinBatch();
   {
-    std::lock_guard<std::mutex> lock(epoch_mu_);
+    MutexLock lock(&epoch_mu_);
     stopping_ = true;
   }
-  epoch_cv_.notify_all();
-  if (comms_thread_.joinable()) comms_thread_.join();
-  if (main_thread_.joinable()) main_thread_.join();
+  epoch_cv_.SignalAll();
+  if (comms_thread_.joinable()) comms_thread_.Join();
+  if (main_thread_.joinable()) main_thread_.Join();
 }
 
 void NodeRuntime::LoadChunk(SeriesCollection chunk,
@@ -75,6 +75,21 @@ const Index& NodeRuntime::index() const {
   return *index_;
 }
 
+NodeBatchStats NodeRuntime::batch_stats() const {
+  MutexLock lock(&stats_mu_);
+  return batch_stats_;
+}
+
+bool NodeRuntime::EpochIdleLocked() const {
+  return comms_epochs_done_ == epochs_started_ &&
+         main_epochs_done_ == epochs_started_;
+}
+
+void NodeRuntime::NoteProtocolProgressLocked() {
+  ++state_version_;
+  state_cv_.SignalAll();
+}
+
 void NodeRuntime::EnsureExecutor() {
   if (options_.use_executor) {
     const size_t want =
@@ -89,9 +104,8 @@ void NodeRuntime::EnsureExecutor() {
     }
   }
   if (!comms_thread_.joinable()) {
-    executor_stats::CountThreadsSpawned(2);
-    comms_thread_ = std::thread([this] { EpochThread(/*comms=*/true); });
-    main_thread_ = std::thread([this] { EpochThread(/*comms=*/false); });
+    comms_thread_ = CountedThread([this] { EpochThread(/*comms=*/true); });
+    main_thread_ = CountedThread([this] { EpochThread(/*comms=*/false); });
   }
 }
 
@@ -99,10 +113,8 @@ void NodeRuntime::EpochThread(bool comms) {
   uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(epoch_mu_);
-      epoch_cv_.wait(lock, [this, seen] {
-        return stopping_ || epochs_started_ > seen;
-      });
+      MutexLock lock(&epoch_mu_);
+      while (!stopping_ && epochs_started_ <= seen) epoch_cv_.Wait(&epoch_mu_);
       if (epochs_started_ == seen) return;  // stopping, nothing new to run
       seen = epochs_started_;
     }
@@ -112,10 +124,10 @@ void NodeRuntime::EpochThread(bool comms) {
       MainLoop();
     }
     {
-      std::lock_guard<std::mutex> lock(epoch_mu_);
+      MutexLock lock(&epoch_mu_);
       (comms ? comms_epochs_done_ : main_epochs_done_) = seen;
     }
-    epoch_cv_.notify_all();
+    epoch_cv_.SignalAll();
   }
 }
 
@@ -124,42 +136,41 @@ void NodeRuntime::StartBatch(SimCluster* cluster,
                              const NodeBatchOptions& options) {
   ODYSSEY_CHECK(index_ != nullptr);
   {
-    std::lock_guard<std::mutex> lock(epoch_mu_);
-    ODYSSEY_CHECK_MSG(comms_epochs_done_ == epochs_started_ &&
-                          main_epochs_done_ == epochs_started_,
+    MutexLock lock(&epoch_mu_);
+    ODYSSEY_CHECK_MSG(EpochIdleLocked(),
                       "StartBatch while an epoch is still running");
   }
   cluster_ = cluster;
   queries_ = queries;
   options_ = options;
-  batch_stats_ = NodeBatchStats();
+  {
+    MutexLock lock(&stats_mu_);
+    batch_stats_ = NodeBatchStats();
+  }
   bsf_board_ = std::make_unique<std::atomic<float>[]>(queries->size());
   for (size_t q = 0; q < queries->size(); ++q) bsf_board_[q].store(kInf);
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(&state_mu_);
     assigned_.clear();
     no_more_queries_ = false;
     done_nodes_.clear();
     steal_replies_.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(&inflight_mu_);
     inflight_ = 0;
   }
   EnsureExecutor();
   {
-    std::lock_guard<std::mutex> lock(epoch_mu_);
+    MutexLock lock(&epoch_mu_);
     ++epochs_started_;
   }
-  epoch_cv_.notify_all();
+  epoch_cv_.SignalAll();
 }
 
 void NodeRuntime::JoinBatch() {
-  std::unique_lock<std::mutex> lock(epoch_mu_);
-  epoch_cv_.wait(lock, [this] {
-    return comms_epochs_done_ == epochs_started_ &&
-           main_epochs_done_ == epochs_started_;
-  });
+  MutexLock lock(&epoch_mu_);
+  while (!EpochIdleLocked()) epoch_cv_.Wait(&epoch_mu_);
 }
 
 void NodeRuntime::CommsLoop() {
@@ -173,35 +184,33 @@ void NodeRuntime::CommsLoop() {
       case MessageType::kShutdown:
         return;
       case MessageType::kAssignQuery: {
-        std::lock_guard<std::mutex> lock(state_mu_);
+        MutexLock lock(&state_mu_);
         assigned_.push_back(m.query_id);
-        state_cv_.notify_all();
+        state_cv_.SignalAll();
         break;
       }
       case MessageType::kNoMoreQueries: {
-        std::lock_guard<std::mutex> lock(state_mu_);
+        MutexLock lock(&state_mu_);
         no_more_queries_ = true;
-        state_cv_.notify_all();
+        state_cv_.SignalAll();
         break;
       }
       case MessageType::kBsfUpdate:
         AtomicFetchMinFloat(&bsf_board_[m.query_id], m.bsf);
         break;
       case MessageType::kDone: {
-        std::lock_guard<std::mutex> lock(state_mu_);
+        MutexLock lock(&state_mu_);
         done_nodes_.insert(m.from);
-        ++state_version_;  // wakes a steal-backoff wait: a peer finished
-        state_cv_.notify_all();
+        NoteProtocolProgressLocked();  // a peer finished
         break;
       }
       case MessageType::kStealRequest:
         HandleStealRequest(m.from);
         break;
       case MessageType::kStealReply: {
-        std::lock_guard<std::mutex> lock(state_mu_);
+        MutexLock lock(&state_mu_);
         steal_replies_.push_back(std::move(m));
-        ++state_version_;
-        state_cv_.notify_all();
+        NoteProtocolProgressLocked();  // a reply landed
         break;
       }
       default:
@@ -219,15 +228,23 @@ void NodeRuntime::HandleStealRequest(int thief) {
   reply.type = MessageType::kStealReply;
   reply.from = id_;
   if (options_.worksteal.enabled) {
-    std::lock_guard<std::mutex> lock(exec_mu_);
+    MutexLock lock(&exec_mu_);
     for (auto& [query_id, exec] : running_execs_) {
       std::vector<int> ids = exec->StealBatches(options_.worksteal.nsend);
       if (ids.empty()) continue;
       reply.query_id = query_id;
       reply.bsf = bsf_board_[query_id].load(std::memory_order_acquire);
       reply.batch_ids = std::move(ids);
-      batch_stats_.batches_given_away +=
-          static_cast<int>(reply.batch_ids.size());
+      {
+        // exec_mu_ -> stats_mu_ is the one sanctioned nesting (see the
+        // header's discipline note). The give-away count used to be
+        // written under exec_mu_ alone — a different mutex than every
+        // other batch_stats_ writer, the kind of split-brain guard the
+        // thread-safety analysis now rejects at compile time.
+        MutexLock stats(&stats_mu_);
+        batch_stats_.batches_given_away +=
+            static_cast<int>(reply.batch_ids.size());
+      }
       break;
     }
   }
@@ -242,8 +259,8 @@ int NodeRuntime::NextQuery() {
     request.from = id_;
     cluster_->Send(cluster_->coordinator_id(), std::move(request));
   }
-  std::unique_lock<std::mutex> lock(state_mu_);
-  state_cv_.wait(lock, [this] { return !assigned_.empty() || no_more_queries_; });
+  MutexLock lock(&state_mu_);
+  while (assigned_.empty() && !no_more_queries_) state_cv_.Wait(&state_mu_);
   if (!assigned_.empty()) {
     const int qid = assigned_.front();
     assigned_.pop_front();
@@ -271,12 +288,11 @@ void NodeRuntime::MainLoop() {
     {
       // Admission control: claim an in-flight slot before asking the
       // coordinator for more work.
-      std::unique_lock<std::mutex> lock(inflight_mu_);
-      inflight_cv_.wait(lock,
-                        [this, max_inflight] { return inflight_ < max_inflight; });
+      MutexLock lock(&inflight_mu_);
+      while (inflight_ >= max_inflight) inflight_cv_.Wait(&inflight_mu_);
       ++inflight_;
       {
-        std::lock_guard<std::mutex> stats(stats_mu_);
+        MutexLock stats(&stats_mu_);
         batch_stats_.inflight_hwm =
             std::max(batch_stats_.inflight_hwm, inflight_);
       }
@@ -284,14 +300,14 @@ void NodeRuntime::MainLoop() {
     }
     inflight_group->Submit([this, qid] {
       ExecuteQuery(qid);
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      MutexLock lock(&inflight_mu_);
       --inflight_;
-      inflight_cv_.notify_all();
+      inflight_cv_.SignalAll();
     });
   }
   if (inflight_group != nullptr) inflight_group->Wait();
   {
-    std::lock_guard<std::mutex> stats(stats_mu_);
+    MutexLock stats(&stats_mu_);
     batch_stats_.inflight_hwm = std::max(batch_stats_.inflight_hwm,
                                          batch_stats_.queries_executed > 0 ? 1 : 0);
   }
@@ -301,7 +317,7 @@ void NodeRuntime::MainLoop() {
   done.from = id_;
   cluster_->Broadcast(done, /*except=*/id_);
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(&state_mu_);
     done_nodes_.insert(id_);
   }
   PerformWorkStealing();
@@ -335,12 +351,12 @@ void NodeRuntime::ExecuteQuery(int query_id) {
         options_.threshold_model->PredictThreshold(initial_bsf));
   }
   {
-    std::lock_guard<std::mutex> lock(exec_mu_);
+    MutexLock lock(&exec_mu_);
     running_execs_.push_back({query_id, &exec});
   }
   exec.Run(options_.use_executor ? workers_.get() : nullptr);
   {
-    std::lock_guard<std::mutex> lock(exec_mu_);
+    MutexLock lock(&exec_mu_);
     for (auto it = running_execs_.begin(); it != running_execs_.end(); ++it) {
       if (it->second == &exec) {
         running_execs_.erase(it);
@@ -350,7 +366,7 @@ void NodeRuntime::ExecuteQuery(int query_id) {
   }
   SendLocalAnswer(query_id, exec.results().SortedResults());
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     ++batch_stats_.queries_executed;
     batch_stats_.busy_seconds += watch.ElapsedSeconds();
   }
@@ -367,7 +383,7 @@ void NodeRuntime::PerformWorkStealing() {
   for (;;) {
     std::vector<int> peers;
     {
-      std::lock_guard<std::mutex> lock(state_mu_);
+      MutexLock lock(&state_mu_);
       for (int n : group) {
         if (n != id_ && done_nodes_.count(n) == 0) peers.push_back(n);
       }
@@ -375,7 +391,7 @@ void NodeRuntime::PerformWorkStealing() {
     const int victim = ChooseStealVictim(peers, &rng_state);
     if (victim < 0) return;  // every group peer is done
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       ++batch_stats_.steal_attempts;
     }
     Message request;
@@ -384,8 +400,8 @@ void NodeRuntime::PerformWorkStealing() {
     cluster_->Send(victim, std::move(request));
     Message reply;
     {
-      std::unique_lock<std::mutex> lock(state_mu_);
-      state_cv_.wait(lock, [this] { return !steal_replies_.empty(); });
+      MutexLock lock(&state_mu_);
+      while (steal_replies_.empty()) state_cv_.Wait(&state_mu_);
       reply = std::move(steal_replies_.front());
       steal_replies_.pop_front();
     }
@@ -394,15 +410,18 @@ void NodeRuntime::PerformWorkStealing() {
       // the comms thread on protocol progress (a peer finishing, a reply
       // landing) instead of sleeping blind, so an idle node reacts to
       // mailbox arrivals immediately and burns no CPU in between.
-      std::unique_lock<std::mutex> lock(state_mu_);
+      MutexLock lock(&state_mu_);
       const uint64_t seen = state_version_;
-      state_cv_.wait_for(
-          lock, std::chrono::microseconds(options_.worksteal.retry_backoff_us),
-          [this, seen] { return state_version_ != seen; });
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.worksteal.retry_backoff_us);
+      while (state_version_ == seen) {
+        if (state_cv_.WaitUntil(&state_mu_, deadline)) break;
+      }
       continue;
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       ++batch_stats_.successful_steals;
     }
     RunStolenWork(reply);
@@ -440,13 +459,13 @@ void NodeRuntime::RunStolenWork(const Message& reply) {
   exec.RunBatchSubset(reply.batch_ids,
                       options_.use_executor ? workers_.get() : nullptr);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     batch_stats_.batches_stolen_run +=
         static_cast<int>(reply.batch_ids.size());
   }
   SendLocalAnswer(query_id, exec.results().SortedResults());
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     batch_stats_.busy_seconds += watch.ElapsedSeconds();
   }
 }

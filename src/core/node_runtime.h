@@ -13,18 +13,24 @@
 /// across batches: StartBatch/JoinBatch are cheap epoch transitions, and
 /// the query hot path spawns zero threads (asserted through
 /// executor_stats::ThreadsSpawned).
+///
+/// Locking discipline (machine-checked by -Wthread-safety; the full
+/// capability table lives in ARCHITECTURE.md): five mutexes with disjoint
+/// responsibilities — epoch_mu_ (epoch transitions), state_mu_ (comms/main
+/// protocol state), inflight_mu_ (admission control), exec_mu_ (the
+/// steal-victim execution list) and stats_mu_ (batch counters). The only
+/// nesting is exec_mu_ -> stats_mu_ (HandleStealRequest records what it
+/// gave away); nothing acquires exec_mu_ while holding stats_mu_.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <set>
-#include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/common/thread_pool.h"
 #include "src/core/replication.h"
 #include "src/core/scheduler.h"
@@ -49,8 +55,8 @@ struct NodeBatchOptions {
   /// baseline.
   bool share_bsf = true;
   /// Run query phases on the node's persistent worker pool (zero thread
-  /// creation per query). Off = legacy per-query std::thread spawning,
-  /// kept for the pooled-vs-legacy benchmarks.
+  /// creation per query). Off = legacy per-query thread spawning, kept for
+  /// the pooled-vs-legacy benchmarks.
   bool use_executor = true;
   /// Maximum queries this node runs concurrently on its pool (>= 1). The
   /// streaming path raises it so a node with idle workers admits the next
@@ -129,9 +135,12 @@ class NodeRuntime {
   /// Waits for the current epoch to finish (after the driver's kShutdown).
   /// The persistent threads stay parked for the next StartBatch; they are
   /// joined only by the destructor.
-  void JoinBatch();
+  void JoinBatch() ODYSSEY_EXCLUDES(epoch_mu_);
 
-  const NodeBatchStats& batch_stats() const { return batch_stats_; }
+  /// Snapshot of the current batch's counters. Taken under stats_mu_, so
+  /// it is safe to call while an epoch is still running (the driver reads
+  /// it only after JoinBatch, when the numbers are final).
+  NodeBatchStats batch_stats() const ODYSSEY_EXCLUDES(stats_mu_);
 
  private:
   /// Creates the persistent comms/main threads and the worker pool on
@@ -143,12 +152,20 @@ class NodeRuntime {
   void CommsLoop();
   void MainLoop();
   void ExecuteQuery(int query_id);
-  void HandleStealRequest(int thief);
+  void HandleStealRequest(int thief) ODYSSEY_EXCLUDES(exec_mu_, stats_mu_);
   void PerformWorkStealing();
   void RunStolenWork(const Message& reply);
   void SendLocalAnswer(int query_id, const std::vector<Neighbor>& local);
   /// Next query to run, or -1 when the batch is exhausted. Blocks.
-  int NextQuery();
+  int NextQuery() ODYSSEY_EXCLUDES(state_mu_);
+
+  /// True when no epoch is running (both persistent loops have finished
+  /// the last started epoch) — the StartBatch precondition and the
+  /// JoinBatch wait condition.
+  bool EpochIdleLocked() const ODYSSEY_REQUIRES(epoch_mu_);
+  /// Records protocol progress (a peer finishing, a steal reply landing):
+  /// bumps state_version_ and wakes the steal loop's backoff wait.
+  void NoteProtocolProgressLocked() ODYSSEY_REQUIRES(state_mu_);
 
   const int id_;
   const ReplicationLayout layout_;
@@ -164,46 +181,57 @@ class NodeRuntime {
 
   // Persistent executor: comms/main threads park between epochs; workers_
   // serves the query phases (and in-flight orchestration) of every batch.
-  std::thread comms_thread_;
-  std::thread main_thread_;
+  // The thread handles and workers_ are mutated only by EnsureExecutor and
+  // the destructor, both driver-side between epochs.
+  CountedThread comms_thread_;
+  CountedThread main_thread_;
   std::unique_ptr<ThreadPool> workers_;
-  std::mutex epoch_mu_;
-  std::condition_variable epoch_cv_;
-  uint64_t epochs_started_ = 0;   // guarded by epoch_mu_
-  uint64_t comms_epochs_done_ = 0;
-  uint64_t main_epochs_done_ = 0;
-  bool stopping_ = false;
+  Mutex epoch_mu_;
+  CondVar epoch_cv_;
+  uint64_t epochs_started_ ODYSSEY_GUARDED_BY(epoch_mu_) = 0;
+  uint64_t comms_epochs_done_ ODYSSEY_GUARDED_BY(epoch_mu_) = 0;
+  uint64_t main_epochs_done_ ODYSSEY_GUARDED_BY(epoch_mu_) = 0;
+  bool stopping_ ODYSSEY_GUARDED_BY(epoch_mu_) = false;
 
-  // Per-epoch state.
+  // Per-epoch state: *epoch-owned*, not mutex-guarded. Written by
+  // StartBatch while both persistent loops are parked (asserted against
+  // epochs_started_/\*_epochs_done_), published to them by the epoch_mu_
+  // release in StartBatch's epochs_started_ increment — which each loop
+  // acquires before running — and treated as read-only until the loops
+  // report the epoch done. The analysis cannot express this handoff; the
+  // protocol above is the invariant.
   SimCluster* cluster_ = nullptr;
   const PreparedBatch* queries_ = nullptr;
   NodeBatchOptions options_;
   std::unique_ptr<std::atomic<float>[]> bsf_board_;  // one cell per query
-  NodeBatchStats batch_stats_;
-  std::mutex stats_mu_;  // guards queries_executed/busy_seconds/inflight_hwm
-                         // (written by concurrent in-flight orchestrators)
+
+  // Batch counters, written by concurrent in-flight orchestrators and the
+  // comms thread (batches_given_away).
+  mutable Mutex stats_mu_;
+  NodeBatchStats batch_stats_ ODYSSEY_GUARDED_BY(stats_mu_);
 
   // Scheduling / protocol state shared between the two threads.
-  std::mutex state_mu_;
-  std::condition_variable state_cv_;
-  std::deque<int> assigned_;
-  bool no_more_queries_ = false;
-  std::set<int> done_nodes_;
-  std::deque<Message> steal_replies_;
+  Mutex state_mu_;
+  CondVar state_cv_;
+  std::deque<int> assigned_ ODYSSEY_GUARDED_BY(state_mu_);
+  bool no_more_queries_ ODYSSEY_GUARDED_BY(state_mu_) = false;
+  std::set<int> done_nodes_ ODYSSEY_GUARDED_BY(state_mu_);
+  std::deque<Message> steal_replies_ ODYSSEY_GUARDED_BY(state_mu_);
   /// Bumped by the comms thread on protocol progress (peer done, steal
   /// reply); the steal loop's timed backoff wait wakes on it instead of
   /// sleeping blind.
-  uint64_t state_version_ = 0;
+  uint64_t state_version_ ODYSSEY_GUARDED_BY(state_mu_) = 0;
 
   // In-flight admission (max_inflight > 1).
-  std::mutex inflight_mu_;
-  std::condition_variable inflight_cv_;
-  int inflight_ = 0;
+  Mutex inflight_mu_;
+  CondVar inflight_cv_;
+  int inflight_ ODYSSEY_GUARDED_BY(inflight_mu_) = 0;
 
   // Work-stealing victim side: every currently running own-query execution
   // (several when in-flight admission is on).
-  std::mutex exec_mu_;
-  std::vector<std::pair<int, QueryExecution*>> running_execs_;
+  Mutex exec_mu_ ODYSSEY_ACQUIRED_BEFORE(stats_mu_);
+  std::vector<std::pair<int, QueryExecution*>> running_execs_
+      ODYSSEY_GUARDED_BY(exec_mu_);
 };
 
 }  // namespace odyssey

@@ -278,25 +278,28 @@ StatusOr<SeriesCollection> IngestFile(const std::string& path,
 
 ChunkPrefetcher::ChunkPrefetcher(SeriesIngestor* source) : source_(source) {
   ODYSSEY_CHECK(source != nullptr);
-  puller_ = std::thread([this] { PullLoop(); });
+  // CountedThread folds the puller into executor_stats::ThreadsSpawned —
+  // this spawn used to be invisible to the accounting, understating the
+  // streaming build's thread cost by one per prefetcher.
+  puller_ = CountedThread([this] { PullLoop(); });
 }
 
 ChunkPrefetcher::~ChunkPrefetcher() {
   // Cancel rather than drain: at most the pull already in flight finishes;
   // an early-aborting consumer must not pay for reading the whole archive.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     cancelled_ = true;
-    slot_emptied_.notify_all();
+    slot_emptied_.SignalAll();
   }
-  if (puller_.joinable()) puller_.join();
+  if (puller_.joinable()) puller_.Join();
 }
 
 void ChunkPrefetcher::PullLoop() {
   Stopwatch watch;
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (cancelled_) {
         finished_ = true;
         return;
@@ -306,9 +309,9 @@ void ChunkPrefetcher::PullLoop() {
     StatusOr<SeriesCollection> chunk = source_->NextChunk();
     const double pulled = watch.ElapsedSeconds();
     const bool terminal = !chunk.ok() || chunk->empty();
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pull_seconds_ += pulled;
-    slot_emptied_.wait(lock, [this] { return !has_chunk_ || cancelled_; });
+    while (has_chunk_ && !cancelled_) slot_emptied_.Wait(&mu_);
     if (cancelled_) {
       finished_ = true;
       return;
@@ -317,15 +320,15 @@ void ChunkPrefetcher::PullLoop() {
     slot_ = std::move(chunk);
     has_chunk_ = true;
     if (terminal) finished_ = true;
-    slot_filled_.notify_all();
+    slot_filled_.SignalAll();
     if (terminal) return;
   }
 }
 
 StatusOr<SeriesCollection> ChunkPrefetcher::Next() {
   Stopwatch watch;
-  std::unique_lock<std::mutex> lock(mu_);
-  slot_filled_.wait(lock, [this] { return has_chunk_ || finished_; });
+  MutexLock lock(&mu_);
+  while (!has_chunk_ && !finished_) slot_filled_.Wait(&mu_);
   wait_seconds_ += watch.ElapsedSeconds();
   if (!has_chunk_) {
     // The terminal chunk was already consumed: keep mirroring NextChunk,
@@ -336,17 +339,17 @@ StatusOr<SeriesCollection> ChunkPrefetcher::Next() {
   }
   StatusOr<SeriesCollection> chunk = std::move(slot_);
   has_chunk_ = false;
-  slot_emptied_.notify_all();
+  slot_emptied_.SignalAll();
   return chunk;
 }
 
 double ChunkPrefetcher::pull_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pull_seconds_;
 }
 
 double ChunkPrefetcher::overlap_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pull_seconds_ > wait_seconds_ ? pull_seconds_ - wait_seconds_ : 0.0;
 }
 

@@ -1,15 +1,13 @@
 #ifndef ODYSSEY_DATASET_INGEST_H_
 #define ODYSSEY_DATASET_INGEST_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 #include "src/dataset/mapped_file.h"
 #include "src/dataset/series_collection.h"
 
@@ -152,32 +150,38 @@ class ChunkPrefetcher {
   /// SeriesIngestor::NextChunk: an empty collection signals end of archive,
   /// and after an error every further Next() re-reports that error (a
   /// partially read archive never masquerades as a complete one).
-  StatusOr<SeriesCollection> Next();
+  StatusOr<SeriesCollection> Next() ODYSSEY_EXCLUDES(mu_);
 
   /// Total wall seconds the background thread spent inside NextChunk — the
   /// streaming build's ingest_seconds when prefetching.
-  double pull_seconds() const;
+  double pull_seconds() const ODYSSEY_EXCLUDES(mu_);
   /// Seconds of pulling that overlapped the consumer (pull time the
   /// consumer never waited for): pull_seconds() minus the time Next()
   /// spent blocked.
-  double overlap_seconds() const;
+  double overlap_seconds() const ODYSSEY_EXCLUDES(mu_);
 
  private:
-  void PullLoop();
+  void PullLoop() ODYSSEY_EXCLUDES(mu_);
 
   SeriesIngestor* const source_;
-  std::thread puller_;
+  CountedThread puller_;
 
-  mutable std::mutex mu_;
-  std::condition_variable slot_filled_;
-  std::condition_variable slot_emptied_;
-  bool has_chunk_ = false;     // slot_ holds an unconsumed result
-  bool finished_ = false;      // puller exited (EOF, error, or cancelled)
-  bool cancelled_ = false;     // destructor ran: stop pulling
-  StatusOr<SeriesCollection> slot_ = SeriesCollection(1);
-  Status terminal_error_ = Status::Ok();  // sticky error for re-reporting
-  double pull_seconds_ = 0.0;
-  double wait_seconds_ = 0.0;  // time Next() spent blocked on the slot
+  // One mutex guards the whole slot protocol; the two condvars split the
+  // wake directions (producer waits on slot_emptied_, consumer on
+  // slot_filled_) so neither side's Signal wakes the wrong party.
+  mutable Mutex mu_;
+  CondVar slot_filled_;
+  CondVar slot_emptied_;
+  bool has_chunk_ ODYSSEY_GUARDED_BY(mu_) = false;  // slot_ unconsumed
+  bool finished_ ODYSSEY_GUARDED_BY(mu_) = false;   // puller exited
+  bool cancelled_ ODYSSEY_GUARDED_BY(mu_) = false;  // dtor ran: stop pulling
+  StatusOr<SeriesCollection> slot_ ODYSSEY_GUARDED_BY(mu_) =
+      SeriesCollection(1);
+  /// Sticky error for re-reporting after a failed pull.
+  Status terminal_error_ ODYSSEY_GUARDED_BY(mu_) = Status::Ok();
+  double pull_seconds_ ODYSSEY_GUARDED_BY(mu_) = 0.0;
+  /// Time Next() spent blocked on the slot.
+  double wait_seconds_ ODYSSEY_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace odyssey

@@ -4,7 +4,6 @@
 #include <barrier>
 #include <cmath>
 #include <limits>
-#include <thread>
 
 #include "src/common/check.h"
 #include "src/common/math_utils.h"
@@ -34,7 +33,7 @@ bool AtomicFetchMinFloat(std::atomic<float>* cell, float value) {
 KnnSet::KnnSet(int k) : k_(k), threshold_(kInf) { ODYSSEY_CHECK(k >= 1); }
 
 bool KnnSet::Offer(float squared_distance, uint32_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto compare = [](const Neighbor& a, const Neighbor& b) {
     return a.squared_distance < b.squared_distance;
   };
@@ -63,7 +62,7 @@ bool KnnSet::Offer(float squared_distance, uint32_t id) {
 }
 
 std::vector<Neighbor> KnnSet::SortedResults() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<Neighbor> out = heap_;
   std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
     return a.squared_distance < b.squared_distance;
@@ -85,7 +84,7 @@ struct QueryExecution::QueueBuilder {
   }
   void Seal() {
     if (current == nullptr || current->empty()) return;
-    std::lock_guard<std::mutex> lock(batch->mu);
+    MutexLock lock(&batch->mu);
     batch->queues.push_back(std::move(current));
   }
 };
@@ -157,7 +156,7 @@ void QueryExecution::RunBatchSubset(const std::vector<int>& batch_ids,
 void QueryExecution::ArmBatches(const std::vector<int>& batch_ids) {
   // (Re)arm the traversal state for this subset. Batch objects are indexed
   // by global batch id so steal replies stay meaningful.
-  std::lock_guard<std::mutex> lock(steal_mu_);
+  MutexLock lock(&steal_mu_);
   batches_.clear();
   batches_.resize(batch_ranges_.size());
   for (int id : batch_ids) {
@@ -175,16 +174,25 @@ void QueryExecution::ArmBatches(const std::vector<int>& batch_ids) {
 }
 
 void QueryExecution::TraversalPhase() {
+  // Snapshot the armed subset once per worker; the batch objects are then
+  // claimed through their own atomic cursors, lock-free. ArmBatches never
+  // runs concurrently with a phase (RunWorkers arms before submitting
+  // workers), so the snapshot cannot go stale.
+  std::vector<RsBatch*> armed;
+  {
+    MutexLock lock(&steal_mu_);
+    armed.reserve(active_batch_ids_.size());
+    for (int id : active_batch_ids_) armed.push_back(batches_[id].get());
+  }
   // --- Phase 1: tree traversal over RS-batches (Fetch&Add claims). ---
   for (;;) {
     const size_t i = batch_cursor_.fetch_add(1, std::memory_order_acq_rel);
-    if (i >= active_batch_ids_.size()) break;
-    TraverseBatch(batches_[active_batch_ids_[i]].get());
+    if (i >= armed.size()) break;
+    TraverseBatch(armed[i]);
   }
   // Helping: join batches that are still incomplete, at most
   // help_threshold helpers per batch.
-  for (int id : active_batch_ids_) {
-    RsBatch* batch = batches_[id].get();
+  for (RsBatch* batch : armed) {
     if (!batch->complete() &&
         batch->helped.fetch_add(1, std::memory_order_acq_rel) <
             options_.help_threshold) {
@@ -195,10 +203,15 @@ void QueryExecution::TraversalPhase() {
 
 void QueryExecution::PreprocessQueues() {
   // --- Phase 2: priority-queue preprocessing (one thread only). ---
+  // Held across the whole phase: it reads the armed subset, drains each
+  // batch's queue list, and publishes the sorted array. StealBatches
+  // blocking for its duration is correct — stealing is only legal in
+  // kProcessing, which this phase ends by entering.
+  MutexLock lock(&steal_mu_);
   std::vector<std::pair<float, std::pair<BoundedPq*, int>>> sortable;
   for (int id : active_batch_ids_) {
     RsBatch* batch = batches_[id].get();
-    std::lock_guard<std::mutex> lock(batch->mu);
+    MutexLock batch_lock(&batch->mu);
     for (auto& q : batch->queues) {
       if (q->empty()) continue;
       sortable.push_back({q->MinLowerBound(), {q.get(), id}});
@@ -206,7 +219,6 @@ void QueryExecution::PreprocessQueues() {
   }
   std::sort(sortable.begin(), sortable.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::lock_guard<std::mutex> lock(steal_mu_);
   pq_refs_.clear();
   pq_refs_.reserve(sortable.size());
   stat_queue_sizes_.clear();
@@ -223,12 +235,21 @@ void QueryExecution::PreprocessQueues() {
 }
 
 void QueryExecution::ProcessingPhase() {
+  // Snapshot the sorted queue array once per worker (see TraversalPhase);
+  // the PqRef objects themselves are stable for the phase and carry the
+  // atomic `stolen` flag the work-stealing manager flips under steal_mu_.
+  std::vector<PqRef*> refs;
+  {
+    MutexLock lock(&steal_mu_);
+    refs.reserve(pq_refs_.size());
+    for (const auto& r : pq_refs_) refs.push_back(r.get());
+  }
   // --- Phase 3: priority-queue processing (Fetch&Add claims). ---
   for (;;) {
     const size_t i = pq_cursor_.fetch_add(1, std::memory_order_acq_rel);
-    if (i >= pq_refs_.size()) break;
-    if (pq_refs_[i]->stolen.load(std::memory_order_acquire)) continue;
-    ProcessQueue(pq_refs_[i]->queue);
+    if (i >= refs.size()) break;
+    if (refs[i]->stolen.load(std::memory_order_acquire)) continue;
+    ProcessQueue(refs[i]->queue);
   }
 }
 
@@ -262,9 +283,8 @@ void QueryExecution::RunWorkers(const std::vector<int>& batch_ids,
   } else {
     // Legacy path: spawn-and-join per call, with in-thread barriers between
     // the phases — the per-query-spawn baseline the executor benchmarks
-    // against. The spawns are counted so tests can assert the hot path
-    // stays at zero.
-    executor_stats::CountThreadsSpawned(static_cast<uint64_t>(num_threads));
+    // against. CountedThread counts the spawns so tests can assert the hot
+    // path stays at zero.
     std::barrier barrier(num_threads);
     auto worker = [&](int tid) {
       TraversalPhase();
@@ -273,14 +293,16 @@ void QueryExecution::RunWorkers(const std::vector<int>& batch_ids,
       barrier.arrive_and_wait();
       ProcessingPhase();
     };
-    std::vector<std::thread> threads;
+    std::vector<CountedThread> threads;
     threads.reserve(num_threads);
-    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
-    for (auto& t : threads) t.join();
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&worker, t] { worker(t); });
+    }
+    for (auto& t : threads) t.Join();
   }
 
   {
-    std::lock_guard<std::mutex> lock(steal_mu_);
+    MutexLock lock(&steal_mu_);
     phase_.store(static_cast<int>(Phase::kDone), std::memory_order_release);
   }
   stat_elapsed_seconds_ += watch.ElapsedSeconds();
@@ -388,7 +410,7 @@ float QueryExecution::RealDistance(const float* series,
 }
 
 std::vector<int> QueryExecution::StealBatches(int nsend) {
-  std::lock_guard<std::mutex> lock(steal_mu_);
+  MutexLock lock(&steal_mu_);
   std::vector<int> given;
   if (phase_.load(std::memory_order_acquire) !=
       static_cast<int>(Phase::kProcessing)) {
@@ -447,8 +469,11 @@ QueryStats QueryExecution::stats() const {
   stats.leaves_inserted = stat_leaves_inserted_.load();
   stats.leaves_processed = stat_leaves_processed_.load();
   stats.real_distances = stat_real_distances_.load();
-  stats.queue_count = stat_queue_sizes_.size();
-  stats.median_queue_size = Median(stat_queue_sizes_);
+  {
+    MutexLock lock(&steal_mu_);
+    stats.queue_count = stat_queue_sizes_.size();
+    stats.median_queue_size = Median(stat_queue_sizes_);
+  }
   stats.elapsed_seconds = stat_elapsed_seconds_;
   return stats;
 }

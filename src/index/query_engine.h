@@ -4,10 +4,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/distance/lb_keogh.h"
 #include "src/distance/simd.h"
 #include "src/index/approx_search.h"
@@ -38,9 +38,10 @@ class KnnSet {
 
   /// Offers a candidate; returns true if it entered the set (and therefore
   /// possibly lowered the threshold).
-  bool Offer(float squared_distance, uint32_t id);
+  bool Offer(float squared_distance, uint32_t id) ODYSSEY_EXCLUDES(mu_);
 
-  /// Current pruning threshold (squared).
+  /// Current pruning threshold (squared). Lock-free: the scan loop reads it
+  /// per candidate and must not contend with Offer.
   float Threshold() const {
     return threshold_.load(std::memory_order_acquire);
   }
@@ -48,15 +49,16 @@ class KnnSet {
   int k() const { return k_; }
 
   /// Results sorted by ascending distance (at most k entries).
-  std::vector<Neighbor> SortedResults() const;
+  std::vector<Neighbor> SortedResults() const ODYSSEY_EXCLUDES(mu_);
 
  private:
   const int k_;
-  mutable std::mutex mu_;
-  std::vector<Neighbor> heap_;  // max-heap on squared_distance
+  mutable Mutex mu_;
+  /// Max-heap on squared_distance.
+  std::vector<Neighbor> heap_ ODYSSEY_GUARDED_BY(mu_);
   /// Ids currently in the heap, so Offer's duplicate check is O(1) instead
   /// of an O(k) scan under the mutex for every candidate.
-  std::unordered_set<uint32_t> ids_;
+  std::unordered_set<uint32_t> ids_ ODYSSEY_GUARDED_BY(mu_);
   std::atomic<float> threshold_;
 };
 
@@ -171,13 +173,13 @@ class QueryExecution {
   /// Take-Away property, marks their queues stolen, and returns their ids.
   /// Returns an empty vector outside the PQ-processing phase. Thread-safe
   /// with respect to the running workers.
-  std::vector<int> StealBatches(int nsend);
+  std::vector<int> StealBatches(int nsend) ODYSSEY_EXCLUDES(steal_mu_);
 
   /// Total number of RS-batches (same on every replica).
   size_t batch_count() const { return batch_ranges_.size(); }
 
   const KnnSet& results() const { return knn_; }
-  QueryStats stats() const;
+  QueryStats stats() const ODYSSEY_EXCLUDES(steal_mu_);
 
  private:
   enum class Phase { kInit, kTraversal, kProcessing, kDone };
@@ -191,15 +193,21 @@ class QueryExecution {
   /// Worker-thread-local bounded-queue builder for one batch.
   struct QueueBuilder;
 
-  void RunWorkers(const std::vector<int>& batch_ids, ThreadPool* pool);
+  void RunWorkers(const std::vector<int>& batch_ids, ThreadPool* pool)
+      ODYSSEY_EXCLUDES(steal_mu_);
   /// Arms batches_/cursors for `batch_ids` and enters Phase::kTraversal.
-  void ArmBatches(const std::vector<int>& batch_ids);
-  /// Phase 1 worker body: Fetch&Add batch claims, then helping.
-  void TraversalPhase();
+  void ArmBatches(const std::vector<int>& batch_ids)
+      ODYSSEY_EXCLUDES(steal_mu_);
+  /// Phase 1 worker body: Fetch&Add batch claims, then helping. Snapshots
+  /// the armed batch set under steal_mu_ at entry; the claim loop itself
+  /// holds no lock (batches are claimed through their atomic cursors).
+  void TraversalPhase() ODYSSEY_EXCLUDES(steal_mu_);
   /// Phase 2 (single-threaded): sorts the queue array, enters kProcessing.
-  void PreprocessQueues();
+  void PreprocessQueues() ODYSSEY_EXCLUDES(steal_mu_);
   /// Phase 3 worker body: Fetch&Add queue claims, skipping stolen ones.
-  void ProcessingPhase();
+  /// Snapshots the sorted queue array under steal_mu_ at entry, like
+  /// TraversalPhase.
+  void ProcessingPhase() ODYSSEY_EXCLUDES(steal_mu_);
   void TraverseBatch(RsBatch* batch);
   void TraverseNode(const TreeNode* node, QueueBuilder* builder);
   void ProcessQueue(BoundedPq* queue);
@@ -227,18 +235,24 @@ class QueryExecution {
 
   bool seeded_ = false;  // SeedInitialBsf happened
 
-  // RS-batch state. batch_ranges_ is identical across replicas; batches_
-  // holds the live traversal state of the currently running subset.
+  // RS-batch state. batch_ranges_ is identical across replicas and
+  // immutable after the constructor. Everything the phase transitions
+  // rewrite — the live batch objects, the armed subset, the sorted queue
+  // array and the per-batch stolen flags — sits under steal_mu_: phase
+  // entry/exit and the work-stealing manager take the mutex, while the
+  // phase bodies run against pointer snapshots taken under it (the batch
+  // and queue objects themselves are claimed via atomic cursors).
   std::vector<std::pair<size_t, size_t>> batch_ranges_;
-  std::vector<std::unique_ptr<RsBatch>> batches_;  // indexed by batch id
+  mutable Mutex steal_mu_;
+  std::vector<std::unique_ptr<RsBatch>> batches_  // indexed by batch id
+      ODYSSEY_GUARDED_BY(steal_mu_);
   std::atomic<size_t> batch_cursor_{0};
-  std::vector<int> active_batch_ids_;
+  std::vector<int> active_batch_ids_ ODYSSEY_GUARDED_BY(steal_mu_);
 
   // Sorted priority-queue array (phase 2 output) and processing cursor.
-  std::vector<std::unique_ptr<PqRef>> pq_refs_;
+  std::vector<std::unique_ptr<PqRef>> pq_refs_ ODYSSEY_GUARDED_BY(steal_mu_);
   std::atomic<size_t> pq_cursor_{0};
-  std::vector<bool> batch_stolen_;  // guarded by steal_mu_
-  std::mutex steal_mu_;
+  std::vector<bool> batch_stolen_ ODYSSEY_GUARDED_BY(steal_mu_);
   std::atomic<int> phase_{static_cast<int>(Phase::kInit)};
 
   KnnSet knn_;
@@ -248,7 +262,7 @@ class QueryExecution {
   std::atomic<size_t> stat_real_distances_{0};
   double stat_initial_bsf_ = 0.0;
   double stat_elapsed_seconds_ = 0.0;
-  std::vector<double> stat_queue_sizes_;
+  std::vector<double> stat_queue_sizes_ ODYSSEY_GUARDED_BY(steal_mu_);
 };
 
 /// Convenience builders tying PreparedQuery/PreparedBatch to QueryOptions:

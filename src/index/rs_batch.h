@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/index/pqueue.h"
 
 namespace odyssey {
@@ -29,9 +29,9 @@ struct RsBatch {
   /// Number of helper threads that joined this batch (bounded by HelpTH).
   std::atomic<int> helped{0};
 
-  /// Sealed priority queues produced for this batch (guarded by mu).
-  std::mutex mu;
-  std::vector<std::unique_ptr<BoundedPq>> queues;
+  /// Sealed priority queues produced for this batch.
+  Mutex mu;
+  std::vector<std::unique_ptr<BoundedPq>> queues ODYSSEY_GUARDED_BY(mu);
 
   size_t root_count() const { return end_root - begin_root; }
   bool complete() const {

@@ -1,44 +1,50 @@
 #include "src/net/mailbox.h"
 
+#include <utility>
+
 namespace odyssey {
 
 void Mailbox::Send(Message message) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(message));
   }
-  cv_.notify_one();
+  cv_.Signal();
 }
 
-Message Mailbox::Receive() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !queue_.empty(); });
+Message Mailbox::PopLocked() {
   Message message = std::move(queue_.front());
   queue_.pop_front();
   return message;
 }
 
+Message Mailbox::Receive() {
+  MutexLock lock(&mu_);
+  while (queue_.empty()) cv_.Wait(&mu_);
+  return PopLocked();
+}
+
 bool Mailbox::TryReceive(Message* message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (queue_.empty()) return false;
-  *message = std::move(queue_.front());
-  queue_.pop_front();
+  *message = PopLocked();
   return true;
 }
 
 bool Mailbox::ReceiveFor(std::chrono::microseconds timeout,
                          Message* message) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!cv_.wait_for(lock, timeout, [this] { return !queue_.empty(); })) {
-    return false;
+  MutexLock lock(&mu_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (queue_.empty()) {
+    if (cv_.WaitUntil(&mu_, deadline)) break;  // deadline passed
   }
-  *message = std::move(queue_.front());
-  queue_.pop_front();
+  if (queue_.empty()) return false;
+  *message = PopLocked();
   return true;
 }
 
 size_t Mailbox::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 

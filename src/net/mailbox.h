@@ -2,10 +2,9 @@
 #define ODYSSEY_NET_MAILBOX_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 
+#include "src/common/sync.h"
 #include "src/net/message.h"
 
 namespace odyssey {
@@ -21,25 +20,29 @@ class Mailbox {
   Mailbox& operator=(const Mailbox&) = delete;
 
   /// Enqueues a message. Thread-safe; never blocks.
-  void Send(Message message);
+  void Send(Message message) ODYSSEY_EXCLUDES(mu_);
 
   /// Blocks until a message is available and returns it.
-  Message Receive();
+  Message Receive() ODYSSEY_EXCLUDES(mu_);
 
   /// Non-blocking receive; returns false when the mailbox is empty.
-  bool TryReceive(Message* message);
+  bool TryReceive(Message* message) ODYSSEY_EXCLUDES(mu_);
 
   /// Receives with a deadline; returns false on timeout. Lets the
   /// coordinator interleave message handling with wall-clock work (e.g.
   /// releasing dynamically arriving queries).
-  bool ReceiveFor(std::chrono::microseconds timeout, Message* message);
+  bool ReceiveFor(std::chrono::microseconds timeout, Message* message)
+      ODYSSEY_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const ODYSSEY_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  /// Dequeues the oldest message; the queue must be non-empty.
+  Message PopLocked() ODYSSEY_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Message> queue_ ODYSSEY_GUARDED_BY(mu_);
 };
 
 }  // namespace odyssey

@@ -270,15 +270,25 @@ TEST(AnswerStreamExecutorTest, OnlineAdmissionMatchesBatchAnswers) {
   for (size_t q = 0; q < queries.size(); ++q) {
     arrivals[q] = 1e-4 * static_cast<double>(q);
   }
-  summary_stats::Reset();
-  const BatchReport stream = cluster.AnswerStream(queries, arrivals);
-  // Arrival-time preparation still summarizes each query exactly once.
-  EXPECT_EQ(summary_stats::PaaCalls(), queries.size());
-  EXPECT_EQ(summary_stats::SaxCalls(), queries.size());
-  // Every admission after the first overlapped with execution.
+  // The overlap gauge samples `executing_queries` around each admission,
+  // so on a heavily loaded machine every admission can legitimately land
+  // in a gap where nothing is mid-execution and the gauge reads zero. The
+  // invariant checks run on every attempt; only the timing-sensitive
+  // overlap expectation gets a bounded retry.
+  BatchReport stream;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    summary_stats::Reset();
+    stream = cluster.AnswerStream(queries, arrivals);
+    // Arrival-time preparation still summarizes each query exactly once.
+    EXPECT_EQ(summary_stats::PaaCalls(), queries.size());
+    EXPECT_EQ(summary_stats::SaxCalls(), queries.size());
+    EXPECT_GE(stream.queries_in_flight_hwm, 1);
+    EXPECT_LE(stream.queries_in_flight_hwm, options.stream_max_inflight);
+    if (stream.prep_overlap_seconds > 0.0) break;
+  }
+  // Admissions after the first overlapped with execution in at least one
+  // attempt.
   EXPECT_GT(stream.prep_overlap_seconds, 0.0);
-  EXPECT_GE(stream.queries_in_flight_hwm, 1);
-  EXPECT_LE(stream.queries_in_flight_hwm, options.stream_max_inflight);
 
   const BatchReport batch = cluster.AnswerBatch(queries);
   ASSERT_EQ(stream.answers.size(), batch.answers.size());

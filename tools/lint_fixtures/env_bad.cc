@@ -1,0 +1,8 @@
+// Fixture: reads an ODYSSEY_* environment variable that the fixture
+// registry (README_registry.md) does not document. The env-registry rule
+// must flag it. Never compiled.
+#include <cstdlib>
+
+const char* Undocumented() {
+  return std::getenv("ODYSSEY_SECRET_KNOB");  // <- not in the registry
+}

@@ -1,0 +1,8 @@
+// Fixture: reads only environment variables documented in the fixture
+// registry (README_registry.md). The env-registry rule must flag nothing.
+// Never compiled.
+#include <cstdlib>
+
+const char* Documented() {
+  return std::getenv("ODYSSEY_DOCUMENTED_KNOB");
+}

@@ -1,0 +1,9 @@
+// Fixture: raw std locking primitives outside sync.{h,cc}. The raw-mutex
+// rule must flag them. Never compiled.
+#include <mutex>
+
+std::mutex g_mu;  // <- naked mutex
+
+void Locked() {
+  std::lock_guard<std::mutex> lock(g_mu);  // <- unannotated guard
+}

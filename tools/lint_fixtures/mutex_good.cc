@@ -1,0 +1,16 @@
+// Fixture: locking through the annotated wrappers plus lookalike names the
+// raw-mutex rule must NOT flag (comments are stripped; Mutex/MutexLock are
+// the sanctioned layer). Never compiled.
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex*) {}
+};
+
+Mutex g_mu;
+
+void Locked() {
+  MutexLock lock(&g_mu);
+  // std::mutex named in a comment only — comments are stripped.
+}

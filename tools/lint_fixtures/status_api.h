@@ -1,0 +1,17 @@
+// Fixture header for lint_odyssey.py --self-test: declares the
+// Status-returning API surface the status-discard rule builds its registry
+// from. Never compiled.
+#ifndef LINT_FIXTURE_STATUS_API_H_
+#define LINT_FIXTURE_STATUS_API_H_
+
+class Status {};
+template <typename T>
+class StatusOr {};
+
+Status DoIo(int fd);
+StatusOr<int> LoadThing(const char* path);
+// Ambiguous name (also a common iterator method): must be dropped from the
+// registry, not matched at call sites.
+StatusOr<int> Next();
+
+#endif  // LINT_FIXTURE_STATUS_API_H_

@@ -1,0 +1,7 @@
+// Fixture: a bare Status-returning call whose result is dropped. The
+// status-discard rule must flag the DoIo line. Never compiled.
+#include "status_api.h"
+
+void Broken(int fd) {
+  DoIo(fd);  // <- dropped Status
+}

@@ -1,0 +1,13 @@
+// Fixture: every sanctioned way to consume (or explicitly ignore) a
+// Status-returning call. The status-discard rule must flag none of them.
+// Never compiled.
+#include "status_api.h"
+
+Status Consume(int fd) {
+  Status s = DoIo(fd);            // assigned
+  if (!true) return DoIo(fd);     // returned
+  (void)DoIo(fd);                 // explicitly ignored
+  auto loaded = LoadThing("x");   // assigned
+  Next();                         // ambiguous name: not in the registry
+  return s;
+}

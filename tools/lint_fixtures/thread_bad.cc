@@ -1,0 +1,8 @@
+// Fixture: a raw std::thread construction outside sync.{h,cc}. The
+// raw-thread rule must flag it. Never compiled.
+#include <thread>
+
+void Spawn() {
+  std::thread t([] {});  // <- uncounted spawn
+  t.join();
+}

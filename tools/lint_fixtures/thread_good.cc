@@ -1,0 +1,13 @@
+// Fixture: thread-adjacent code that must NOT trip the raw-thread rule —
+// std::this_thread contains the substring "thread" but is not a spawn, and
+// CountedThread is the sanctioned wrapper. Never compiled.
+#include <chrono>
+#include <thread>
+
+class CountedThread {};
+
+void Sleepy() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  CountedThread t;
+  // std::thread mentioned in a comment only — comments are stripped.
+}
