@@ -20,6 +20,7 @@ run-over-run numbers without bespoke parsing.
 import argparse
 import json
 import pathlib
+import re
 import sys
 
 
@@ -52,11 +53,28 @@ def flatten(merged: dict) -> dict:
     return out
 
 
+def align(entries: dict, marker: str) -> dict:
+    """Keep only names containing `marker`, with the marker spliced out.
+
+    Two align() projections of the same run line up panels that differ only
+    by the marker (e.g. `...PerQuery256/3/4` vs `...Batched256/3/4` both
+    become `...256/3/4`), so --diff can gate one benchmark family against
+    another — the batched-vs-per-query win condition — instead of only
+    old-run vs new-run of the same name.
+    """
+    return {name.replace(marker, "", 1): v
+            for name, v in entries.items() if marker in name}
+
+
 def diff(old_path: pathlib.Path, new_path: pathlib.Path,
          fail_above: float | None = None,
-         fail_filter: str = "") -> int:
+         fail_filter: str = "",
+         align_markers: tuple[str, str] | None = None) -> int:
     old = flatten(json.loads(old_path.read_text()))
     new = flatten(json.loads(new_path.read_text()))
+    if align_markers is not None:
+        old = align(old, align_markers[0])
+        new = align(new, align_markers[1])
     common = sorted(set(old) & set(new))
     if not common:
         print("no common benchmarks between the two files", file=sys.stderr)
@@ -72,7 +90,7 @@ def diff(old_path: pathlib.Path, new_path: pathlib.Path,
         print(f"{name:<{width}}  {o / 1e6:>10.3f}  {n / 1e6:>10.3f}  "
               f"{ratio:>5.2f}{flag}")
         if (fail_above is not None and ratio > fail_above
-                and fail_filter in name):
+                and re.search(fail_filter, name)):
             regressions.append((name, ratio))
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))
@@ -85,7 +103,7 @@ def diff(old_path: pathlib.Path, new_path: pathlib.Path,
         # bench that failed to register) must not slip past the gate as a
         # no-op: a regression could hide behind a rename.
         for name in only_old:
-            if fail_filter in name:
+            if re.search(fail_filter, name):
                 regressions.append((name, float("nan")))
                 print(f"gated benchmark missing from {new_path.name}: {name}",
                       file=sys.stderr)
@@ -114,19 +132,30 @@ def main() -> int:
                              "benchmark's new/old real-time ratio exceeds "
                              "RATIO (e.g. 1.10 gates >10%% regressions, the "
                              "PR gate for the build-time series)")
-    parser.add_argument("--fail-filter", default="", metavar="SUBSTR",
+    parser.add_argument("--fail-filter", default="", metavar="REGEX",
                         help="with --fail-above: only benchmarks whose "
-                             "target/name contains SUBSTR count as gate "
+                             "target/name matches REGEX (re.search; plain "
+                             "substrings work unchanged) count as gate "
                              "failures (e.g. 'Build' to gate only the "
                              "build-time series); all ratios are still "
                              "printed")
+    parser.add_argument("--align", nargs=2, metavar=("OLD_MARK", "NEW_MARK"),
+                        default=None,
+                        help="with --diff: compare across benchmark families "
+                             "instead of across runs — keep only old-file "
+                             "names containing OLD_MARK and new-file names "
+                             "containing NEW_MARK, splice the markers out, "
+                             "and diff what lines up (e.g. --align PerQuery "
+                             "Batched on one merged run gates batched "
+                             "kernels against their per-query twins)")
     args = parser.parse_args()
 
     if args.diff:
         if len(args.inputs) != 2:
             parser.error("--diff needs exactly two merged files (old new)")
         return diff(pathlib.Path(args.inputs[0]), pathlib.Path(args.inputs[1]),
-                    args.fail_above, args.fail_filter)
+                    args.fail_above, args.fail_filter,
+                    tuple(args.align) if args.align else None)
 
     if len(args.inputs) != 1:
         parser.error("merge mode needs exactly one input directory")

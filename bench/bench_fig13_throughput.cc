@@ -12,6 +12,13 @@
 //     immediately, nodes running up to `inflight` queries concurrently on
 //     their pools; counters record throughput, prep-overlap seconds and
 //     the in-flight high-water mark.
+//   BM_Fig13d_BatchedScoring/{batched,perquery} — grouped multi-query leaf
+//     scans (ODYSSEY_BATCHED_SCORING path) against the per-query scans of
+//     the same batch on the same cluster; counters record throughput plus
+//     the batched-kernel call count and the candidate reloads the grouped
+//     scan avoided (scan_stats). The gated win condition lives in the
+//     kernel bench (BM_MultiQuery*); this panel shows the end-to-end
+//     effect with real index leaves.
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +26,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/common/rng.h"
 #include "src/common/summary_stats.h"
 
 namespace odyssey {
@@ -102,6 +110,63 @@ void RunStreamOverlap(benchmark::State& state, int inflight) {
   state.counters["inflight_hwm"] = hwm;
 }
 
+// A monitoring-style workload: a few query templates, each issued several
+// times with small jitter (the same event matched against the archive by
+// many stations / repeated alert rules). Co-resident variants of one
+// template walk the same hot leaves, which is exactly the sharing the
+// grouped leaf scan amortizes; the `mixed` variant keeps the diverse
+// Seismic-style batch where sharing is incidental.
+SeriesCollection CorrelatedQueries(const SeriesCollection& data, int templates,
+                                   int repeats, uint64_t seed) {
+  const SeriesCollection base =
+      bench::MixedQueries(data, static_cast<size_t>(templates), seed);
+  SeriesCollection out(data.length());
+  Rng rng(seed + 1);
+  for (int t = 0; t < templates; ++t) {
+    for (int r = 0; r < repeats; ++r) {
+      float* q = out.AppendUninitialized(1);
+      const float* src = base.data(static_cast<size_t>(t));
+      for (size_t i = 0; i < data.length(); ++i) {
+        q[i] = src[i] + 0.05f * static_cast<float>(rng.NextGaussian());
+      }
+    }
+  }
+  return out;
+}
+
+void RunBatchedScoringPanel(benchmark::State& state, bool batched,
+                            bool correlated) {
+  const int queries = 64;
+  const SeriesCollection& data =
+      bench::CachedDataset("Random", bench::Scaled(12000), 256, 21);
+  const SeriesCollection batch =
+      correlated ? CorrelatedQueries(data, /*templates=*/8, /*repeats=*/8, 29)
+                 : bench::MixedQueries(data, queries, 29);
+  // Static scheduling delivers each node's whole share up front, so the
+  // grouped mode can admit up to num_threads co-resident queries per node
+  // and scan shared leaves once per group.
+  OdysseyOptions options = bench::ClusterOptions(
+      256, /*nodes=*/2, /*groups=*/1, SchedulingPolicy::kStatic, true,
+      /*threads_per_node=*/4);
+  options.batched_scoring = batched;
+  OdysseyCluster cluster(data, options);
+  cluster.AnswerBatch(batch);  // Warm-up: persistent executors, page cache.
+  double seconds = 0.0;
+  uint64_t calls = 0, saved = 0;
+  for (auto _ : state) {
+    const uint64_t calls_before = scan_stats::BatchedScoreCalls();
+    const uint64_t saved_before = scan_stats::SeriesLoadsSaved();
+    const BatchReport report = cluster.AnswerBatch(batch);
+    seconds = report.query_seconds;
+    calls = scan_stats::BatchedScoreCalls() - calls_before;
+    saved = scan_stats::SeriesLoadsSaved() - saved_before;
+  }
+  state.counters["throughput_qps"] =
+      seconds > 0.0 ? static_cast<double>(queries) / seconds : 0.0;
+  state.counters["batched_calls"] = static_cast<double>(calls);
+  state.counters["loads_saved"] = static_cast<double>(saved);
+}
+
 void RegisterAll() {
   for (int queries : {25, 50, 100, 200}) {
     for (int nodes : {1, 2, 4, 8}) {
@@ -134,6 +199,21 @@ void RegisterAll() {
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1)
         ->UseRealTime();
+  }
+  for (bool correlated : {true, false}) {
+    for (bool batched : {true, false}) {
+      benchmark::RegisterBenchmark(
+          (std::string("BM_Fig13d_BatchedScoring/") +
+           (correlated ? "correlated/" : "mixed/") +
+           (batched ? "batched" : "perquery"))
+              .c_str(),
+          [batched, correlated](benchmark::State& s) {
+            RunBatchedScoringPanel(s, batched, correlated);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseRealTime();
+    }
   }
 }
 

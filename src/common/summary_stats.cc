@@ -133,4 +133,35 @@ void AddPrepOverlapSeconds(double seconds) {
 }
 
 }  // namespace executor_stats
+
+namespace scan_stats {
+namespace {
+
+// Incremented once per batched-kernel call (one call covers a whole leaf ×
+// query-group product), not per distance — cheap even on the scan path.
+alignas(64) std::atomic<uint64_t> g_batched_score_calls{0};
+alignas(64) std::atomic<uint64_t> g_series_loads_saved{0};
+
+}  // namespace
+
+uint64_t BatchedScoreCalls() {
+  return g_batched_score_calls.load(std::memory_order_relaxed);
+}
+uint64_t SeriesLoadsSaved() {
+  return g_series_loads_saved.load(std::memory_order_relaxed);
+}
+
+void Reset() {
+  g_batched_score_calls.store(0, std::memory_order_relaxed);
+  g_series_loads_saved.store(0, std::memory_order_relaxed);
+}
+
+void CountBatchedScore(uint64_t q_count) {
+  g_batched_score_calls.fetch_add(1, std::memory_order_relaxed);
+  if (q_count > 1) {
+    g_series_loads_saved.fetch_add(q_count - 1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace scan_stats
 }  // namespace odyssey

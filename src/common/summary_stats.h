@@ -105,6 +105,35 @@ void RecordQueriesInFlight(uint64_t n);
 void AddPrepOverlapSeconds(double seconds);
 
 }  // namespace executor_stats
+
+namespace scan_stats {
+
+/// Process-wide counters of *batched* leaf-scan work — the observability
+/// half of the batched multi-query kernels' amortization promise. When a
+/// grouped execution scores one candidate series against Q >= 2 in-flight
+/// queries with a single batched-kernel call, BatchedScoreCalls() counts
+/// that call and SeriesLoadsSaved() counts the Q - 1 candidate reloads the
+/// per-query path would have paid. Series where only one group member
+/// survives the per-series filters take the per-query kernel instead and
+/// count nothing — the counters record genuine amortization events, not
+/// traffic through the grouped code path. Tests assert the counters move
+/// exactly when ODYSSEY_BATCHED_SCORING is active, and the Fig13
+/// batched-scoring panel reports them next to its throughput numbers.
+///
+/// Same concurrency story as every group in this header: relaxed atomics on
+/// their own cache lines, exact only after the counted activity quiesced.
+
+uint64_t BatchedScoreCalls();
+uint64_t SeriesLoadsSaved();
+
+/// Zeroes both counters (test setup).
+void Reset();
+
+/// Increment hook, called once per batched-kernel call scoring `q_count`
+/// queries.
+void CountBatchedScore(uint64_t q_count);
+
+}  // namespace scan_stats
 }  // namespace odyssey
 
 #endif  // ODYSSEY_COMMON_SUMMARY_STATS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <string>
 #include <thread>  // std::this_thread::sleep_for (arrival pacing)
 #include <unordered_map>
@@ -14,6 +15,11 @@
 #include "src/common/thread_pool.h"
 
 namespace odyssey {
+
+bool DefaultBatchedScoring() {
+  const char* env = std::getenv("ODYSSEY_BATCHED_SCORING");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
 
 QueryAnswer MergeAnswers(const std::vector<Neighbor>& candidates, int k) {
   // Deduplicate by global id, keeping each series' best distance, then take
@@ -411,6 +417,13 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
   node_options.share_bsf = options_.share_bsf;
   node_options.use_executor = options_.use_executor;
   node_options.max_inflight = 1;  // the paper's batch model
+  node_options.batched_scoring = options_.batched_scoring;
+  if (node_options.batched_scoring) {
+    // Batched scoring groups a node's statically-delivered queries so one
+    // leaf scan serves them all; cap the group at one query per worker.
+    node_options.max_inflight =
+        std::max(1, options_.query_options.num_threads);
+  }
   node_options.seed = options_.seed;
 
   Stopwatch batch_watch;
@@ -586,6 +599,9 @@ BatchReport OdysseyCluster::AnswerStream(
   // A node with idle workers runs several admitted queries concurrently,
   // partitioning its pool, instead of strictly one at a time.
   node_options.max_inflight = std::max(1, options_.stream_max_inflight);
+  // With batched scoring, concurrently-admitted arrivals are scored as one
+  // group instead of partitioning the pool between them.
+  node_options.batched_scoring = options_.batched_scoring;
   node_options.seed = options_.seed;
 
   // Online admission: slots are allocated up front, but each query is

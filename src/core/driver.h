@@ -21,6 +21,11 @@
 
 namespace odyssey {
 
+/// Default for OdysseyOptions::batched_scoring, read once per call from the
+/// ODYSSEY_BATCHED_SCORING environment variable (set non-empty and not "0"
+/// to enable). Explicit assignment to the option always wins.
+bool DefaultBatchedScoring();
+
 /// Everything that configures one Odyssey deployment (Figure 3).
 struct OdysseyOptions {
   /// Cluster shape: PARTIAL-num_groups over num_nodes nodes. num_groups = 1
@@ -67,6 +72,15 @@ struct OdysseyOptions {
   /// idle starts the next admitted query instead of strictly serializing;
   /// AnswerBatch always uses 1 (the paper's batch model).
   int stream_max_inflight = 2;
+  /// Batched multi-query scoring: each node runs its in-flight queries as
+  /// one GroupedQueryExecution whose leaf scan loads every candidate series
+  /// once per group and scores it against all member queries with a single
+  /// batched-kernel call (see src/index/query_engine.h). AnswerBatch groups
+  /// up to `query_options.num_threads` statically-assigned queries;
+  /// AnswerStream groups up to stream_max_inflight concurrent admissions.
+  /// Exact executor-backed search only — other modes run per-query
+  /// regardless. Default: the ODYSSEY_BATCHED_SCORING environment variable.
+  bool batched_scoring = DefaultBatchedScoring();
   /// Optional models (owned by the caller, must outlive the cluster).
   const CostModel* cost_model = nullptr;
   const ThresholdModel* threshold_model = nullptr;

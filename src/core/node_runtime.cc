@@ -274,11 +274,53 @@ void NodeRuntime::MainLoop() {
   // batch model, or up to max_inflight concurrently on the pool when the
   // streaming path admits queries faster than they finish...
   const int max_inflight = std::max(1, options_.max_inflight);
+  // Batched scoring groups the queries already delivered to this node (up
+  // to max_inflight) into one GroupedQueryExecution instead of running them
+  // as independent concurrent executions. Exact executor-backed search
+  // only; dynamic policies deliver one query per request, so their groups
+  // naturally degrade to size 1 (same answers, no amortization).
+  const bool grouped = options_.batched_scoring && options_.use_executor &&
+                       workers_ != nullptr &&
+                       !options_.query_options.approximate;
+  if (grouped) {
+    for (;;) {
+      const int qid = NextQuery();
+      if (qid < 0) break;
+      std::vector<int> qids{qid};
+      {
+        // Non-blocking drain of everything else already assigned: the group
+        // is whatever is in flight *now*, never a wait for stragglers.
+        MutexLock lock(&state_mu_);
+        while (static_cast<int>(qids.size()) < max_inflight &&
+               !assigned_.empty()) {
+          qids.push_back(assigned_.front());
+          assigned_.pop_front();
+        }
+      }
+      {
+        MutexLock lock(&inflight_mu_);
+        inflight_ = static_cast<int>(qids.size());
+        {
+          MutexLock stats(&stats_mu_);
+          batch_stats_.inflight_hwm =
+              std::max(batch_stats_.inflight_hwm, inflight_);
+        }
+        executor_stats::RecordQueriesInFlight(
+            static_cast<uint64_t>(inflight_));
+      }
+      ExecuteQueryGroup(qids);
+      {
+        MutexLock lock(&inflight_mu_);
+        inflight_ = 0;
+      }
+    }
+  }
   const bool concurrent =
-      max_inflight > 1 && options_.use_executor && workers_ != nullptr;
+      !grouped && max_inflight > 1 && options_.use_executor &&
+      workers_ != nullptr;
   std::unique_ptr<TaskGroup> inflight_group;
   if (concurrent) inflight_group = std::make_unique<TaskGroup>(workers_.get());
-  for (;;) {
+  while (!grouped) {
     const int qid = NextQuery();
     if (qid < 0) break;
     if (!concurrent) {
@@ -368,6 +410,50 @@ void NodeRuntime::ExecuteQuery(int query_id) {
   {
     MutexLock lock(&stats_mu_);
     ++batch_stats_.queries_executed;
+    batch_stats_.busy_seconds += watch.ElapsedSeconds();
+  }
+}
+
+void NodeRuntime::ExecuteQueryGroup(const std::vector<int>& query_ids) {
+  Stopwatch watch;
+  std::vector<std::unique_ptr<QueryExecution>> execs;
+  execs.reserve(query_ids.size());
+  for (int query_id : query_ids) {
+    std::atomic<float>* cell =
+        options_.share_bsf ? &bsf_board_[query_id] : nullptr;
+    std::function<void(float)> on_improve;
+    if (options_.share_bsf) {
+      on_improve = [this, query_id](float threshold) {
+        Message update;
+        update.type = MessageType::kBsfUpdate;
+        update.from = id_;
+        update.query_id = query_id;
+        update.bsf = threshold;
+        cluster_->Broadcast(update, /*except=*/id_);
+      };
+    }
+    auto exec = std::make_unique<QueryExecution>(
+        index_.get(), queries_->query(query_id), options_.query_options, cell,
+        std::move(on_improve));
+    const float initial_bsf = exec->SeedInitialBsf();
+    if (options_.threshold_model != nullptr &&
+        options_.threshold_model->calibrated()) {
+      exec->set_queue_threshold(
+          options_.threshold_model->PredictThreshold(initial_bsf));
+    }
+    execs.push_back(std::move(exec));
+  }
+  std::vector<QueryExecution*> members;
+  members.reserve(execs.size());
+  for (const auto& exec : execs) members.push_back(exec.get());
+  GroupedQueryExecution group(std::move(members));
+  group.Run(workers_.get());
+  for (size_t i = 0; i < execs.size(); ++i) {
+    SendLocalAnswer(query_ids[i], execs[i]->results().SortedResults());
+  }
+  {
+    MutexLock lock(&stats_mu_);
+    batch_stats_.queries_executed += static_cast<int>(query_ids.size());
     batch_stats_.busy_seconds += watch.ElapsedSeconds();
   }
 }

@@ -63,6 +63,12 @@ struct NodeBatchOptions {
   /// arrival instead of serializing; batch answering keeps the paper's
   /// one-query-at-a-time model.
   int max_inflight = 1;
+  /// Run in-flight queries as one GroupedQueryExecution whose leaf scan
+  /// scores each candidate series against the whole group with a single
+  /// batched-kernel call (up to max_inflight queries per group; exact
+  /// search with use_executor only — other modes fall back to the
+  /// per-query path). Driver-level switch: ODYSSEY_BATCHED_SCORING.
+  bool batched_scoring = false;
   uint64_t seed = 0;
 };
 
@@ -152,6 +158,13 @@ class NodeRuntime {
   void CommsLoop();
   void MainLoop();
   void ExecuteQuery(int query_id);
+  /// Batched-scoring path: runs `query_ids` to completion as one
+  /// GroupedQueryExecution on the pool, then reports each member's answer.
+  /// Grouped members are not registered as steal victims (see
+  /// GroupedQueryExecution's contract); the node still steals from peers
+  /// afterwards.
+  void ExecuteQueryGroup(const std::vector<int>& query_ids)
+      ODYSSEY_EXCLUDES(stats_mu_);
   void HandleStealRequest(int thief) ODYSSEY_EXCLUDES(exec_mu_, stats_mu_);
   void PerformWorkStealing();
   void RunStolenWork(const Message& reply);

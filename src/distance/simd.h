@@ -7,13 +7,15 @@ namespace odyssey {
 namespace simd {
 
 /// Runtime-dispatched SIMD kernels for the distance hot path. Every kernel
-/// exists at three ISA levels — portable scalar, SSE (x86-64 baseline) and
-/// AVX2+FMA — grouped into per-ISA tables so that call sites pay for
-/// dispatch once, not per distance computation. The active table is chosen
-/// at first use from CPUID, overridable with the ODYSSEY_SIMD environment
-/// variable ("scalar", "sse", "avx2", "auto"); requesting an ISA the CPU
-/// lacks silently degrades to the best supported one, so CI machines
-/// without AVX2 run the same binaries.
+/// exists at four ISA levels — portable scalar, SSE (x86-64 baseline),
+/// AVX2+FMA and AVX-512 — grouped into per-ISA tables so that call sites
+/// pay for dispatch once, not per distance computation. The active table is
+/// chosen at first use from CPUID, overridable with the ODYSSEY_SIMD
+/// environment variable ("scalar", "sse", "avx2", "avx512", "auto");
+/// requesting an ISA the CPU lacks silently degrades to the best supported
+/// one, so CI machines without AVX2/AVX-512 run the same binaries. Set
+/// ODYSSEY_SIMD_LOG=1 to print the resolved tier to stderr once, so bench
+/// JSON runs are attributable to an ISA.
 ///
 /// All kernels share the library's conventions: squared distances, float
 /// series, and early-abandoning variants that return some value >=
@@ -24,10 +26,21 @@ enum class Isa {
   kScalar = 0,
   kSse = 1,
   kAvx2 = 2,
+  kAvx512 = 3,
 };
 
-/// Human-readable ISA name ("scalar", "sse", "avx2").
+/// Human-readable ISA name ("scalar", "sse", "avx2", "avx512").
 const char* IsaName(Isa isa);
+
+/// Lane stride of the interleaved multi-query blocks consumed by the
+/// batched kernels: q_count rounded up to 16 floats, so every ISA level
+/// (widest vector: 16 lanes) may load full lane groups without reading past
+/// the block. Padding lanes are never compared or stored; callers only need
+/// them readable (a zero-filled std::vector<float> of n * stride suffices —
+/// no alignment requirement, the batched kernels use unaligned loads).
+constexpr size_t BatchStride(size_t q_count) {
+  return (q_count + 15) / 16 * 16;
+}
 
 struct KernelTable {
   Isa isa;
@@ -49,6 +62,29 @@ struct KernelTable {
   float (*lb_keogh_early_abandon)(const float* upper, const float* lower,
                                   const float* candidate, size_t n,
                                   float threshold);
+
+  /// Batched early-abandoning squared Euclidean: one candidate series
+  /// against q_count queries at once, so the candidate is loaded once per
+  /// q_count distance computations. Queries are interleaved point-major:
+  /// queries[i * stride + q] is point i of query q, with stride =
+  /// BatchStride(q_count) lanes readable at every point. out[q] receives
+  /// exactly what the per-query *scalar* early-abandon kernel would return
+  /// for (query q, candidate, thresholds[q]) — bit-identical at every ISA
+  /// level, because each lane accumulates in point order with mul+add
+  /// (never FMA) and freezes at the same 16-point abandon cadence.
+  void (*batched_squared_euclidean_early_abandon)(
+      const float* candidate, const float* queries, size_t n, size_t stride,
+      size_t q_count, const float* thresholds, float* out);
+
+  /// Batched early-abandoning squared LB_Keogh: one candidate against
+  /// q_count precomputed warping envelopes, interleaved like the queries
+  /// above (upper[i * stride + q] / lower[i * stride + q] bound point i of
+  /// query q's band). Same layout, cadence and bit-identity contract as the
+  /// batched Euclidean kernel.
+  void (*batched_lb_keogh_early_abandon)(
+      const float* candidate, const float* upper, const float* lower,
+      size_t n, size_t stride, size_t q_count, const float* thresholds,
+      float* out);
 
   /// PAA summarization: the mean of each of `segments` contiguous ranges of
   /// the length-n float series, written to out[0..segments). Boundaries are
@@ -81,6 +117,9 @@ const KernelTable* SseTable();
 
 /// AVX2+FMA kernels; nullptr when the CPU (or build) lacks them.
 const KernelTable* Avx2Table();
+
+/// AVX-512 (F+DQ) kernels; nullptr when the CPU (or build) lacks them.
+const KernelTable* Avx512Table();
 
 /// The dispatched table: best supported ISA, clamped by ODYSSEY_SIMD.
 /// Resolved once per process; the returned reference is immutable.

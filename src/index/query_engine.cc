@@ -4,6 +4,8 @@
 #include <barrier>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/common/math_utils.h"
@@ -448,6 +450,250 @@ std::vector<int> QueryExecution::StealBatches(int nsend) {
     given.push_back(best_batch);
   }
   return given;
+}
+
+GroupedQueryExecution::GroupedQueryExecution(
+    std::vector<QueryExecution*> members)
+    : members_(std::move(members)) {
+  ODYSSEY_CHECK_MSG(!members_.empty(),
+                    "grouped execution needs at least one member");
+  const QueryExecution* first = members_[0];
+  n_ = first->index_->config().series_length();
+  stride_ = simd::BatchStride(members_.size());
+  for (const QueryExecution* m : members_) {
+    ODYSSEY_CHECK_MSG(m->index_ == first->index_,
+                      "grouped members must target the same index");
+    ODYSSEY_CHECK_MSG(m->options_.use_dtw == first->options_.use_dtw &&
+                          m->options_.dtw_window == first->options_.dtw_window,
+                      "grouped members must share the distance mode");
+    ODYSSEY_CHECK_MSG(!m->options_.approximate,
+                      "grouped execution is exact-search only");
+    if (m->options_.use_dtw) {
+      ODYSSEY_CHECK(m->envelope_->length() == n_);
+    }
+  }
+}
+
+void GroupedQueryExecution::BuildQueryBlock() {
+  // Point-major interleave: lane q of point i lives at [i * stride_ + q].
+  // Padding lanes (q_count..stride_) stay zero — the batched kernels never
+  // freeze or store them, they only need the loads to be in-bounds.
+  if (members_[0]->options_.use_dtw) {
+    upper_.assign(n_ * stride_, 0.0f);
+    lower_.assign(n_ * stride_, 0.0f);
+    for (size_t q = 0; q < members_.size(); ++q) {
+      const Envelope* env = members_[q]->envelope_;
+      for (size_t i = 0; i < n_; ++i) {
+        upper_[i * stride_ + q] = env->upper[i];
+        lower_[i * stride_ + q] = env->lower[i];
+      }
+    }
+  } else {
+    values_.assign(n_ * stride_, 0.0f);
+    for (size_t q = 0; q < members_.size(); ++q) {
+      const float* query = members_[q]->query_;
+      for (size_t i = 0; i < n_; ++i) {
+        values_[i * stride_ + q] = query[i];
+      }
+    }
+  }
+}
+
+void GroupedQueryExecution::BuildLeafWork() {
+  // Drain every member's sorted queues into leaf-level work units. A leaf
+  // appears at most once per member (the traversal inserts each leaf once),
+  // so each (leaf, member) pair lands exactly once. Members are parked in
+  // kDone right away: their queues are empty now, and the done phase makes
+  // StealBatches decline thieves for the rest of the group's run.
+  std::unordered_map<const TreeNode*, size_t> slot;
+  work_.clear();
+  for (size_t q = 0; q < members_.size(); ++q) {
+    QueryExecution* m = members_[q];
+    MutexLock lock(&m->steal_mu_);
+    for (const auto& ref : m->pq_refs_) {
+      while (!ref->queue->empty()) {
+        const PqItem item = ref->queue->Pop();
+        auto [it, inserted] = slot.try_emplace(item.leaf, work_.size());
+        if (inserted) {
+          work_.push_back({item.leaf, item.lower_bound, {}});
+        }
+        LeafWork& unit = work_[it->second];
+        unit.min_lb = std::min(unit.min_lb, item.lower_bound);
+        unit.members.push_back({static_cast<int>(q), item.lower_bound});
+      }
+    }
+    m->phase_.store(static_cast<int>(QueryExecution::Phase::kDone),
+                    std::memory_order_release);
+  }
+  // Same global order as the per-query path's phase 2: most promising leaf
+  // (smallest lower bound over its members) first, so BSFs tighten early.
+  std::sort(work_.begin(), work_.end(),
+            [](const LeafWork& a, const LeafWork& b) {
+              return a.min_lb < b.min_lb;
+            });
+  work_cursor_.store(0, std::memory_order_relaxed);
+}
+
+void GroupedQueryExecution::GroupedProcessing() {
+  const size_t q_count = members_.size();
+  std::vector<float> thresholds(q_count);
+  std::vector<float> out(q_count);
+  std::vector<uint8_t> pass(q_count);
+  std::vector<int> active;
+  active.reserve(q_count);
+  for (;;) {
+    const size_t i = work_cursor_.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= work_.size()) break;
+    ScanLeafGrouped(work_[i], &thresholds, &out, &pass, &active);
+  }
+}
+
+void GroupedQueryExecution::ScanLeafGrouped(const LeafWork& work,
+                                            std::vector<float>* thresholds,
+                                            std::vector<float>* out,
+                                            std::vector<uint8_t>* pass,
+                                            std::vector<int>* active) {
+  // Leaf-level pruning per member, mirroring ProcessQueue's head check: a
+  // member whose bound for this leaf no longer beats its threshold skips
+  // the whole leaf.
+  active->clear();
+  for (const auto& [q, lb] : work.members) {
+    if (lb < members_[q]->PruneThreshold()) active->push_back(q);
+  }
+  if (active->empty()) return;
+  for (int q : *active) {
+    members_[q]->stat_leaves_processed_.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  }
+  const TreeNode* leaf = work.leaf;
+  const QueryExecution* first = members_[0];
+  const bool use_dtw = first->options_.use_dtw;
+  const simd::KernelTable* kernels = first->kernels_;
+  const size_t q_count = members_.size();
+  const auto& ids = leaf->ids();
+  for (size_t s = 0; s < ids.size(); ++s) {
+    // Per-series summary filter per member, as in ScanLeaf. Members that
+    // filter out (or were inactive for the leaf) get a 0.0 threshold: their
+    // lane freezes after the first abandon check and its output is ignored
+    // (squared distances are never < 0), so one batched call serves exactly
+    // the surviving subset.
+    std::fill(thresholds->begin(), thresholds->end(), 0.0f);
+    std::fill(pass->begin(), pass->end(), uint8_t{0});
+    size_t passing = 0;
+    for (int q : *active) {
+      const float threshold = members_[q]->PruneThreshold();
+      if (members_[q]->SeriesLowerBound(leaf->leaf_sax(s)) >= threshold) {
+        continue;
+      }
+      (*thresholds)[q] = threshold;
+      (*pass)[q] = 1;
+      ++passing;
+    }
+    if (passing == 0) continue;
+    const float* series = first->index_->data().data(ids[s]);
+    if (passing == 1) {
+      // Degenerate group for this series: a single surviving member gains
+      // nothing from the batched kernel's scalar-identical serial loop, so
+      // it takes the per-query kernel path (the candidate is loaded once
+      // either way, and no amortization event is counted).
+      for (int q : *active) {
+        if ((*pass)[q] == 0) continue;
+        QueryExecution* m = members_[q];
+        m->stat_real_distances_.fetch_add(1, std::memory_order_relaxed);
+        const float threshold = (*thresholds)[q];
+        const float d = m->RealDistance(series, threshold);
+        if (d < threshold) m->OfferCandidate(d, ids[s]);
+        break;
+      }
+      continue;
+    }
+    scan_stats::CountBatchedScore(passing);
+    if (use_dtw) {
+      // Batched LB_Keogh; only survivors pay their member's DTW DP, exactly
+      // like RealDistance.
+      kernels->batched_lb_keogh_early_abandon(series, upper_.data(),
+                                              lower_.data(), n_, stride_,
+                                              q_count, thresholds->data(),
+                                              out->data());
+      for (int q : *active) {
+        if ((*pass)[q] == 0) continue;
+        QueryExecution* m = members_[q];
+        m->stat_real_distances_.fetch_add(1, std::memory_order_relaxed);
+        const float threshold = (*thresholds)[q];
+        if ((*out)[q] >= threshold) continue;
+        const float d = SquaredDtwEarlyAbandon(series, m->query_, n_,
+                                               m->options_.dtw_window,
+                                               threshold);
+        if (d < threshold) m->OfferCandidate(d, ids[s]);
+      }
+    } else {
+      kernels->batched_squared_euclidean_early_abandon(
+          series, values_.data(), n_, stride_, q_count, thresholds->data(),
+          out->data());
+      for (int q : *active) {
+        if ((*pass)[q] == 0) continue;
+        QueryExecution* m = members_[q];
+        m->stat_real_distances_.fetch_add(1, std::memory_order_relaxed);
+        if ((*out)[q] < (*thresholds)[q]) m->OfferCandidate((*out)[q], ids[s]);
+      }
+    }
+  }
+}
+
+void GroupedQueryExecution::Run(ThreadPool* pool) {
+  int num_threads = 1;
+  for (QueryExecution* m : members_) {
+    ODYSSEY_CHECK_MSG(m->seeded_, "grouped Run before SeedInitialBsf");
+    num_threads = std::max(num_threads, m->options_.num_threads);
+  }
+  Stopwatch watch;
+  BuildQueryBlock();
+  std::vector<std::vector<int>> all_ids(members_.size());
+  for (size_t q = 0; q < members_.size(); ++q) {
+    all_ids[q].resize(members_[q]->batch_ranges_.size());
+    for (size_t i = 0; i < all_ids[q].size(); ++i) {
+      all_ids[q][i] = static_cast<int>(i);
+    }
+    members_[q]->ArmBatches(all_ids[q]);
+  }
+  auto traverse_all = [this](int) {
+    for (QueryExecution* m : members_) m->TraversalPhase();
+  };
+  auto preprocess_and_merge = [this] {
+    for (QueryExecution* m : members_) m->PreprocessQueues();
+    BuildLeafWork();
+  };
+  if (pool != nullptr) {
+    // Executor path, as in QueryExecution::Run: each parallel phase is one
+    // TaskGroup epoch, the Wait is the phase barrier.
+    TaskGroup group(pool);
+    group.RunTasks(num_threads, traverse_all);
+    preprocess_and_merge();
+    group.RunTasks(num_threads, [this](int) { GroupedProcessing(); });
+  } else if (num_threads == 1) {
+    traverse_all(0);
+    preprocess_and_merge();
+    GroupedProcessing();
+  } else {
+    // Legacy spawn-and-join path, kept so the grouped scan can be
+    // benchmarked without the executor (spawns counted via CountedThread).
+    std::barrier barrier(num_threads);
+    auto worker = [&](int tid) {
+      traverse_all(tid);
+      barrier.arrive_and_wait();
+      if (tid == 0) preprocess_and_merge();
+      barrier.arrive_and_wait();
+      GroupedProcessing();
+    };
+    std::vector<CountedThread> threads;
+    threads.reserve(num_threads);
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&worker, t] { worker(t); });
+    }
+    for (auto& t : threads) t.Join();
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  for (QueryExecution* m : members_) m->stat_elapsed_seconds_ += elapsed;
 }
 
 PreparedQuery PrepareQuery(const float* series, const IsaxConfig& config,

@@ -182,6 +182,7 @@ class QueryExecution {
   QueryStats stats() const ODYSSEY_EXCLUDES(steal_mu_);
 
  private:
+  friend class GroupedQueryExecution;
   enum class Phase { kInit, kTraversal, kProcessing, kDone };
 
   struct PqRef {
@@ -263,6 +264,79 @@ class QueryExecution {
   double stat_initial_bsf_ = 0.0;
   double stat_elapsed_seconds_ = 0.0;
   std::vector<double> stat_queue_sizes_ ODYSSEY_GUARDED_BY(steal_mu_);
+};
+
+/// Runs several QueryExecutions against the same index as one *grouped*
+/// execution whose leaf-scan phase scores every candidate series against
+/// all member queries with a single batched-kernel call (the series is
+/// loaded from memory once per group instead of once per query —
+/// scan_stats::SeriesLoadsSaved observes the amortization).
+///
+/// Phases 1-2 (tree traversal, queue preprocessing) run per member exactly
+/// as in the per-query path; the grouped phase 3 then merges all members'
+/// priority queues into leaf-level work units — the in-flight queries
+/// sharing a leaf — claimed by workers through an atomic cursor. Per leaf,
+/// members whose lower bound no longer beats their threshold are dropped;
+/// per series, each surviving member applies its own summary filter and
+/// early-abandon threshold, so the pruning power matches the per-query
+/// path and the final answers are the same exact k-NN sets (distances come
+/// from the batched kernels, which are bit-identical to the per-query
+/// scalar path).
+///
+/// Members are constructed, seeded and read out by the caller as usual;
+/// the group only replaces Run(). Grouped members never donate RS-batches
+/// to work-stealing thieves (their phase never rests in the stealable
+/// processing state — a documented simplification; the node can still
+/// steal *from* peers after its group finishes).
+class GroupedQueryExecution {
+ public:
+  /// All members must target the same index, share the distance mode
+  /// (ED/DTW), not be approximate, and be seeded (SeedInitialBsf). The
+  /// pointed-to executions must outlive the group.
+  explicit GroupedQueryExecution(std::vector<QueryExecution*> members);
+
+  GroupedQueryExecution(const GroupedQueryExecution&) = delete;
+  GroupedQueryExecution& operator=(const GroupedQueryExecution&) = delete;
+
+  /// Runs all members to completion: per-member phases 1-2, then the
+  /// merged batched-scoring phase 3. Same pool semantics as
+  /// QueryExecution::Run.
+  void Run(ThreadPool* pool = nullptr);
+
+ private:
+  /// One merged work unit: a leaf plus the members whose queues contain it
+  /// (with each member's lower bound for the leaf).
+  struct LeafWork {
+    const TreeNode* leaf = nullptr;
+    float min_lb = 0.0f;
+    std::vector<std::pair<int, float>> members;
+  };
+
+  /// Interleaves the member queries (ED) or envelopes (DTW) into the
+  /// point-major layout the batched kernels consume.
+  void BuildQueryBlock();
+  /// Drains every member's sorted queues into leaf work units (and parks
+  /// the members in their done state so they decline steal requests).
+  void BuildLeafWork();
+  /// Phase-3 worker body: atomic-cursor claims over the leaf work units.
+  void GroupedProcessing();
+  void ScanLeafGrouped(const LeafWork& work, std::vector<float>* thresholds,
+                       std::vector<float>* out, std::vector<uint8_t>* pass,
+                       std::vector<int>* active);
+
+  std::vector<QueryExecution*> members_;
+  size_t n_ = 0;       ///< series length
+  size_t stride_ = 0;  ///< simd::BatchStride(members_.size())
+  /// Interleaved query points (ED mode): values_[i * stride_ + q].
+  std::vector<float> values_;
+  /// Interleaved envelopes (DTW mode), same layout.
+  std::vector<float> upper_;
+  std::vector<float> lower_;
+
+  /// Built single-threaded in BuildLeafWork, then read-only during the
+  /// processing phase (claimed through work_cursor_).
+  std::vector<LeafWork> work_;
+  std::atomic<size_t> work_cursor_{0};
 };
 
 /// Convenience builders tying PreparedQuery/PreparedBatch to QueryOptions:

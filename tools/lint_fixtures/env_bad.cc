@@ -6,3 +6,10 @@
 const char* Undocumented() {
   return std::getenv("ODYSSEY_SECRET_KNOB");  // <- not in the registry
 }
+
+// The same AVX-512-gated shape with an undocumented knob must still be
+// flagged: hiding a getenv inside a target-attributed kernel is not an
+// escape from the registry.
+__attribute__((target("avx512f"))) const char* UndocumentedAvx512Gated() {
+  return std::getenv("ODYSSEY_SECRET_SIMD_KNOB");  // <- not in the registry
+}

@@ -6,3 +6,11 @@
 const char* Documented() {
   return std::getenv("ODYSSEY_DOCUMENTED_KNOB");
 }
+
+// An ISA-gated reader: kernels selected behind a runtime AVX-512 check read
+// their override knob exactly like plain code does, and the registry rule
+// must see through the target attribute (the regex keys on the getenv call,
+// not on the function's shape).
+__attribute__((target("avx512f"))) const char* DocumentedAvx512Gated() {
+  return std::getenv("ODYSSEY_DOCUMENTED_SIMD_KNOB");
+}
