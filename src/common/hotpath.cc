@@ -1,0 +1,23 @@
+#include "src/common/hotpath.h"
+
+namespace odyssey {
+namespace hotpath {
+namespace {
+
+// Depth counters rather than flags so regions and allowances nest safely
+// (a grouped scan may re-enter through a per-query fallback path).
+thread_local int hot_depth = 0;
+thread_local int allowance_depth = 0;
+
+}  // namespace
+
+bool InHotRegion() { return hot_depth > 0 && allowance_depth == 0; }
+
+ScopedHotRegion::ScopedHotRegion() { ++hot_depth; }
+ScopedHotRegion::~ScopedHotRegion() { --hot_depth; }
+
+ScopedAllowance::ScopedAllowance() { ++allowance_depth; }
+ScopedAllowance::~ScopedAllowance() { --allowance_depth; }
+
+}  // namespace hotpath
+}  // namespace odyssey

@@ -543,8 +543,14 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
       case MessageType::kNodeTerminated:
         ++terminated;
         break;
-      default:
-        break;  // kDone copies etc. are informational here
+      case MessageType::kAssignQuery:
+      case MessageType::kNoMoreQueries:
+      case MessageType::kBsfUpdate:
+      case MessageType::kDone:
+      case MessageType::kStealRequest:
+      case MessageType::kStealReply:
+      case MessageType::kShutdown:
+        break;  // node-bound traffic (e.g. kDone copies) is informational here
     }
   }
 
@@ -723,8 +729,14 @@ BatchReport OdysseyCluster::AnswerStream(
       case MessageType::kNodeTerminated:
         ++terminated;
         break;
-      default:
-        break;
+      case MessageType::kAssignQuery:
+      case MessageType::kNoMoreQueries:
+      case MessageType::kBsfUpdate:
+      case MessageType::kDone:
+      case MessageType::kStealRequest:
+      case MessageType::kStealReply:
+      case MessageType::kShutdown:
+        break;  // node-bound traffic is informational to the coordinator
     }
   }
   // Termination of every node implies all queries were dispatched, so the

@@ -1,12 +1,16 @@
 #include "src/core/node_runtime.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <limits>
+#include <memory>
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
 #include "src/common/summary_stats.h"
+#include "src/distance/dtw.h"
+#include "src/distance/simd.h"
 
 namespace odyssey {
 namespace {
@@ -102,11 +106,51 @@ void NodeRuntime::EnsureExecutor() {
     } else {
       workers_->Grow(want);
     }
+    WarmExecutorScratch();
   }
   if (!comms_thread_.joinable()) {
     comms_thread_ = CountedThread([this] { EpochThread(/*comms=*/true); });
     main_thread_ = CountedThread([this] { EpochThread(/*comms=*/false); });
   }
+}
+
+void NodeRuntime::WarmExecutorScratch() {
+  // Each warm-up task spins on an arrival counter until all of them have
+  // started, which forces the pool to hand exactly one task to each of its
+  // `width` workers — a worker stuck in the spin cannot pick up a second
+  // task, so every worker's thread-local scratch gets reserved. Plain
+  // Submit + WaitIdle, deliberately not a TaskGroup: TaskGroup::Wait helps
+  // from this thread, which would let the driver thread swallow a warm-up
+  // task and leave one worker cold. WaitIdle only blocks.
+  const size_t width = workers_->num_threads();
+  const size_t batches = options_.query_options.EffectiveBatches();
+  // Queue count is data-dependent (leaves inserted per batch); reserve a
+  // generous floor and let the grow-only scratch absorb outliers.
+  const size_t queues = std::max<size_t>(size_t{64}, batches * 4);
+  const size_t lanes =
+      options_.batched_scoring
+          ? simd::BatchStride(
+                static_cast<size_t>(std::max(1, options_.max_inflight)))
+          : 0;
+  const size_t length = index_ != nullptr ? index_->data().length() : 0;
+  if (width <= warmed_scratch_.width && batches <= warmed_scratch_.batches &&
+      queues <= warmed_scratch_.queues && lanes <= warmed_scratch_.lanes &&
+      length <= warmed_scratch_.length) {
+    return;
+  }
+  auto arrived = std::make_shared<std::atomic<size_t>>(0);
+  for (size_t i = 0; i < width; ++i) {
+    workers_->Submit([=] {
+      QueryScratch::ForThisThread().Reserve(batches, queues, lanes);
+      ReserveDtwScratch(length);
+      arrived->fetch_add(1, std::memory_order_acq_rel);
+      while (arrived->load(std::memory_order_acquire) < width) {
+        // Spin until every warm-up task holds a distinct worker.
+      }
+    });
+  }
+  workers_->WaitIdle();
+  warmed_scratch_ = {width, batches, queues, lanes, length};
 }
 
 void NodeRuntime::EpochThread(bool comms) {
@@ -213,7 +257,9 @@ void NodeRuntime::CommsLoop() {
         NoteProtocolProgressLocked();  // a reply landed
         break;
       }
-      default:
+      case MessageType::kQueryRequest:
+      case MessageType::kLocalAnswer:
+      case MessageType::kNodeTerminated:
         break;  // coordinator-bound messages never arrive here
     }
   }
@@ -288,9 +334,18 @@ void NodeRuntime::MainLoop() {
       if (qid < 0) break;
       std::vector<int> qids{qid};
       {
-        // Non-blocking drain of everything else already assigned: the group
-        // is whatever is in flight *now*, never a wait for stragglers.
         MutexLock lock(&state_mu_);
+        // Static policies deliver a node's whole share up front, FIFO-ahead
+        // of the no-more-queries marker, so waiting for the marker here
+        // makes the group contents deterministic instead of racing the
+        // comms thread's mailbox drain (a single-core host can otherwise
+        // consume every assignment as a singleton group). Dynamic policies
+        // hand out one query per request and send the marker only at the
+        // end, so for them the group is whatever is in flight *now* —
+        // never a wait for stragglers.
+        if (!PolicyIsDynamic(options_.policy)) {
+          while (!no_more_queries_) state_cv_.Wait(&state_mu_);
+        }
         while (static_cast<int>(qids.size()) < max_inflight &&
                !assigned_.empty()) {
           qids.push_back(assigned_.front());

@@ -152,6 +152,12 @@ class NodeRuntime {
   /// Creates the persistent comms/main threads and the worker pool on
   /// first use (or grows the pool when a batch asks for more workers).
   void EnsureExecutor();
+  /// Pre-sizes every pool worker's thread-local QueryScratch and DTW
+  /// DP-row scratch to this batch's bounds, so the query phases run
+  /// allocation-free from their very first iteration (the hot-path
+  /// purity contract; see src/common/hotpath.h). Driver-side, between
+  /// epochs; no-op when no bound grew since the last warm-up.
+  void WarmExecutorScratch();
   /// Persistent-thread bodies: park between epochs, run one *Loop per
   /// epoch. `comms` selects which loop.
   void EpochThread(bool comms);
@@ -199,6 +205,16 @@ class NodeRuntime {
   CountedThread comms_thread_;
   CountedThread main_thread_;
   std::unique_ptr<ThreadPool> workers_;
+  /// High-water marks of the last scratch warm-up (thread-local scratch is
+  /// grow-only, so a batch whose bounds all fit pays no re-warm).
+  struct ScratchBounds {
+    size_t width = 0;    ///< pool workers warmed
+    size_t batches = 0;  ///< RS-batch lanes reserved
+    size_t queues = 0;   ///< priority-queue ref lanes reserved
+    size_t lanes = 0;    ///< grouped-scoring query lanes reserved
+    size_t length = 0;   ///< series length the DTW rows are sized for
+  };
+  ScratchBounds warmed_scratch_;
   Mutex epoch_mu_;
   CondVar epoch_cv_;
   uint64_t epochs_started_ ODYSSEY_GUARDED_BY(epoch_mu_) = 0;

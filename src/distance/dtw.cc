@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/common/hotpath.h"
 #include "src/distance/simd.h"
 
 namespace odyssey {
@@ -12,21 +13,44 @@ namespace {
 
 constexpr float kInf = std::numeric_limits<float>::infinity();
 
+/// The two rolling DP rows, owned per thread and reused across calls. The
+/// DP used to construct two n-float vectors on every distance call — two
+/// heap allocations per scanned candidate in DTW mode, squarely inside the
+/// hot-path purity contract's scoring loops.
+struct DtwScratch {
+  std::vector<float> prev;
+  std::vector<float> cur;
+};
+
+DtwScratch& ScratchForThisThread() {
+  static thread_local DtwScratch scratch;
+  return scratch;
+}
+
 // Shared band DP. When `threshold` is finite, abandons as soon as a full row
 // exceeds it (every warping path must pass through each row's band, so the
 // row minimum lower-bounds the final value). Row 0 is a plain prefix sum;
 // every later row goes through the dispatched dtw_row kernel, which stages
 // the point costs and the prev-row mins with SIMD.
-float BandDtw(const float* a, const float* b, size_t n, size_t window,
-              float threshold) {
+ODYSSEY_HOT float BandDtw(const float* a, const float* b, size_t n,
+                          size_t window, float threshold)
+    ODYSSEY_HOT_ALLOWS(
+        "alloc: the DP-row assigns below are grow-only thread-local scratch "
+        "— allocation-free at steady state (counting-allocator-asserted)") {
   if (n == 0) return 0.0f;
   window = std::min(window, n - 1);
   const simd::KernelTable& kernels = simd::ActiveTable();
 
   // Two rolling DP rows over the full length; cells outside the band stay
   // +inf. For the window sizes the paper uses (<= 15% of n) the wasted cells
-  // are cheap and the code stays simple.
-  std::vector<float> prev(n, kInf), cur(n, kInf);
+  // are cheap and the code stays simple. The rows live in thread-local
+  // scratch: the assigns refill them with +inf (same O(n) init the old
+  // per-call vectors paid) but reuse the capacity across calls.
+  DtwScratch& scratch = ScratchForThisThread();
+  scratch.prev.assign(n, kInf);
+  scratch.cur.assign(n, kInf);
+  std::vector<float>& prev = scratch.prev;
+  std::vector<float>& cur = scratch.cur;
 
   // Row 0: the only predecessor of (0, j) is (0, j-1), so the row is the
   // running prefix sum of point costs; its minimum is the first cell.
@@ -62,13 +86,21 @@ float BandDtw(const float* a, const float* b, size_t n, size_t window,
 
 }  // namespace
 
-float SquaredDtw(const float* a, const float* b, size_t n, size_t window) {
+ODYSSEY_HOT float SquaredDtw(const float* a, const float* b, size_t n,
+                             size_t window) {
   return BandDtw(a, b, n, window, kInf);
 }
 
-float SquaredDtwEarlyAbandon(const float* a, const float* b, size_t n,
-                             size_t window, float threshold) {
+ODYSSEY_HOT float SquaredDtwEarlyAbandon(const float* a, const float* b,
+                                         size_t n, size_t window,
+                                         float threshold) {
   return BandDtw(a, b, n, window, threshold);
+}
+
+void ReserveDtwScratch(size_t n) {
+  DtwScratch& scratch = ScratchForThisThread();
+  scratch.prev.reserve(n);
+  scratch.cur.reserve(n);
 }
 
 size_t WarpingWindowFromFraction(size_t length, double fraction) {

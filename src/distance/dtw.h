@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "src/common/hotpath.h"
+
 namespace odyssey {
 
 /// Dynamic Time Warping under a Sakoe-Chiba band (the paper's Section 4
@@ -11,14 +13,23 @@ namespace odyssey {
 /// DTW distance is sqrt(SquaredDtw(...)).
 
 /// Squared DTW between two length-n series with warping window `window`
-/// (in points; 0 reduces to squared Euclidean). O(n * window) time.
-float SquaredDtw(const float* a, const float* b, size_t n, size_t window);
+/// (in points; 0 reduces to squared Euclidean). O(n * window) time. The DP
+/// rows live in grow-only thread-local scratch (see ReserveDtwScratch), so
+/// steady-state calls are allocation-free.
+ODYSSEY_HOT float SquaredDtw(const float* a, const float* b, size_t n,
+                             size_t window);
 
 /// Early-abandoning variant: returns the exact squared DTW if it is
 /// < `threshold`, otherwise returns some value >= `threshold` once every
 /// cell of a DP row is provably above it.
-float SquaredDtwEarlyAbandon(const float* a, const float* b, size_t n,
-                             size_t window, float threshold);
+ODYSSEY_HOT float SquaredDtwEarlyAbandon(const float* a, const float* b,
+                                         size_t n, size_t window,
+                                         float threshold);
+
+/// Pre-sizes the calling thread's DTW DP-row scratch for length-n series —
+/// the executor warm-up calls this on every pool worker so even a worker's
+/// first DTW distance of a batch allocates nothing.
+void ReserveDtwScratch(size_t n);
 
 /// Converts a warping fraction (e.g. 0.05 for the paper's "5% warping") to
 /// a window in points, rounding up, minimum 1 when fraction > 0.

@@ -1,5 +1,7 @@
 #include "src/distance/simd.h"
 
+#include "src/common/hotpath.h"
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -27,7 +29,7 @@ constexpr size_t kDtwBlock = 128;
 
 // --------------------------------------------------------------- scalar
 
-float SquaredEuclideanScalarK(const float* a, const float* b, size_t n) {
+ODYSSEY_HOT float SquaredEuclideanScalarK(const float* a, const float* b, size_t n) {
   float sum = 0.0f;
   for (size_t i = 0; i < n; ++i) {
     const float d = a[i] - b[i];
@@ -36,7 +38,7 @@ float SquaredEuclideanScalarK(const float* a, const float* b, size_t n) {
   return sum;
 }
 
-float SquaredEuclideanEarlyAbandonScalarK(const float* a, const float* b,
+ODYSSEY_HOT float SquaredEuclideanEarlyAbandonScalarK(const float* a, const float* b,
                                           size_t n, float threshold) {
   float sum = 0.0f;
   size_t i = 0;
@@ -66,7 +68,7 @@ inline float LbKeoghPointGap(float upper, float lower, float c) {
   return d > 0.0f ? d : 0.0f;
 }
 
-float LbKeoghScalarK(const float* upper, const float* lower,
+ODYSSEY_HOT float LbKeoghScalarK(const float* upper, const float* lower,
                      const float* candidate, size_t n) {
   float sum = 0.0f;
   for (size_t i = 0; i < n; ++i) {
@@ -76,7 +78,7 @@ float LbKeoghScalarK(const float* upper, const float* lower,
   return sum;
 }
 
-float LbKeoghEarlyAbandonScalarK(const float* upper, const float* lower,
+ODYSSEY_HOT float LbKeoghEarlyAbandonScalarK(const float* upper, const float* lower,
                                  const float* candidate, size_t n,
                                  float threshold) {
   float sum = 0.0f;
@@ -97,7 +99,7 @@ float LbKeoghEarlyAbandonScalarK(const float* upper, const float* lower,
   return sum;
 }
 
-void PaaScalarK(const float* series, size_t n, int segments, double* out) {
+ODYSSEY_HOT void PaaScalarK(const float* series, size_t n, int segments, double* out) {
   size_t begin = 0;
   for (int i = 0; i < segments; ++i) {
     const size_t end =
@@ -116,7 +118,7 @@ void PaaScalarK(const float* series, size_t n, int segments, double* out) {
 // the first crossing — exactly the per-query scalar early-abandon kernel,
 // just reading the query through the interleaved stride.
 
-void BatchedSquaredEuclideanEarlyAbandonScalarK(
+ODYSSEY_HOT void BatchedSquaredEuclideanEarlyAbandonScalarK(
     const float* candidate, const float* queries, size_t n, size_t stride,
     size_t q_count, const float* thresholds, float* out) {
   for (size_t q = 0; q < q_count; ++q) {
@@ -145,7 +147,7 @@ void BatchedSquaredEuclideanEarlyAbandonScalarK(
   }
 }
 
-void BatchedLbKeoghEarlyAbandonScalarK(const float* candidate,
+ODYSSEY_HOT void BatchedLbKeoghEarlyAbandonScalarK(const float* candidate,
                                        const float* upper, const float* lower,
                                        size_t n, size_t stride, size_t q_count,
                                        const float* thresholds, float* out) {
@@ -178,7 +180,7 @@ void BatchedLbKeoghEarlyAbandonScalarK(const float* candidate,
   }
 }
 
-float DtwRowScalarK(float ai, const float* b, const float* prev, float* cur,
+ODYSSEY_HOT float DtwRowScalarK(float ai, const float* b, const float* prev, float* cur,
                     size_t jlo, size_t jhi) {
   float row_min = kInf;
   size_t j = jlo;
@@ -253,7 +255,7 @@ inline float HorizontalSum128(__m128 v) {
   return _mm_cvtss_f32(_mm_add_ss(sum2, lane1));
 }
 
-float SquaredEuclideanSseK(const float* a, const float* b, size_t n) {
+ODYSSEY_HOT float SquaredEuclideanSseK(const float* a, const float* b, size_t n) {
   __m128 acc = _mm_setzero_ps();
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -268,7 +270,7 @@ float SquaredEuclideanSseK(const float* a, const float* b, size_t n) {
   return sum;
 }
 
-float SquaredEuclideanEarlyAbandonSseK(const float* a, const float* b,
+ODYSSEY_HOT float SquaredEuclideanEarlyAbandonSseK(const float* a, const float* b,
                                        size_t n, float threshold) {
   __m128 acc = _mm_setzero_ps();
   float sum = 0.0f;
@@ -298,7 +300,7 @@ inline __m128 LbKeoghGap128(const float* upper, const float* lower,
   return _mm_max_ps(_mm_max_ps(du, dl), _mm_setzero_ps());
 }
 
-float LbKeoghSseK(const float* upper, const float* lower,
+ODYSSEY_HOT float LbKeoghSseK(const float* upper, const float* lower,
                   const float* candidate, size_t n) {
   __m128 acc = _mm_setzero_ps();
   size_t i = 0;
@@ -314,7 +316,7 @@ float LbKeoghSseK(const float* upper, const float* lower,
   return sum;
 }
 
-float LbKeoghEarlyAbandonSseK(const float* upper, const float* lower,
+ODYSSEY_HOT float LbKeoghEarlyAbandonSseK(const float* upper, const float* lower,
                               const float* candidate, size_t n,
                               float threshold) {
   __m128 acc = _mm_setzero_ps();
@@ -337,7 +339,7 @@ float LbKeoghEarlyAbandonSseK(const float* upper, const float* lower,
   return sum;
 }
 
-void PaaSseK(const float* series, size_t n, int segments, double* out) {
+ODYSSEY_HOT void PaaSseK(const float* series, size_t n, int segments, double* out) {
   size_t begin = 0;
   for (int i = 0; i < segments; ++i) {
     const size_t end =
@@ -361,7 +363,7 @@ void PaaSseK(const float* series, size_t n, int segments, double* out) {
   }
 }
 
-float DtwRowSseK(float ai, const float* b, const float* prev, float* cur,
+ODYSSEY_HOT float DtwRowSseK(float ai, const float* b, const float* prev, float* cur,
                  size_t jlo, size_t jhi) {
   float row_min = kInf;
   size_t j = jlo;
@@ -411,7 +413,7 @@ float DtwRowSseK(float ai, const float* b, const float* prev, float* cur,
 // abandon win. Threshold lanes beyond q_count are padded with +inf so they
 // never freeze and never store.
 
-void BatchedSquaredEuclideanEarlyAbandonSseK(
+ODYSSEY_HOT void BatchedSquaredEuclideanEarlyAbandonSseK(
     const float* candidate, const float* queries, size_t n, size_t stride,
     size_t q_count, const float* thresholds, float* out) {
   for (size_t g = 0; g < q_count; g += 4) {
@@ -459,7 +461,7 @@ void BatchedSquaredEuclideanEarlyAbandonSseK(
   }
 }
 
-void BatchedLbKeoghEarlyAbandonSseK(const float* candidate, const float* upper,
+ODYSSEY_HOT void BatchedLbKeoghEarlyAbandonSseK(const float* candidate, const float* upper,
                                     const float* lower, size_t n,
                                     size_t stride, size_t q_count,
                                     const float* thresholds, float* out) {
@@ -550,7 +552,7 @@ inline bool Aligned32(const float* p) {
 }
 
 ODYSSEY_TARGET_AVX2
-float SquaredEuclideanAvx2K(const float* a, const float* b, size_t n) {
+ODYSSEY_HOT float SquaredEuclideanAvx2K(const float* a, const float* b, size_t n) {
   __m256 acc = _mm256_setzero_ps();
   if (n % 8 == 0 && Aligned32(a) && Aligned32(b)) {
     for (size_t i = 0; i < n; i += 8) {
@@ -575,7 +577,7 @@ float SquaredEuclideanAvx2K(const float* a, const float* b, size_t n) {
 }
 
 ODYSSEY_TARGET_AVX2
-float SquaredEuclideanEarlyAbandonAvx2K(const float* a, const float* b,
+ODYSSEY_HOT float SquaredEuclideanEarlyAbandonAvx2K(const float* a, const float* b,
                                         size_t n, float threshold) {
   __m256 acc = _mm256_setzero_ps();
   float sum = 0.0f;
@@ -633,7 +635,7 @@ ODYSSEY_TARGET_AVX2 inline __m256 LbKeoghGap256Aligned(
 }
 
 ODYSSEY_TARGET_AVX2
-float LbKeoghAvx2K(const float* upper, const float* lower,
+ODYSSEY_HOT float LbKeoghAvx2K(const float* upper, const float* lower,
                    const float* candidate, size_t n) {
   __m256 acc = _mm256_setzero_ps();
   if (n % 8 == 0 && Aligned32(upper) && Aligned32(lower) &&
@@ -659,7 +661,7 @@ float LbKeoghAvx2K(const float* upper, const float* lower,
 }
 
 ODYSSEY_TARGET_AVX2
-float LbKeoghEarlyAbandonAvx2K(const float* upper, const float* lower,
+ODYSSEY_HOT float LbKeoghEarlyAbandonAvx2K(const float* upper, const float* lower,
                                const float* candidate, size_t n,
                                float threshold) {
   __m256 acc = _mm256_setzero_ps();
@@ -698,7 +700,7 @@ float LbKeoghEarlyAbandonAvx2K(const float* upper, const float* lower,
 }
 
 ODYSSEY_TARGET_AVX2
-void PaaAvx2K(const float* series, size_t n, int segments, double* out) {
+ODYSSEY_HOT void PaaAvx2K(const float* series, size_t n, int segments, double* out) {
   size_t begin = 0;
   for (int i = 0; i < segments; ++i) {
     const size_t end =
@@ -723,7 +725,7 @@ void PaaAvx2K(const float* series, size_t n, int segments, double* out) {
 }
 
 ODYSSEY_TARGET_AVX2
-float DtwRowAvx2K(float ai, const float* b, const float* prev, float* cur,
+ODYSSEY_HOT float DtwRowAvx2K(float ai, const float* b, const float* prev, float* cur,
                   size_t jlo, size_t jhi) {
   float row_min = kInf;
   size_t j = jlo;
@@ -760,7 +762,7 @@ float DtwRowAvx2K(float ai, const float* b, const float* prev, float* cur,
 // FMA) keeps each lane equal to the scalar per-query accumulation.
 
 ODYSSEY_TARGET_AVX2
-void BatchedSquaredEuclideanEarlyAbandonAvx2K(
+ODYSSEY_HOT void BatchedSquaredEuclideanEarlyAbandonAvx2K(
     const float* candidate, const float* queries, size_t n, size_t stride,
     size_t q_count, const float* thresholds, float* out) {
   for (size_t g = 0; g < q_count; g += 8) {
@@ -810,7 +812,7 @@ void BatchedSquaredEuclideanEarlyAbandonAvx2K(
 }
 
 ODYSSEY_TARGET_AVX2
-void BatchedLbKeoghEarlyAbandonAvx2K(const float* candidate,
+ODYSSEY_HOT void BatchedLbKeoghEarlyAbandonAvx2K(const float* candidate,
                                      const float* upper, const float* lower,
                                      size_t n, size_t stride, size_t q_count,
                                      const float* thresholds, float* out) {
@@ -908,7 +910,7 @@ inline bool Aligned64(const float* p) {
 }
 
 ODYSSEY_TARGET_AVX512
-float SquaredEuclideanAvx512K(const float* a, const float* b, size_t n) {
+ODYSSEY_HOT float SquaredEuclideanAvx512K(const float* a, const float* b, size_t n) {
   __m512 acc = _mm512_setzero_ps();
   if (n % 16 == 0 && Aligned64(a) && Aligned64(b)) {
     for (size_t i = 0; i < n; i += 16) {
@@ -933,7 +935,7 @@ float SquaredEuclideanAvx512K(const float* a, const float* b, size_t n) {
 }
 
 ODYSSEY_TARGET_AVX512
-float SquaredEuclideanEarlyAbandonAvx512K(const float* a, const float* b,
+ODYSSEY_HOT float SquaredEuclideanEarlyAbandonAvx512K(const float* a, const float* b,
                                           size_t n, float threshold) {
   // The 16-point abandon block is exactly one 512-bit vector, so the
   // cadence costs one horizontal sum per FMA — the tier where checking
@@ -985,7 +987,7 @@ ODYSSEY_TARGET_AVX512 inline __m512 LbKeoghGap512Aligned(
 }
 
 ODYSSEY_TARGET_AVX512
-float LbKeoghAvx512K(const float* upper, const float* lower,
+ODYSSEY_HOT float LbKeoghAvx512K(const float* upper, const float* lower,
                      const float* candidate, size_t n) {
   __m512 acc = _mm512_setzero_ps();
   if (n % 16 == 0 && Aligned64(upper) && Aligned64(lower) &&
@@ -1011,7 +1013,7 @@ float LbKeoghAvx512K(const float* upper, const float* lower,
 }
 
 ODYSSEY_TARGET_AVX512
-float LbKeoghEarlyAbandonAvx512K(const float* upper, const float* lower,
+ODYSSEY_HOT float LbKeoghEarlyAbandonAvx512K(const float* upper, const float* lower,
                                  const float* candidate, size_t n,
                                  float threshold) {
   __m512 acc = _mm512_setzero_ps();
@@ -1044,7 +1046,7 @@ float LbKeoghEarlyAbandonAvx512K(const float* upper, const float* lower,
 }
 
 ODYSSEY_TARGET_AVX512
-void PaaAvx512K(const float* series, size_t n, int segments, double* out) {
+ODYSSEY_HOT void PaaAvx512K(const float* series, size_t n, int segments, double* out) {
   size_t begin = 0;
   for (int i = 0; i < segments; ++i) {
     const size_t end =
@@ -1066,7 +1068,7 @@ void PaaAvx512K(const float* series, size_t n, int segments, double* out) {
 }
 
 ODYSSEY_TARGET_AVX512
-float DtwRowAvx512K(float ai, const float* b, const float* prev, float* cur,
+ODYSSEY_HOT float DtwRowAvx512K(float ai, const float* b, const float* prev, float* cur,
                     size_t jlo, size_t jhi) {
   float row_min = kInf;
   size_t j = jlo;
@@ -1110,7 +1112,7 @@ float DtwRowAvx512K(float ai, const float* b, const float* prev, float* cur,
 // bits, so delegation cannot change any output).
 
 ODYSSEY_TARGET_AVX512
-void BatchedSquaredEuclideanEarlyAbandonAvx512K(
+ODYSSEY_HOT void BatchedSquaredEuclideanEarlyAbandonAvx512K(
     const float* candidate, const float* queries, size_t n, size_t stride,
     size_t q_count, const float* thresholds, float* out) {
   if (q_count <= 8) {
@@ -1165,7 +1167,7 @@ void BatchedSquaredEuclideanEarlyAbandonAvx512K(
 }
 
 ODYSSEY_TARGET_AVX512
-void BatchedLbKeoghEarlyAbandonAvx512K(const float* candidate,
+ODYSSEY_HOT void BatchedLbKeoghEarlyAbandonAvx512K(const float* candidate,
                                        const float* upper, const float* lower,
                                        size_t n, size_t stride, size_t q_count,
                                        const float* thresholds, float* out) {
@@ -1286,10 +1288,16 @@ const KernelTable* TableFor(Isa isa) {
       return &kAvx2Table;
     case Isa::kSse:
       return &kSseTable;
+#else
+    case Isa::kAvx512:
+    case Isa::kAvx2:
+    case Isa::kSse:
+      return &kScalarTable;  // non-x86 builds carry only the scalar tier
 #endif
-    default:
+    case Isa::kScalar:
       return &kScalarTable;
   }
+  return &kScalarTable;  // unreachable; keeps -Wreturn-type satisfied
 }
 
 // Resolves the dispatched table once and, under ODYSSEY_SIMD_LOG, reports
@@ -1316,9 +1324,10 @@ const char* IsaName(Isa isa) {
       return "avx2";
     case Isa::kSse:
       return "sse";
-    default:
+    case Isa::kScalar:
       return "scalar";
   }
+  return "scalar";  // unreachable; keeps -Wreturn-type satisfied
 }
 
 const KernelTable& ScalarTable() { return kScalarTable; }

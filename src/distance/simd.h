@@ -42,6 +42,12 @@ constexpr size_t BatchStride(size_t q_count) {
   return (q_count + 15) / 16 * 16;
 }
 
+/// Every function bound into a KernelTable slot is a purity-checked hot
+/// path (ODYSSEY_HOT, src/common/hotpath.h): kernels never allocate, lock,
+/// throw or touch the OS. tools/check_hot_paths.py resolves the indirect
+/// kernels_->xxx(...) call edges through these tables' positional
+/// initializers in simd.cc and verifies the closure — a new kernel wired
+/// into a slot without the annotation fails the static-analysis CI job.
 struct KernelTable {
   Isa isa;
 

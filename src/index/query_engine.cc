@@ -32,9 +32,15 @@ bool AtomicFetchMinFloat(std::atomic<float>* cell, float value) {
   return false;
 }
 
-KnnSet::KnnSet(int k) : k_(k), threshold_(kInf) { ODYSSEY_CHECK(k >= 1); }
+KnnSet::KnnSet(int k)
+    : k_(k), ids_(static_cast<size_t>(k)), threshold_(kInf) {
+  ODYSSEY_CHECK(k >= 1);
+  // All of Offer's mutations stay allocation-free after this point: the
+  // heap never exceeds k entries and FixedIdSet is flat by construction.
+  heap_.reserve(static_cast<size_t>(k));
+}
 
-bool KnnSet::Offer(float squared_distance, uint32_t id) {
+ODYSSEY_HOT bool KnnSet::Offer(float squared_distance, uint32_t id) {
   MutexLock lock(&mu_);
   auto compare = [](const Neighbor& a, const Neighbor& b) {
     return a.squared_distance < b.squared_distance;
@@ -42,11 +48,11 @@ bool KnnSet::Offer(float squared_distance, uint32_t id) {
   // The same series can be offered more than once (approximate search plus
   // leaf scan; work-stealing can even process a leaf on two nodes). A
   // duplicate id must not consume a second k-slot.
-  if (ids_.count(id) != 0) return false;
+  if (ids_.Contains(id)) return false;
   if (heap_.size() < static_cast<size_t>(k_)) {
     heap_.push_back({squared_distance, id});
     std::push_heap(heap_.begin(), heap_.end(), compare);
-    ids_.insert(id);
+    ids_.Add(id);
     if (heap_.size() == static_cast<size_t>(k_)) {
       threshold_.store(heap_.front().squared_distance,
                        std::memory_order_release);
@@ -55,10 +61,10 @@ bool KnnSet::Offer(float squared_distance, uint32_t id) {
   }
   if (squared_distance >= heap_.front().squared_distance) return false;
   std::pop_heap(heap_.begin(), heap_.end(), compare);
-  ids_.erase(heap_.back().id);
+  ids_.Remove(heap_.back().id);
   heap_.back() = {squared_distance, id};
   std::push_heap(heap_.begin(), heap_.end(), compare);
-  ids_.insert(id);
+  ids_.Add(id);
   threshold_.store(heap_.front().squared_distance, std::memory_order_release);
   return true;
 }
@@ -175,26 +181,28 @@ void QueryExecution::ArmBatches(const std::vector<int>& batch_ids) {
   phase_.store(static_cast<int>(Phase::kTraversal), std::memory_order_release);
 }
 
-void QueryExecution::TraversalPhase() {
-  // Snapshot the armed subset once per worker; the batch objects are then
-  // claimed through their own atomic cursors, lock-free. ArmBatches never
-  // runs concurrently with a phase (RunWorkers arms before submitting
-  // workers), so the snapshot cannot go stale.
-  std::vector<RsBatch*> armed;
+ODYSSEY_HOT void QueryExecution::TraversalPhase() {
+  // Snapshot the armed subset once per worker, into the worker's reusable
+  // scratch; the batch objects are then claimed through their own atomic
+  // cursors, lock-free. ArmBatches never runs concurrently with a phase
+  // (RunWorkers arms before submitting workers), so the snapshot cannot go
+  // stale.
+  QueryScratch& scratch = QueryScratch::ForThisThread();
+  scratch.armed.clear();
   {
     MutexLock lock(&steal_mu_);
-    armed.reserve(active_batch_ids_.size());
-    for (int id : active_batch_ids_) armed.push_back(batches_[id].get());
+    scratch.armed.reserve(active_batch_ids_.size());
+    for (int id : active_batch_ids_) scratch.armed.push_back(batches_[id].get());
   }
   // --- Phase 1: tree traversal over RS-batches (Fetch&Add claims). ---
   for (;;) {
     const size_t i = batch_cursor_.fetch_add(1, std::memory_order_acq_rel);
-    if (i >= armed.size()) break;
-    TraverseBatch(armed[i]);
+    if (i >= scratch.armed.size()) break;
+    TraverseBatch(scratch.armed[i]);
   }
   // Helping: join batches that are still incomplete, at most
   // help_threshold helpers per batch.
-  for (RsBatch* batch : armed) {
+  for (RsBatch* batch : scratch.armed) {
     if (!batch->complete() &&
         batch->helped.fetch_add(1, std::memory_order_acq_rel) <
             options_.help_threshold) {
@@ -236,22 +244,26 @@ void QueryExecution::PreprocessQueues() {
                std::memory_order_release);
 }
 
-void QueryExecution::ProcessingPhase() {
+ODYSSEY_HOT void QueryExecution::ProcessingPhase() {
   // Snapshot the sorted queue array once per worker (see TraversalPhase);
   // the PqRef objects themselves are stable for the phase and carry the
   // atomic `stolen` flag the work-stealing manager flips under steal_mu_.
-  std::vector<PqRef*> refs;
+  QueryScratch& scratch = QueryScratch::ForThisThread();
+  scratch.refs.clear();
   {
     MutexLock lock(&steal_mu_);
-    refs.reserve(pq_refs_.size());
-    for (const auto& r : pq_refs_) refs.push_back(r.get());
+    scratch.refs.reserve(pq_refs_.size());
+    for (const auto& r : pq_refs_) scratch.refs.push_back(r.get());
   }
   // --- Phase 3: priority-queue processing (Fetch&Add claims). ---
+  // The region marker attributes this loop's heap traffic (there must be
+  // none at steady state) to the hot path for the counting-allocator tests.
+  hotpath::ScopedHotRegion hot_region;
   for (;;) {
     const size_t i = pq_cursor_.fetch_add(1, std::memory_order_acq_rel);
-    if (i >= refs.size()) break;
-    if (refs[i]->stolen.load(std::memory_order_acquire)) continue;
-    ProcessQueue(refs[i]->queue);
+    if (i >= scratch.refs.size()) break;
+    if (scratch.refs[i]->stolen.load(std::memory_order_acquire)) continue;
+    ProcessQueue(scratch.refs[i]->queue);
   }
 }
 
@@ -310,7 +322,7 @@ void QueryExecution::RunWorkers(const std::vector<int>& batch_ids,
   stat_elapsed_seconds_ += watch.ElapsedSeconds();
 }
 
-void QueryExecution::TraverseBatch(RsBatch* batch) {
+ODYSSEY_HOT void QueryExecution::TraverseBatch(RsBatch* batch) {
   QueueBuilder builder;
   builder.batch = batch;
   builder.capacity = options_.queue_threshold;
@@ -324,8 +336,8 @@ void QueryExecution::TraverseBatch(RsBatch* batch) {
   builder.Seal();
 }
 
-void QueryExecution::TraverseNode(const TreeNode* node,
-                                  QueueBuilder* builder) {
+ODYSSEY_HOT void QueryExecution::TraverseNode(const TreeNode* node,
+                                              QueueBuilder* builder) {
   if (node->subtree_size() == 0) return;
   const float lb = LeafLowerBound(node);
   if (lb >= PruneThreshold()) return;
@@ -338,7 +350,7 @@ void QueryExecution::TraverseNode(const TreeNode* node,
   TraverseNode(node->right(), builder);
 }
 
-void QueryExecution::ProcessQueue(BoundedPq* queue) {
+ODYSSEY_HOT void QueryExecution::ProcessQueue(BoundedPq* queue) {
   while (!queue->empty()) {
     const PqItem item = queue->Pop();
     // The queue is ordered by lower bound: once the head cannot beat the
@@ -348,7 +360,7 @@ void QueryExecution::ProcessQueue(BoundedPq* queue) {
   }
 }
 
-void QueryExecution::ScanLeaf(const TreeNode* leaf) {
+ODYSSEY_HOT void QueryExecution::ScanLeaf(const TreeNode* leaf) {
   stat_leaves_processed_.fetch_add(1, std::memory_order_relaxed);
   const auto& ids = leaf->ids();
   for (size_t i = 0; i < ids.size(); ++i) {
@@ -362,17 +374,23 @@ void QueryExecution::ScanLeaf(const TreeNode* leaf) {
   }
 }
 
-void QueryExecution::OfferCandidate(float squared_distance, uint32_t id) {
+ODYSSEY_HOT void QueryExecution::OfferCandidate(float squared_distance,
+                                                uint32_t id) {
   if (!knn_.Offer(squared_distance, id)) return;
   const float threshold = knn_.Threshold();
   if (threshold == kInf) return;
   if (AtomicFetchMinFloat(shared_bsf_, threshold) &&
       on_bsf_improve_ != nullptr) {
+    // Sanctioned impurity: the broadcast callback intentionally takes the
+    // mailbox lock and enqueues a message. The allowance keeps its heap
+    // traffic out of the hot-region allocation count (it fires only on BSF
+    // improvements, which dry up as the scan converges).
+    hotpath::ScopedAllowance allowance;
     on_bsf_improve_(threshold);
   }
 }
 
-float QueryExecution::PruneThreshold() const {
+ODYSSEY_HOT float QueryExecution::PruneThreshold() const {
   // The node's book-keeping cell already folds in every broadcast BSF; the
   // local k-NN threshold can be momentarily tighter for k > 1 before the
   // k-th best is shared.
@@ -380,7 +398,7 @@ float QueryExecution::PruneThreshold() const {
                   knn_.Threshold());
 }
 
-float QueryExecution::LeafLowerBound(const TreeNode* node) const {
+ODYSSEY_HOT float QueryExecution::LeafLowerBound(const TreeNode* node) const {
   if (options_.use_dtw) {
     return MindistEnvelopeToWord(*envelope_paa_, node->word(),
                                  index_->config());
@@ -388,15 +406,15 @@ float QueryExecution::LeafLowerBound(const TreeNode* node) const {
   return MindistPaaToWord(prepared_->paa(), node->word(), index_->config());
 }
 
-float QueryExecution::SeriesLowerBound(const uint8_t* sax) const {
+ODYSSEY_HOT float QueryExecution::SeriesLowerBound(const uint8_t* sax) const {
   if (options_.use_dtw) {
     return MindistEnvelopeToSax(*envelope_paa_, sax, index_->config());
   }
   return MindistPaaToSax(prepared_->paa(), sax, index_->config());
 }
 
-float QueryExecution::RealDistance(const float* series,
-                                   float threshold) const {
+ODYSSEY_HOT float QueryExecution::RealDistance(const float* series,
+                                               float threshold) const {
   const size_t n = index_->config().series_length();
   if (options_.use_dtw) {
     // LB_Keogh at full resolution first; only survivors pay the DTW DP.
@@ -411,13 +429,19 @@ float QueryExecution::RealDistance(const float* series,
                                                    threshold);
 }
 
-std::vector<int> QueryExecution::StealBatches(int nsend) {
+ODYSSEY_HOT std::vector<int> QueryExecution::StealBatches(int nsend) {
   MutexLock lock(&steal_mu_);
   std::vector<int> given;
   if (phase_.load(std::memory_order_acquire) !=
       static_cast<int>(Phase::kProcessing)) {
     return given;
   }
+  // The first-unclaimed table used to be allocated afresh on every round
+  // of the nsend loop, all while the running claim loops contend on
+  // steal_mu_; the comms thread's scratch reuses one buffer across rounds
+  // and steal requests.
+  QueryScratch& scratch = QueryScratch::ForThisThread();
+  std::vector<size_t>& scratch_first_unclaimed = scratch.first_unclaimed;
   for (int round = 0; round < nsend; ++round) {
     const size_t cursor = pq_cursor_.load(std::memory_order_acquire);
     // Take-Away property: among batches not yet stolen that still have
@@ -426,18 +450,17 @@ std::vector<int> QueryExecution::StealBatches(int nsend) {
     // processed.
     int best_batch = -1;
     size_t best_first = 0;
-    std::vector<size_t> first_unclaimed(batch_ranges_.size(),
-                                        pq_refs_.size());
+    scratch_first_unclaimed.assign(batch_ranges_.size(), pq_refs_.size());
     for (size_t i = cursor; i < pq_refs_.size(); ++i) {
       const int b = pq_refs_[i]->batch_id;
-      if (i < first_unclaimed[b]) first_unclaimed[b] = i;
+      if (i < scratch_first_unclaimed[b]) scratch_first_unclaimed[b] = i;
     }
     for (size_t b = 0; b < batch_ranges_.size(); ++b) {
       if (batch_stolen_[b]) continue;
-      if (first_unclaimed[b] == pq_refs_.size()) continue;  // no work left
-      if (best_batch < 0 || first_unclaimed[b] > best_first) {
+      if (scratch_first_unclaimed[b] == pq_refs_.size()) continue;  // empty
+      if (best_batch < 0 || scratch_first_unclaimed[b] > best_first) {
         best_batch = static_cast<int>(b);
-        best_first = first_unclaimed[b];
+        best_first = scratch_first_unclaimed[b];
       }
     }
     if (best_batch < 0) break;
@@ -534,34 +557,36 @@ void GroupedQueryExecution::BuildLeafWork() {
   work_cursor_.store(0, std::memory_order_relaxed);
 }
 
-void GroupedQueryExecution::GroupedProcessing() {
+ODYSSEY_HOT void GroupedQueryExecution::GroupedProcessing() {
+  // Lane buffers come from the worker's reusable scratch — the per-entry
+  // vector constructions this body used to perform (4 per worker per
+  // epoch) were a checker finding.
   const size_t q_count = members_.size();
-  std::vector<float> thresholds(q_count);
-  std::vector<float> out(q_count);
-  std::vector<uint8_t> pass(q_count);
-  std::vector<int> active;
-  active.reserve(q_count);
+  QueryScratch& scratch = QueryScratch::ForThisThread();
+  scratch.thresholds.assign(q_count, 0.0f);
+  scratch.out.assign(q_count, 0.0f);
+  scratch.pass.assign(q_count, 0);
+  scratch.active.clear();
+  scratch.active.reserve(q_count);
+  hotpath::ScopedHotRegion hot_region;
   for (;;) {
     const size_t i = work_cursor_.fetch_add(1, std::memory_order_acq_rel);
     if (i >= work_.size()) break;
-    ScanLeafGrouped(work_[i], &thresholds, &out, &pass, &active);
+    ScanLeafGrouped(work_[i], &scratch);
   }
 }
 
-void GroupedQueryExecution::ScanLeafGrouped(const LeafWork& work,
-                                            std::vector<float>* thresholds,
-                                            std::vector<float>* out,
-                                            std::vector<uint8_t>* pass,
-                                            std::vector<int>* active) {
+ODYSSEY_HOT void GroupedQueryExecution::ScanLeafGrouped(const LeafWork& work,
+                                                        QueryScratch* scratch) {
   // Leaf-level pruning per member, mirroring ProcessQueue's head check: a
   // member whose bound for this leaf no longer beats its threshold skips
   // the whole leaf.
-  active->clear();
+  scratch->active.clear();
   for (const auto& [q, lb] : work.members) {
-    if (lb < members_[q]->PruneThreshold()) active->push_back(q);
+    if (lb < members_[q]->PruneThreshold()) scratch->active.push_back(q);
   }
-  if (active->empty()) return;
-  for (int q : *active) {
+  if (scratch->active.empty()) return;
+  for (int q : scratch->active) {
     members_[q]->stat_leaves_processed_.fetch_add(1,
                                                   std::memory_order_relaxed);
   }
@@ -577,16 +602,16 @@ void GroupedQueryExecution::ScanLeafGrouped(const LeafWork& work,
     // lane freezes after the first abandon check and its output is ignored
     // (squared distances are never < 0), so one batched call serves exactly
     // the surviving subset.
-    std::fill(thresholds->begin(), thresholds->end(), 0.0f);
-    std::fill(pass->begin(), pass->end(), uint8_t{0});
+    std::fill(scratch->thresholds.begin(), scratch->thresholds.end(), 0.0f);
+    std::fill(scratch->pass.begin(), scratch->pass.end(), uint8_t{0});
     size_t passing = 0;
-    for (int q : *active) {
+    for (int q : scratch->active) {
       const float threshold = members_[q]->PruneThreshold();
       if (members_[q]->SeriesLowerBound(leaf->leaf_sax(s)) >= threshold) {
         continue;
       }
-      (*thresholds)[q] = threshold;
-      (*pass)[q] = 1;
+      scratch->thresholds[q] = threshold;
+      scratch->pass[q] = 1;
       ++passing;
     }
     if (passing == 0) continue;
@@ -596,11 +621,11 @@ void GroupedQueryExecution::ScanLeafGrouped(const LeafWork& work,
       // nothing from the batched kernel's scalar-identical serial loop, so
       // it takes the per-query kernel path (the candidate is loaded once
       // either way, and no amortization event is counted).
-      for (int q : *active) {
-        if ((*pass)[q] == 0) continue;
+      for (int q : scratch->active) {
+        if (scratch->pass[q] == 0) continue;
         QueryExecution* m = members_[q];
         m->stat_real_distances_.fetch_add(1, std::memory_order_relaxed);
-        const float threshold = (*thresholds)[q];
+        const float threshold = scratch->thresholds[q];
         const float d = m->RealDistance(series, threshold);
         if (d < threshold) m->OfferCandidate(d, ids[s]);
         break;
@@ -611,16 +636,15 @@ void GroupedQueryExecution::ScanLeafGrouped(const LeafWork& work,
     if (use_dtw) {
       // Batched LB_Keogh; only survivors pay their member's DTW DP, exactly
       // like RealDistance.
-      kernels->batched_lb_keogh_early_abandon(series, upper_.data(),
-                                              lower_.data(), n_, stride_,
-                                              q_count, thresholds->data(),
-                                              out->data());
-      for (int q : *active) {
-        if ((*pass)[q] == 0) continue;
+      kernels->batched_lb_keogh_early_abandon(
+          series, upper_.data(), lower_.data(), n_, stride_, q_count,
+          scratch->thresholds.data(), scratch->out.data());
+      for (int q : scratch->active) {
+        if (scratch->pass[q] == 0) continue;
         QueryExecution* m = members_[q];
         m->stat_real_distances_.fetch_add(1, std::memory_order_relaxed);
-        const float threshold = (*thresholds)[q];
-        if ((*out)[q] >= threshold) continue;
+        const float threshold = scratch->thresholds[q];
+        if (scratch->out[q] >= threshold) continue;
         const float d = SquaredDtwEarlyAbandon(series, m->query_, n_,
                                                m->options_.dtw_window,
                                                threshold);
@@ -628,13 +652,15 @@ void GroupedQueryExecution::ScanLeafGrouped(const LeafWork& work,
       }
     } else {
       kernels->batched_squared_euclidean_early_abandon(
-          series, values_.data(), n_, stride_, q_count, thresholds->data(),
-          out->data());
-      for (int q : *active) {
-        if ((*pass)[q] == 0) continue;
+          series, values_.data(), n_, stride_, q_count,
+          scratch->thresholds.data(), scratch->out.data());
+      for (int q : scratch->active) {
+        if (scratch->pass[q] == 0) continue;
         QueryExecution* m = members_[q];
         m->stat_real_distances_.fetch_add(1, std::memory_order_relaxed);
-        if ((*out)[q] < (*thresholds)[q]) m->OfferCandidate((*out)[q], ids[s]);
+        if (scratch->out[q] < scratch->thresholds[q]) {
+          m->OfferCandidate(scratch->out[q], ids[s]);
+        }
       }
     }
   }
@@ -694,6 +720,23 @@ void GroupedQueryExecution::Run(ThreadPool* pool) {
   }
   const double elapsed = watch.ElapsedSeconds();
   for (QueryExecution* m : members_) m->stat_elapsed_seconds_ += elapsed;
+}
+
+QueryScratch& QueryScratch::ForThisThread() {
+  // Function-local so construction is lazy (only threads that run query
+  // phases pay for it) and destruction is tied to thread exit.
+  static thread_local QueryScratch scratch;
+  return scratch;
+}
+
+void QueryScratch::Reserve(size_t batches, size_t queues, size_t group_lanes) {
+  armed.reserve(batches);
+  first_unclaimed.reserve(batches);
+  refs.reserve(queues);
+  thresholds.reserve(group_lanes);
+  out.reserve(group_lanes);
+  pass.reserve(group_lanes);
+  active.reserve(group_lanes);
 }
 
 PreparedQuery PrepareQuery(const float* series, const IsaxConfig& config,

@@ -4,9 +4,9 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/hotpath.h"
 #include "src/common/sync.h"
 #include "src/distance/lb_keogh.h"
 #include "src/distance/simd.h"
@@ -29,6 +29,87 @@ struct Neighbor {
   uint32_t id = 0;
 };
 
+/// Fixed-capacity hash set of series ids: open addressing with linear
+/// probing and backward-shift deletion over two flat arrays sized at
+/// construction. KnnSet's duplicate check needs set semantics with at most
+/// k resident ids, and it runs under the result mutex inside the scoring
+/// loops — std::unordered_set pays a node allocation per insert there,
+/// this pays none after construction (the hot-path purity contract,
+/// src/common/hotpath.h).
+class FixedIdSet {
+ public:
+  /// `capacity` is the maximum number of resident ids (KnnSet passes k).
+  /// The bucket count is the next power of two at or above twice that, so
+  /// the load factor stays <= 0.5 and probe chains stay short.
+  explicit FixedIdSet(size_t capacity) {
+    size_t buckets = 8;
+    while (buckets < 2 * capacity) buckets <<= 1;
+    slots_.assign(buckets, 0);
+    used_.assign(buckets, 0);
+    mask_ = buckets - 1;
+  }
+
+  ODYSSEY_HOT bool Contains(uint32_t id) const {
+    size_t i = Hash(id) & mask_;
+    while (used_[i] != 0) {
+      if (slots_[i] == id) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// `id` must not be present and the set must not be full.
+  ODYSSEY_HOT void Add(uint32_t id) {
+    size_t i = Hash(id) & mask_;
+    while (used_[i] != 0) i = (i + 1) & mask_;
+    slots_[i] = id;
+    used_[i] = 1;
+    ++size_;
+  }
+
+  /// `id` must be present. Backward-shift deletion: elements behind the
+  /// hole move up while the hole still lies on their probe path, so no
+  /// tombstones accumulate and Contains stays a plain probe.
+  ODYSSEY_HOT void Remove(uint32_t id) {
+    size_t hole = Hash(id) & mask_;
+    while (used_[hole] == 0 || slots_[hole] != id) hole = (hole + 1) & mask_;
+    used_[hole] = 0;
+    size_t j = hole;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (used_[j] == 0) break;
+      const size_t ideal = Hash(slots_[j]) & mask_;
+      if (((j - ideal) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = slots_[j];
+        used_[hole] = 1;
+        used_[j] = 0;
+        hole = j;
+      }
+    }
+    --size_;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static size_t Hash(uint32_t id) {
+    // Avalanching 32-bit mix (lowbias32): sequential series ids must not
+    // form probe chains.
+    uint32_t h = id;
+    h ^= h >> 16;
+    h *= 0x7feb352dU;
+    h ^= h >> 15;
+    h *= 0x846ca68bU;
+    h ^= h >> 16;
+    return h;
+  }
+
+  std::vector<uint32_t> slots_;
+  std::vector<uint8_t> used_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
 /// Thread-safe k-nearest set. Threshold() is the pruning bound: the k-th
 /// best squared distance once k candidates are known, +inf before. With
 /// k = 1 this degenerates to the classic single BSF.
@@ -38,7 +119,12 @@ class KnnSet {
 
   /// Offers a candidate; returns true if it entered the set (and therefore
   /// possibly lowered the threshold).
-  bool Offer(float squared_distance, uint32_t id) ODYSSEY_EXCLUDES(mu_);
+  ODYSSEY_HOT bool Offer(float squared_distance, uint32_t id)
+      ODYSSEY_EXCLUDES(mu_)
+      ODYSSEY_HOT_ALLOWS(
+          "lock,alloc: the result mutex is the k-NN merge point, held for "
+          "O(log k) heap work; heap_ is reserved to k in the constructor "
+          "so its pushes never reallocate (counting-allocator-asserted)");
 
   /// Current pruning threshold (squared). Lock-free: the scan loop reads it
   /// per candidate and must not contend with Offer.
@@ -54,11 +140,12 @@ class KnnSet {
  private:
   const int k_;
   mutable Mutex mu_;
-  /// Max-heap on squared_distance.
+  /// Max-heap on squared_distance. Reserved to k in the constructor so the
+  /// fill-up pushes never reallocate under the mutex.
   std::vector<Neighbor> heap_ ODYSSEY_GUARDED_BY(mu_);
   /// Ids currently in the heap, so Offer's duplicate check is O(1) instead
   /// of an O(k) scan under the mutex for every candidate.
-  std::unordered_set<uint32_t> ids_ ODYSSEY_GUARDED_BY(mu_);
+  FixedIdSet ids_ ODYSSEY_GUARDED_BY(mu_);
   std::atomic<float> threshold_;
 };
 
@@ -173,7 +260,12 @@ class QueryExecution {
   /// Take-Away property, marks their queues stolen, and returns their ids.
   /// Returns an empty vector outside the PQ-processing phase. Thread-safe
   /// with respect to the running workers.
-  std::vector<int> StealBatches(int nsend) ODYSSEY_EXCLUDES(steal_mu_);
+  ODYSSEY_HOT std::vector<int> StealBatches(int nsend)
+      ODYSSEY_EXCLUDES(steal_mu_)
+      ODYSSEY_HOT_ALLOWS(
+          "lock,alloc: the steal snapshot holds steal_mu_ by design (it "
+          "fences the running claim loops), and the returned batch-id "
+          "vector is the steal reply itself — O(nsend), not O(series)");
 
   /// Total number of RS-batches (same on every replica).
   size_t batch_count() const { return batch_ranges_.size(); }
@@ -183,6 +275,7 @@ class QueryExecution {
 
  private:
   friend class GroupedQueryExecution;
+  friend class QueryScratch;
   enum class Phase { kInit, kTraversal, kProcessing, kDone };
 
   struct PqRef {
@@ -200,24 +293,31 @@ class QueryExecution {
   void ArmBatches(const std::vector<int>& batch_ids)
       ODYSSEY_EXCLUDES(steal_mu_);
   /// Phase 1 worker body: Fetch&Add batch claims, then helping. Snapshots
-  /// the armed batch set under steal_mu_ at entry; the claim loop itself
-  /// holds no lock (batches are claimed through their atomic cursors).
-  void TraversalPhase() ODYSSEY_EXCLUDES(steal_mu_);
+  /// the armed batch set under steal_mu_ at entry (into the worker's
+  /// QueryScratch); the claim loop itself holds no lock (batches are
+  /// claimed through their atomic cursors).
+  ODYSSEY_HOT void TraversalPhase() ODYSSEY_EXCLUDES(steal_mu_)
+      ODYSSEY_HOT_ALLOWS("lock: one steal_mu_ snapshot at phase entry");
   /// Phase 2 (single-threaded): sorts the queue array, enters kProcessing.
   void PreprocessQueues() ODYSSEY_EXCLUDES(steal_mu_);
   /// Phase 3 worker body: Fetch&Add queue claims, skipping stolen ones.
   /// Snapshots the sorted queue array under steal_mu_ at entry, like
-  /// TraversalPhase.
-  void ProcessingPhase() ODYSSEY_EXCLUDES(steal_mu_);
-  void TraverseBatch(RsBatch* batch);
-  void TraverseNode(const TreeNode* node, QueueBuilder* builder);
-  void ProcessQueue(BoundedPq* queue);
-  void ScanLeaf(const TreeNode* leaf);
-  void OfferCandidate(float squared_distance, uint32_t id);
-  float PruneThreshold() const;
-  float LeafLowerBound(const TreeNode* node) const;
-  float SeriesLowerBound(const uint8_t* sax) const;
-  float RealDistance(const float* series, float threshold) const;
+  /// TraversalPhase. The claim loop is the zero-allocation steady state
+  /// the counting-allocator tests measure.
+  ODYSSEY_HOT void ProcessingPhase() ODYSSEY_EXCLUDES(steal_mu_)
+      ODYSSEY_HOT_ALLOWS("lock: one steal_mu_ snapshot at phase entry");
+  ODYSSEY_HOT void TraverseBatch(RsBatch* batch);
+  ODYSSEY_HOT void TraverseNode(const TreeNode* node, QueueBuilder* builder);
+  ODYSSEY_HOT void ProcessQueue(BoundedPq* queue);
+  ODYSSEY_HOT void ScanLeaf(const TreeNode* leaf);
+  ODYSSEY_HOT void OfferCandidate(float squared_distance, uint32_t id)
+      ODYSSEY_HOT_ALLOWS(
+          "indirect: on_bsf_improve_ is the sanctioned BSF-broadcast "
+          "callback; its invocation runs under a hotpath::ScopedAllowance");
+  ODYSSEY_HOT float PruneThreshold() const;
+  ODYSSEY_HOT float LeafLowerBound(const TreeNode* node) const;
+  ODYSSEY_HOT float SeriesLowerBound(const uint8_t* sax) const;
+  ODYSSEY_HOT float RealDistance(const float* series, float threshold) const;
 
   const Index* index_;
   const PreparedQuery* prepared_;
@@ -264,6 +364,44 @@ class QueryExecution {
   double stat_initial_bsf_ = 0.0;
   double stat_elapsed_seconds_ = 0.0;
   std::vector<double> stat_queue_sizes_ ODYSSEY_GUARDED_BY(steal_mu_);
+};
+
+/// Per-thread reusable buffers for the query phases — the fix for the
+/// hot-path purity contract (src/common/hotpath.h): the phase bodies used
+/// to allocate their snapshot and lane vectors on every entry, per worker,
+/// per epoch. Each pool worker (and the legacy spawned threads, and the
+/// orchestrating caller) owns one QueryScratch via ForThisThread(); the
+/// buffers are grow-only and reused across TaskGroup epochs, queries and
+/// batches, so the steady state performs zero allocations (asserted by the
+/// counting-allocator tests). The persistent executor pre-sizes every
+/// worker's scratch at batch start (NodeRuntime::EnsureExecutor), so even
+/// a worker's first query of a batch starts warm.
+///
+/// The checker treats growth of containers reached through a receiver
+/// whose path names `scratch` as sanctioned (see tools/check_hot_paths.py);
+/// the dynamic backstop keeps that honest.
+class QueryScratch {
+ public:
+  /// The calling thread's scratch (function-local thread_local: created on
+  /// first use, destroyed at thread exit).
+  static QueryScratch& ForThisThread();
+
+  /// Grow-only pre-sizing, called by the executor warm-up with bounds
+  /// derived from the batch options (`queues` is a floor — the real queue
+  /// count is data-dependent and growth beyond it stays amortized).
+  void Reserve(size_t batches, size_t queues, size_t group_lanes);
+
+  /// Phase-1 armed-batch snapshot (TraversalPhase).
+  std::vector<RsBatch*> armed;
+  /// Phase-3 sorted-queue snapshot (ProcessingPhase).
+  std::vector<QueryExecution::PqRef*> refs;
+  /// StealBatches' per-round first-unclaimed-queue-per-batch table.
+  std::vector<size_t> first_unclaimed;
+  /// Grouped-scan per-member lane buffers (GroupedProcessing).
+  std::vector<float> thresholds;
+  std::vector<float> out;
+  std::vector<uint8_t> pass;
+  std::vector<int> active;
 };
 
 /// Runs several QueryExecutions against the same index as one *grouped*
@@ -319,10 +457,11 @@ class GroupedQueryExecution {
   /// the members in their done state so they decline steal requests).
   void BuildLeafWork();
   /// Phase-3 worker body: atomic-cursor claims over the leaf work units.
-  void GroupedProcessing();
-  void ScanLeafGrouped(const LeafWork& work, std::vector<float>* thresholds,
-                       std::vector<float>* out, std::vector<uint8_t>* pass,
-                       std::vector<int>* active);
+  /// Lane buffers come from the worker's QueryScratch, sized once per
+  /// entry, reused across every claimed leaf.
+  ODYSSEY_HOT void GroupedProcessing();
+  ODYSSEY_HOT void ScanLeafGrouped(const LeafWork& work,
+                                   QueryScratch* scratch);
 
   std::vector<QueryExecution*> members_;
   size_t n_ = 0;       ///< series length

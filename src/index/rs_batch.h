@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/hotpath.h"
 #include "src/common/sync.h"
 #include "src/index/pqueue.h"
 
@@ -33,8 +34,10 @@ struct RsBatch {
   Mutex mu;
   std::vector<std::unique_ptr<BoundedPq>> queues ODYSSEY_GUARDED_BY(mu);
 
-  size_t root_count() const { return end_root - begin_root; }
-  bool complete() const {
+  /// Both are read per iteration by the traversal claim/help loops
+  /// (QueryExecution::TraversalPhase), hence the purity annotation.
+  ODYSSEY_HOT size_t root_count() const { return end_root - begin_root; }
+  ODYSSEY_HOT bool complete() const {
     return roots_done.load(std::memory_order_acquire) == root_count();
   }
 };

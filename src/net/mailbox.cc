@@ -4,7 +4,7 @@
 
 namespace odyssey {
 
-void Mailbox::Send(Message message) {
+ODYSSEY_HOT void Mailbox::Send(Message message) {
   {
     MutexLock lock(&mu_);
     queue_.push_back(std::move(message));
@@ -24,7 +24,7 @@ Message Mailbox::Receive() {
   return PopLocked();
 }
 
-bool Mailbox::TryReceive(Message* message) {
+ODYSSEY_HOT bool Mailbox::TryReceive(Message* message) {
   MutexLock lock(&mu_);
   if (queue_.empty()) return false;
   *message = PopLocked();

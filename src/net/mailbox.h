@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 
+#include "src/common/hotpath.h"
 #include "src/common/sync.h"
 #include "src/net/message.h"
 
@@ -19,14 +20,27 @@ class Mailbox {
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Enqueues a message. Thread-safe; never blocks.
-  void Send(Message message) ODYSSEY_EXCLUDES(mu_);
+  /// Enqueues a message. Thread-safe; never blocks. This is the fast path
+  /// the BSF-broadcast callback reaches from inside scans (under a
+  /// hotpath::ScopedAllowance): it must never wait, never touch the OS and
+  /// never throw — the lock + enqueue below is its whole sanctioned cost.
+  ODYSSEY_HOT void Send(Message message) ODYSSEY_EXCLUDES(mu_)
+      ODYSSEY_HOT_ALLOWS(
+          "lock,alloc: the cross-thread handoff point — one uncontended "
+          "mutex hold around a deque enqueue; the hot-path contract here "
+          "is no waits, no I/O, no throws");
 
   /// Blocks until a message is available and returns it.
   Message Receive() ODYSSEY_EXCLUDES(mu_);
 
-  /// Non-blocking receive; returns false when the mailbox is empty.
-  bool TryReceive(Message* message) ODYSSEY_EXCLUDES(mu_);
+  /// Non-blocking receive; returns false when the mailbox is empty. The
+  /// comms-loop polling side of the fast path: same purity contract as
+  /// Send (a blocking wait sneaking in here would stall a node's comms
+  /// thread mid-batch).
+  ODYSSEY_HOT bool TryReceive(Message* message) ODYSSEY_EXCLUDES(mu_)
+      ODYSSEY_HOT_ALLOWS(
+          "lock,alloc: one uncontended mutex hold around a deque dequeue; "
+          "no waits, no I/O, no throws");
 
   /// Receives with a deadline; returns false on timeout. Lets the
   /// coordinator interleave message handling with wall-clock work (e.g.

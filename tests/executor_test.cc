@@ -7,6 +7,11 @@
 // admission path (arrival-time preparation equivalence, overlap and
 // in-flight observability).
 
+// Installs the counting global operator new from testing_utils.h so the
+// hot-path purity tests below can assert zero steady-state allocations.
+// Must be defined before any include (one TU per binary may define it).
+#define ODYSSEY_TESTING_COUNT_ALLOCATIONS 1
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -397,6 +402,59 @@ TEST(ExecutorEpochTest, RepeatedBatchesAndStreamsReuseTheExecutor) {
   // The stream prep thread is the only per-call spawn left (one per
   // AnswerStream; batches add zero).
   EXPECT_EQ(executor_stats::ThreadsSpawned(), after_first + 3);
+}
+
+// ----------------------------------------------------- hot-path purity
+
+// Steady-state purity on the real executor: NodeRuntime::WarmExecutorScratch
+// pins one sizing task per pool worker when the executor is created, so the
+// first AnswerBatch runs with every worker's QueryScratch / DtwScratch
+// already at its high-water mark and the second batch's scoring phases must
+// allocate nothing. Covers both the per-query path and the grouped
+// (batched-scoring) path; work stealing stays off so each node's hot work
+// is exactly its static share.
+TEST(HotPathPurityTest, SteadyStateExecutorBatchIsAllocationFree) {
+  const SeriesCollection data = GenerateSeismicLike(1500, 64, 411);
+  const SeriesCollection warm_queries = GenerateUniformQueries(data, 8, 1.0, 413);
+  const SeriesCollection queries = GenerateUniformQueries(data, 8, 1.0, 417);
+
+  for (const bool batched : {false, true}) {
+    OdysseyOptions options;
+    options.num_nodes = 2;
+    options.num_groups = 1;
+    options.index_options = TestIndexOptions();
+    options.scheduling = SchedulingPolicy::kStatic;
+    options.worksteal.enabled = false;
+    options.use_executor = true;
+    options.batched_scoring = batched;
+    options.query_options.num_threads = 2;
+    options.query_options.k = 3;
+    OdysseyCluster cluster(data, options);
+
+    // Warm-up epoch: heats the (already pre-sized) worker scratch and any
+    // lazy one-shot initialization the allowlist documents (kernel-table
+    // resolution, breakpoint singleton).
+    const BatchReport warm = cluster.AnswerBatch(warm_queries);
+    ASSERT_EQ(warm.answers.size(), warm_queries.size());
+
+    testing_utils::ResetHotAllocations();
+    const BatchReport report = cluster.AnswerBatch(queries);
+    ASSERT_EQ(report.answers.size(), queries.size());
+    EXPECT_EQ(testing_utils::HotAllocations(), 0u)
+        << (batched ? "batched" : "per-query");
+
+    // The purity assertion must not come at the cost of correctness:
+    // answers still match the exhaustive scan.
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const auto exact = testing_utils::BruteForceKnn(data, queries.data(q), 3);
+      ASSERT_EQ(report.answers[q].size(), exact.size()) << "query " << q;
+      for (size_t i = 0; i < exact.size(); ++i) {
+        EXPECT_TRUE(testing_utils::NearlyEqual(
+            report.answers[q][i].squared_distance, exact[i].squared_distance))
+            << "query " << q << " rank " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -6,11 +6,19 @@
 // per query per batch across scheduling, replicas and stolen work
 // (asserted through the summary_stats counters).
 
+// Installs the counting global operator new from testing_utils.h so the
+// hot-path purity tests below can assert zero steady-state allocations.
+// Must be defined before any include (one TU per binary may define it).
+#define ODYSSEY_TESTING_COUNT_ALLOCATIONS 1
+
 #include <gtest/gtest.h>
 
+#include <random>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "src/common/hotpath.h"
 #include "src/common/summary_stats.h"
 #include "src/common/thread_pool.h"
 #include "src/core/driver.h"
@@ -305,6 +313,116 @@ TEST(DistributedEquivalenceTest, ClusterAnswersMatchSingleIndexPipeline) {
           report.answers[q][i].squared_distance, exact[i].squared_distance))
           << "query " << q << " rank " << i;
     }
+  }
+}
+
+// ------------------------------------------------- hot-path purity
+
+// FixedIdSet (the open-addressing set that replaced KnnSet's allocating
+// std::unordered_set) must agree with a reference set under a KnnSet-like
+// workload: capacity-bounded membership with evictions, dense ids so probe
+// chains collide and backward-shift deletion is exercised hard.
+TEST(FixedIdSetTest, MatchesReferenceSetUnderEvictionWorkload) {
+  std::mt19937 rng(12345);
+  for (const size_t capacity : {size_t{1}, size_t{3}, size_t{16}, size_t{100}}) {
+    FixedIdSet set(capacity);
+    std::unordered_set<uint32_t> ref;
+    std::vector<uint32_t> resident;  // for picking random eviction victims
+    for (int step = 0; step < 20000; ++step) {
+      const uint32_t id = rng() % 512;
+      ASSERT_EQ(set.Contains(id), ref.count(id) > 0) << "step " << step;
+      if (ref.count(id) == 0) {
+        if (ref.size() == capacity) {
+          // Full: evict a random resident first, as KnnSet evicts its
+          // current worst before admitting a better candidate.
+          const size_t v = rng() % resident.size();
+          const uint32_t victim = resident[v];
+          set.Remove(victim);
+          ref.erase(victim);
+          resident[v] = resident.back();
+          resident.pop_back();
+          ASSERT_FALSE(set.Contains(victim)) << "step " << step;
+        }
+        set.Add(id);
+        ref.insert(id);
+        resident.push_back(id);
+      }
+      const uint32_t probe = rng() % 512;
+      ASSERT_EQ(set.Contains(probe), ref.count(probe) > 0) << "step " << step;
+      ASSERT_EQ(set.size(), ref.size()) << "step " << step;
+    }
+  }
+}
+
+// The counting allocator itself must be live — allocations inside a hot
+// region are observed, allocations outside (or under an allowance) are
+// not. Without this, the steady-state assertions below could pass
+// trivially with a broken counter. Direct operator-new calls are used
+// because new-expressions may legally be elided.
+TEST(HotPathPurityTest, CountingAllocatorObservesHotRegionAllocations) {
+  testing_utils::ResetHotAllocations();
+  ::operator delete(::operator new(64));
+  EXPECT_EQ(testing_utils::HotAllocations(), 0u) << "counted outside region";
+  {
+    hotpath::ScopedHotRegion region;
+    ::operator delete(::operator new(64));
+  }
+  EXPECT_EQ(testing_utils::HotAllocations(), 1u) << "missed in-region alloc";
+  {
+    hotpath::ScopedHotRegion region;
+    hotpath::ScopedAllowance allowance;
+    ::operator delete(::operator new(64));
+  }
+  EXPECT_EQ(testing_utils::HotAllocations(), 1u)
+      << "allowance did not suppress counting";
+  testing_utils::ResetHotAllocations();
+}
+
+// The dynamic backstop behind tools/check_hot_paths.py: once the
+// thread-local scratch (DTW DP rows, claim snapshots, FixedIdSet heaps)
+// has warmed up on the first query, every later query's scoring phases
+// must perform zero heap allocations. num_threads = 1 runs all three
+// phases inline on the calling thread, so the warm-up deterministically
+// heats exactly the thread-locals the steady-state queries use.
+TEST(HotPathPurityTest, SteadyStateSingleThreadedRunIsAllocationFree) {
+  const SeriesCollection data = GenerateSeismicLike(2000, 64, 401);
+  const Index index = Index::Build(SeriesCollection(data), TestIndexOptions());
+  const SeriesCollection queries = GenerateUniformQueries(data, 6, 1.0, 403);
+
+  struct Mode {
+    const char* name;
+    bool use_dtw;
+    int k;
+  };
+  for (const Mode& mode :
+       {Mode{"ed_k1", false, 1}, Mode{"ed_k5", false, 5},
+        Mode{"dtw_k3", true, 3}}) {
+    QueryOptions qo;
+    qo.num_threads = 1;
+    qo.k = mode.k;
+    qo.use_dtw = mode.use_dtw;
+    qo.dtw_window = mode.use_dtw ? WarpingWindowFromFraction(64, 0.05) : 0;
+    const PreparedBatch batch = PrepareBatch(queries, index.config(), qo);
+
+    // Warm-up: grows this thread's QueryScratch / DtwScratch high-water
+    // marks. Construction of QueryExecution (queues, KnnSet heap) happens
+    // outside the hot regions and is allowed to allocate every run.
+    {
+      QueryExecution warm(&index, batch.query(0), qo);
+      warm.SeedInitialBsf();
+      warm.Run();
+    }
+
+    testing_utils::ResetHotAllocations();
+    for (size_t q = 1; q < queries.size(); ++q) {
+      QueryExecution exec(&index, batch.query(q), qo);
+      exec.SeedInitialBsf();
+      exec.Run();
+      ASSERT_EQ(exec.results().SortedResults().size(),
+                static_cast<size_t>(mode.k))
+          << mode.name << " query " << q;
+    }
+    EXPECT_EQ(testing_utils::HotAllocations(), 0u) << mode.name;
   }
 }
 

@@ -99,4 +99,97 @@ inline bool NearlyEqual(float a, float b, float rel = 1e-4f) {
 }  // namespace testing_utils
 }  // namespace odyssey
 
+// ---------------------------------------------------------------------------
+// Hot-region counting allocator
+// ---------------------------------------------------------------------------
+//
+// Define ODYSSEY_TESTING_COUNT_ALLOCATIONS before including this header to
+// replace the global operator new/delete with versions that count every
+// allocation made while the calling thread is inside a
+// hotpath::ScopedHotRegion (src/common/hotpath.h) — the dynamic backstop
+// behind tools/check_hot_paths.py's static guarantee. Replacement is
+// program-wide, so define the macro in exactly one TU per binary; the test
+// suites are single-TU executables, which makes that the including test
+// itself. The C++17 aligned overloads are deliberately not replaced: the
+// hot paths allocate nothing over-aligned, and the default aligned
+// operators remain available for anything else.
+#if defined(ODYSSEY_TESTING_COUNT_ALLOCATIONS)
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "src/common/hotpath.h"
+
+namespace odyssey {
+namespace testing_utils {
+
+inline std::atomic<uint64_t> g_hot_allocations{0};
+
+/// Allocations observed inside hot regions since the last reset. Anything
+/// above zero at steady state is a purity violation the static checker
+/// missed (or an ODYSSEY_HOT_ALLOWS claim that turned out to be false).
+inline uint64_t HotAllocations() {
+  return g_hot_allocations.load(std::memory_order_relaxed);
+}
+
+inline void ResetHotAllocations() {
+  g_hot_allocations.store(0, std::memory_order_relaxed);
+}
+
+inline void* CountingAllocate(std::size_t size) {
+  if (odyssey::hotpath::InHotRegion()) {
+    g_hot_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+}  // namespace testing_utils
+}  // namespace odyssey
+
+// GCC pairs these replacements up at inlined call sites and warns that
+// std::free releases memory from operator new; the pairing is intentional
+// (new is malloc-backed precisely so delete can be free-backed).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  void* p = odyssey::testing_utils::CountingAllocate(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = odyssey::testing_utils::CountingAllocate(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return odyssey::testing_utils::CountingAllocate(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return odyssey::testing_utils::CountingAllocate(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // ODYSSEY_TESTING_COUNT_ALLOCATIONS
+
 #endif  // ODYSSEY_TESTS_TESTING_UTILS_H_

@@ -1,0 +1,22 @@
+// Fixture: a deliberate violation that the committed-allowlist mechanism
+// must be able to excuse. AllowlistedLock takes a mutex in a hot function
+// with no ODYSSEY_HOT_ALLOWS — the self-test checks the raw finding
+// exists AND that an allowlist entry `AllowlistedLock lock <reason>`
+// suppresses it (and is marked used).
+#define ODYSSEY_HOT __attribute__((hot))
+
+namespace fixture {
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+ODYSSEY_HOT float AllowlistedLock(Mutex* mu, float x) {
+  mu->Lock();
+  const float out = x * 2.0f;
+  mu->Unlock();
+  return out;
+}
+
+}  // namespace fixture

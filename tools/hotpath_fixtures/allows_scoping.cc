@@ -1,0 +1,55 @@
+// Fixture: ODYSSEY_HOT_ALLOWS scoping and the scratch-receiver rule.
+//
+//  - AllowedOwnBody locks under an ALLOWS("lock: ...") — no finding.
+//  - AllowsNotInherited carries the same allowance but reaches a *callee*
+//    whose body allocates: the allowance excuses only the annotated
+//    function's own body, so the alloc must still be reported.
+//  - ScratchGrowth grows containers whose receiver chain carries the
+//    "scratch" token — sanctioned, no finding.
+//  - PlainGrowth grows a non-scratch container — alloc finding.
+#define ODYSSEY_HOT __attribute__((hot))
+#define ODYSSEY_HOT_ALLOWS(reason)
+
+namespace fixture {
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+template <typename T>
+struct Vec {
+  void push_back(const T& v);
+  unsigned long size() const;
+};
+
+struct Scratch {
+  Vec<float> lanes;
+};
+
+ODYSSEY_HOT float AllowedOwnBody(Mutex* mu, float x)
+    ODYSSEY_HOT_ALLOWS("lock: fixture merge point, O(1) critical section") {
+  mu->Lock();
+  const float out = x + 1.0f;
+  mu->Unlock();
+  return out;
+}
+
+void GrowingCallee(Vec<float>* out, float v) {
+  out->push_back(v);
+}
+
+ODYSSEY_HOT void AllowsNotInherited(Vec<float>* out, float v)
+    ODYSSEY_HOT_ALLOWS("alloc: excuses this body only, not callees") {
+  GrowingCallee(out, v);
+}
+
+ODYSSEY_HOT void ScratchGrowth(Scratch* scratch, float v) {
+  scratch->lanes.push_back(v);
+}
+
+ODYSSEY_HOT void PlainGrowth(Vec<float>* results, float v) {
+  results->push_back(v);
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: a hot scoring chain that is genuinely pure. The checker must
+// stay silent on every function here — arithmetic, array indexing, calls
+// into other pure helpers, and early returns are all fine.
+#define ODYSSEY_HOT __attribute__((hot))
+
+namespace fixture {
+
+float PureHelper(const float* a, const float* b, unsigned long n) {
+  float sum = 0.0f;
+  for (unsigned long i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+ODYSSEY_HOT float CleanScore(const float* a, const float* b,
+                             unsigned long n, float threshold) {
+  const float d = PureHelper(a, b, n);
+  if (d >= threshold) return threshold;
+  return d;
+}
+
+}  // namespace fixture

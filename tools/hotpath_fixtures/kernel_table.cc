@@ -1,0 +1,45 @@
+// Fixture: function-pointer dispatch through a KernelTable-shaped struct.
+// The checker must resolve `table->score(...)` through the positional
+// aggregate initializer below, reach LoggingKernel's fprintf, and report
+// it as an io finding whose path runs through TableCaller — the indirect
+// edge a per-function scan cannot see. Both kernels also lack the
+// ODYSSEY_HOT annotation while being bound into slots, which the
+// hot-closure invariant must flag.
+#define ODYSSEY_HOT __attribute__((hot))
+
+extern "C" struct FILE_t* stderr_file();
+extern "C" int fprintf(struct FILE_t*, const char*, ...);
+
+namespace fixture {
+
+struct MiniTable {
+  int isa;
+  float (*score)(const float* a, const float* b, unsigned long n);
+  float (*bound)(const float* a, unsigned long n);
+};
+
+float LoggingKernel(const float* a, const float* b, unsigned long n) {
+  fprintf(stderr_file(), "scoring %lu points\n", n);
+  float sum = 0.0f;
+  for (unsigned long i = 0; i < n; ++i) sum += (a[i] - b[i]) * (a[i] - b[i]);
+  return sum;
+}
+
+float ColdKernel(const float* a, unsigned long n) {
+  float sum = 0.0f;
+  for (unsigned long i = 0; i < n; ++i) sum += a[i];
+  return sum;
+}
+
+constexpr MiniTable kMiniTable = {
+    0,
+    LoggingKernel,
+    ColdKernel,
+};
+
+ODYSSEY_HOT float TableCaller(const MiniTable* table, const float* a,
+                              const float* b, unsigned long n) {
+  return table->score(a, b, n);
+}
+
+}  // namespace fixture

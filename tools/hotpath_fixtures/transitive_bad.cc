@@ -1,0 +1,24 @@
+// Fixture: a 2-hop transitive violation. TransitiveRoot is hot and calls
+// MiddleHop, which calls DeepHelper, which mallocs — the checker must
+// report the alloc with the full TransitiveRoot -> MiddleHop -> DeepHelper
+// path, not just the leaf.
+#define ODYSSEY_HOT __attribute__((hot))
+
+extern "C" void* malloc(unsigned long);
+
+namespace fixture {
+
+float* DeepHelper(unsigned long n) {
+  return static_cast<float*>(malloc(n * sizeof(float)));
+}
+
+float MiddleHop(unsigned long n) {
+  float* buf = DeepHelper(n);
+  return buf == nullptr ? 0.0f : buf[0];
+}
+
+ODYSSEY_HOT float TransitiveRoot(unsigned long n) {
+  return MiddleHop(n);
+}
+
+}  // namespace fixture

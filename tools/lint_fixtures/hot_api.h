@@ -1,0 +1,15 @@
+// Fixture header for the hot-declared rule: the declarations here carry
+// ODYSSEY_HOT, so same-named .cc definitions are properly declared.
+#define ODYSSEY_HOT __attribute__((hot))
+#define ODYSSEY_HOT_ALLOWS(reason)
+
+namespace fixture {
+
+ODYSSEY_HOT float DeclaredHot(const float* a, unsigned long n);
+
+class HotHolder {
+ public:
+  ODYSSEY_HOT float MethodHot(float x) ODYSSEY_HOT_ALLOWS("lock: fixture");
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: an externally-visible definition annotated ODYSSEY_HOT with no
+// matching annotated declaration in any header — the hot-declared rule
+// must flag it.
+#define ODYSSEY_HOT __attribute__((hot))
+
+namespace fixture {
+
+ODYSSEY_HOT float UndeclaredHot(const float* a, unsigned long n) {
+  float sum = 0.0f;
+  for (unsigned long i = 0; i < n; ++i) sum += a[i] * a[i];
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: every ODYSSEY_HOT definition here is fine — declared hot in
+// hot_api.h, or anonymous-namespace / static (definition is the only
+// visible site).
+#define ODYSSEY_HOT __attribute__((hot))
+
+namespace fixture {
+
+class HotHolder {
+ public:
+  float MethodHot(float x);
+};
+
+namespace {
+
+ODYSSEY_HOT float FileLocalKernel(const float* a, unsigned long n) {
+  float sum = 0.0f;
+  for (unsigned long i = 0; i < n; ++i) sum += a[i];
+  return sum;
+}
+
+}  // namespace
+
+static ODYSSEY_HOT float StaticHelper(float x) { return x * 2.0f; }
+
+ODYSSEY_HOT float DeclaredHot(const float* a, unsigned long n) {
+  return FileLocalKernel(a, n) + StaticHelper(a[0]);
+}
+
+ODYSSEY_HOT float HotHolder::MethodHot(float x) { return x + 1.0f; }
+
+}  // namespace fixture

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lint rules the general-purpose toolchain cannot express.
 
-Four rules, each encoding an invariant the rest of the codebase relies on:
+Five rules, each encoding an invariant the rest of the codebase relies on:
 
   status-discard   Every call to a Status/StatusOr-returning function must
                    consume the result (assign, return, branch, CHECK) or
@@ -26,6 +26,15 @@ Four rules, each encoding an invariant the rest of the codebase relies on:
                    variable documented in README.md's environment variable
                    registry table. Undocumented knobs rot into load-bearing
                    magic.
+
+  hot-declared     Every ODYSSEY_HOT annotation on an externally-visible
+                   .cc definition must also appear on a declaration in a
+                   header. tools/check_hot_paths.py seeds its hot-root set
+                   from headers as well as definitions, and callers decide
+                   what they may call from the declaration — a .cc-only
+                   annotation hides the purity contract from both.
+                   Anonymous-namespace and `static` functions are exempt:
+                   their definition is the only visible site.
 
 Usage:
   tools/lint_odyssey.py            # lint the repo, exit 1 on findings
@@ -218,6 +227,91 @@ def token_findings(files, rule, pattern, why):
 
 
 # ----------------------------------------------------------------------------
+# Rule: hot-declared
+# ----------------------------------------------------------------------------
+
+# `ODYSSEY_HOT_ALLOWS` cannot match: `_` is a word character, so \b does
+# not fall between HOT and _ALLOWS.
+HOT_TOKEN = re.compile(r"\bODYSSEY_HOT\b")
+HOT_NAME = re.compile(r"([A-Za-z_~][\w]*(?:::~?[A-Za-z_]\w*)*)\s*\(")
+
+
+def anonymous_namespace_spans(text):
+    spans = []
+    for m in re.finditer(r"\bnamespace\s*\{", text):
+        depth, i = 1, m.end()
+        while i < len(text) and depth:
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+            i += 1
+        spans.append((m.start(), i))
+    return spans
+
+
+def hot_annotated_name(head):
+    """First function name in a post-ODYSSEY_HOT head, skipping the other
+    annotation macros."""
+    for m in HOT_NAME.finditer(head):
+        if not m.group(1).startswith("ODYSSEY_"):
+            return m.group(1)
+    return None
+
+
+def hot_decl_names(header_files):
+    """Unqualified names carrying ODYSSEY_HOT anywhere in a header —
+    class-scope declarations, free declarations, or inline definitions."""
+    names = set()
+    for path in header_files:
+        text = strip_comments(path.read_text())
+        for m in HOT_TOKEN.finditer(text):
+            semi = text.find(";", m.end())
+            brace = text.find("{", m.end())
+            end = min(x for x in (semi, brace, len(text)) if x >= 0)
+            name = hot_annotated_name(text[m.end():end])
+            if name is not None:
+                names.add(name.split("::")[-1])
+    return names
+
+
+def hot_declared_findings(cc_files, declared):
+    findings = []
+    for path in cc_files:
+        text = strip_comments(path.read_text())
+        anon = anonymous_namespace_spans(text)
+        for m in HOT_TOKEN.finditer(text):
+            semi = text.find(";", m.end())
+            brace = text.find("{", m.end())
+            if brace < 0 or (0 <= semi < brace):
+                continue  # a declaration, not a definition
+            name = hot_annotated_name(text[m.end():brace])
+            if name is None:
+                continue
+            if any(s <= m.start() < e for s, e in anon):
+                continue
+            stmt_start = max(text.rfind(";", 0, m.start()),
+                             text.rfind("}", 0, m.start())) + 1
+            if re.search(r"\bstatic\b", text[stmt_start:m.start()]):
+                continue
+            if name.split("::")[-1] in declared:
+                continue
+            line = text.count("\n", 0, m.start()) + 1
+            findings.append(
+                Finding(
+                    "hot-declared",
+                    path,
+                    line,
+                    f"ODYSSEY_HOT on the definition of '{name}' has no "
+                    "ODYSSEY_HOT declaration in any header; annotate the "
+                    "declaration (or make the function static / "
+                    "anonymous-namespace)",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------------
 # Rule: env-registry
 # ----------------------------------------------------------------------------
 
@@ -286,6 +380,9 @@ def lint_repo():
     findings += env_registry_findings(
         product_and_tests, readme_env_registry(REPO / "README.md")
     )
+    findings += hot_declared_findings(
+        repo_files(["src"], suffixes=(".cc",)), hot_decl_names(headers)
+    )
     return findings
 
 
@@ -332,6 +429,16 @@ def self_test():
     )
     expect("env-registry", env, "env_bad.cc", want=True)
     expect("env-registry", env, "env_good.cc", want=False)
+
+    declared = hot_decl_names([FIXTURES / "hot_api.h"])
+    if "DeclaredHot" not in declared or "MethodHot" not in declared:
+        failures.append("hot-declared registry failed to parse hot_api.h")
+    hot = hot_declared_findings(
+        [FIXTURES / "hot_decl_bad.cc", FIXTURES / "hot_decl_good.cc"],
+        declared,
+    )
+    expect("hot-declared", hot, "hot_decl_bad.cc", want=True)
+    expect("hot-declared", hot, "hot_decl_good.cc", want=False)
 
     if failures:
         for f in failures:
