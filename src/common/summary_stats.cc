@@ -164,4 +164,84 @@ void CountBatchedScore(uint64_t q_count) {
 }
 
 }  // namespace scan_stats
+
+namespace fault_stats {
+namespace {
+
+// Fault decisions happen once per SimCluster::Send under an injector-local
+// mutex, and recovery actions are rarer still — contention is a non-issue;
+// own cache lines keep them from false-sharing the hot scan counters above.
+alignas(64) std::atomic<uint64_t> g_messages_dropped{0};
+alignas(64) std::atomic<uint64_t> g_messages_delayed{0};
+alignas(64) std::atomic<uint64_t> g_messages_duplicated{0};
+alignas(64) std::atomic<uint64_t> g_nodes_killed{0};
+alignas(64) std::atomic<uint64_t> g_nodes_declared_dead{0};
+alignas(64) std::atomic<uint64_t> g_batches_reassigned{0};
+alignas(64) std::atomic<uint64_t> g_queries_reassigned{0};
+alignas(64) std::atomic<uint64_t> g_steal_timeouts{0};
+
+}  // namespace
+
+uint64_t MessagesDropped() {
+  return g_messages_dropped.load(std::memory_order_relaxed);
+}
+uint64_t MessagesDelayed() {
+  return g_messages_delayed.load(std::memory_order_relaxed);
+}
+uint64_t MessagesDuplicated() {
+  return g_messages_duplicated.load(std::memory_order_relaxed);
+}
+uint64_t NodesKilled() {
+  return g_nodes_killed.load(std::memory_order_relaxed);
+}
+uint64_t NodesDeclaredDead() {
+  return g_nodes_declared_dead.load(std::memory_order_relaxed);
+}
+uint64_t BatchesReassigned() {
+  return g_batches_reassigned.load(std::memory_order_relaxed);
+}
+uint64_t QueriesReassigned() {
+  return g_queries_reassigned.load(std::memory_order_relaxed);
+}
+uint64_t StealTimeouts() {
+  return g_steal_timeouts.load(std::memory_order_relaxed);
+}
+
+void Reset() {
+  g_messages_dropped.store(0, std::memory_order_relaxed);
+  g_messages_delayed.store(0, std::memory_order_relaxed);
+  g_messages_duplicated.store(0, std::memory_order_relaxed);
+  g_nodes_killed.store(0, std::memory_order_relaxed);
+  g_nodes_declared_dead.store(0, std::memory_order_relaxed);
+  g_batches_reassigned.store(0, std::memory_order_relaxed);
+  g_queries_reassigned.store(0, std::memory_order_relaxed);
+  g_steal_timeouts.store(0, std::memory_order_relaxed);
+}
+
+void CountMessageDropped() {
+  g_messages_dropped.fetch_add(1, std::memory_order_relaxed);
+}
+void CountMessageDelayed() {
+  g_messages_delayed.fetch_add(1, std::memory_order_relaxed);
+}
+void CountMessageDuplicated() {
+  g_messages_duplicated.fetch_add(1, std::memory_order_relaxed);
+}
+void CountNodeKilled() {
+  g_nodes_killed.fetch_add(1, std::memory_order_relaxed);
+}
+void CountNodeDeclaredDead() {
+  g_nodes_declared_dead.fetch_add(1, std::memory_order_relaxed);
+}
+void CountBatchesReassigned(uint64_t n) {
+  g_batches_reassigned.fetch_add(n, std::memory_order_relaxed);
+}
+void CountQueryReassigned() {
+  g_queries_reassigned.fetch_add(1, std::memory_order_relaxed);
+}
+void CountStealTimeout() {
+  g_steal_timeouts.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace fault_stats
 }  // namespace odyssey

@@ -134,6 +134,49 @@ void Reset();
 void CountBatchedScore(uint64_t q_count);
 
 }  // namespace scan_stats
+
+namespace fault_stats {
+
+/// Process-wide counters of injected faults and the recovery work they
+/// triggered — the observability half of the chaos suite's promise. The
+/// Messages* counters move inside the fault-injection layer itself
+/// (src/net/fault_plan.h), so a chaos run can assert its plan actually
+/// fired rather than trivially passing on a quiet seed. NodesKilled counts
+/// transport closures executed by the injector; NodesDeclaredDead counts
+/// coordinator-side liveness verdicts (which may exceed NodesKilled: a
+/// false-positive declaration against a slow-but-alive node is
+/// exactness-safe and deliberately permitted, see ARCHITECTURE.md "Failure
+/// model"). BatchesReassigned / QueriesReassigned / StealTimeouts count
+/// the three recovery actions the protocol can take.
+///
+/// Same concurrency story as every group in this header: relaxed atomics
+/// on their own cache lines, exact only after the counted activity
+/// quiesced.
+
+uint64_t MessagesDropped();
+uint64_t MessagesDelayed();
+uint64_t MessagesDuplicated();
+uint64_t NodesKilled();
+uint64_t NodesDeclaredDead();
+uint64_t BatchesReassigned();
+uint64_t QueriesReassigned();
+uint64_t StealTimeouts();
+
+/// Zeroes all counters (test setup).
+void Reset();
+
+/// Increment hooks. The first four are called by FaultInjector::Decide;
+/// the rest by the recovery protocol in driver.cc / node_runtime.cc.
+void CountMessageDropped();
+void CountMessageDelayed();
+void CountMessageDuplicated();
+void CountNodeKilled();
+void CountNodeDeclaredDead();
+void CountBatchesReassigned(uint64_t n);
+void CountQueryReassigned();
+void CountStealTimeout();
+
+}  // namespace fault_stats
 }  // namespace odyssey
 
 #endif  // ODYSSEY_COMMON_SUMMARY_STATS_H_

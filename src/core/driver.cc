@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>  // std::this_thread::sleep_for (arrival pacing)
 #include <unordered_map>
@@ -15,6 +17,195 @@
 #include "src/common/thread_pool.h"
 
 namespace odyssey {
+namespace {
+
+/// Coordinator-side failure detection and group-level reassignment — the
+/// "victim never answers" branch of the recovery protocol (ARCHITECTURE.md
+/// "Failure model"). Single-threaded: lives on the coordinator's answer
+/// loop, fed one received message at a time.
+///
+/// Detection: every message the coordinator receives from a node is a
+/// heartbeat; a node silent past the deadline (and not yet terminated) is
+/// declared dead. Recovery: the verdict is broadcast (kNodeDead) so steal
+/// victims re-run the RS-batches they had granted to the deceased and ack
+/// (kNodeDeadAck); every query dispatched to the dead node is
+/// re-executed wholesale by surviving members of its replication group
+/// (kRecoverQuery), round-robin. The batch quiesces when every node is
+/// terminated or dead and no ack or recovery answer is outstanding; a
+/// final non-blocking drain then collects any answers a delay left behind.
+///
+/// A false-positive verdict (slow-but-alive node) is exactness-safe: its
+/// transport stays open, it keeps answering, and the duplicate answers
+/// deduplicate in MergeAnswers — re-execution only ever *adds* candidate
+/// coverage. What is unrecoverable is every replica of a chunk dying:
+/// SurvivingMembers surfaces that as a FailedPrecondition status.
+class CoordinatorRecovery {
+ public:
+  CoordinatorRecovery(const ReplicationLayout& layout, SimCluster* cluster,
+                      double timeout_seconds)
+      : layout_(layout),
+        cluster_(cluster),
+        timeout_seconds_(timeout_seconds),
+        last_heard_(static_cast<size_t>(layout.num_nodes()), 0.0) {}
+
+  bool enabled() const { return timeout_seconds_ > 0.0; }
+  bool IsDead(int node) const { return dead_.count(node) != 0; }
+  const std::set<int>& dead() const { return dead_; }
+  const Status& status() const { return status_; }
+
+  /// Records that `query_id` was dispatched to `node` (static assignment
+  /// or a dynamic grant): if the node dies unanswered, the query is
+  /// re-executed by a surviving group member.
+  void OnDispatch(int node, int query_id) {
+    if (enabled()) dispatched_[node].push_back(query_id);
+  }
+
+  /// Folds one coordinator-received message into the bookkeeping.
+  void OnMessage(const Message& m) {
+    if (!enabled()) return;
+    if (m.from >= 0 && m.from < layout_.num_nodes()) {
+      last_heard_[static_cast<size_t>(m.from)] = clock_.ElapsedSeconds();
+    }
+    switch (m.type) {
+      case MessageType::kLocalAnswer:
+        // Only the flagged re-execution answer retires the reassignment.
+        // A survivor can send *other* partial answers for the same
+        // (node, query) pair — stolen-work results, or the grant replay
+        // HandleNodeDead runs before acking — and counting one of those
+        // would quiesce the batch while the real recovery re-run is still
+        // scoring, losing the dead node's unstolen coverage for good.
+        if (m.recovery) pending_recovery_.erase({m.from, m.query_id});
+        break;
+      case MessageType::kNodeDeadAck:
+        pending_acks_.erase({m.from, m.subject});
+        break;
+      case MessageType::kQueryRequest:
+      case MessageType::kNodeTerminated:
+      case MessageType::kHeartbeat:
+        break;  // heartbeat only; termination is the caller's set
+      case MessageType::kAssignQuery:
+      case MessageType::kNoMoreQueries:
+      case MessageType::kBsfUpdate:
+      case MessageType::kDone:
+      case MessageType::kStealRequest:
+      case MessageType::kStealReply:
+      case MessageType::kShutdown:
+      case MessageType::kNodeDead:
+      case MessageType::kRecoverQuery:
+        break;  // node-bound vocabulary; never coordinator-received
+    }
+  }
+
+  /// Checks every live, unterminated node against the deadline.
+  void Poll(const std::set<int>& terminated) {
+    if (!enabled()) return;
+    const double now = clock_.ElapsedSeconds();
+    for (int n = 0; n < layout_.num_nodes(); ++n) {
+      if (dead_.count(n) != 0 || terminated.count(n) != 0) continue;
+      if (now - last_heard_[static_cast<size_t>(n)] > timeout_seconds_) {
+        DeclareDead(n);
+      }
+    }
+  }
+
+  /// The batch is over: every node terminated or dead, every kNodeDead
+  /// acked, every reassigned query answered.
+  bool Quiesced(const std::set<int>& terminated) const {
+    for (int n = 0; n < layout_.num_nodes(); ++n) {
+      if (terminated.count(n) == 0 && dead_.count(n) == 0) return false;
+    }
+    return pending_acks_.empty() && pending_recovery_.empty();
+  }
+
+ private:
+  void DeclareDead(int node) {
+    if (dead_.count(node) != 0) return;
+    dead_.insert(node);
+    fault_stats::CountNodeDeclaredDead();
+    // A verdict is protocol progress for everyone: restart every other
+    // node's silence window so survivors quietly waiting out the victim
+    // (e.g. parked in steal timeouts) are not cascaded into false
+    // verdicts of their own.
+    const double now = clock_.ElapsedSeconds();
+    for (double& heard : last_heard_) heard = now;
+    // Write off acks we were owed *by* the deceased, and collect
+    // recoveries it owned — they must move to another survivor.
+    std::vector<int> orphaned;
+    for (auto it = pending_acks_.begin(); it != pending_acks_.end();) {
+      if (it->first == node) {
+        it = pending_acks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = pending_recovery_.begin();
+         it != pending_recovery_.end();) {
+      if (it->first == node) {
+        orphaned.push_back(it->second);
+        it = pending_recovery_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Tell every remaining node; each must ack after re-running whatever
+    // it had granted to the deceased.
+    Message verdict;
+    verdict.type = MessageType::kNodeDead;
+    verdict.from = cluster_->coordinator_id();
+    verdict.subject = node;
+    for (int v = 0; v < layout_.num_nodes(); ++v) {
+      if (dead_.count(v) != 0) continue;
+      cluster_->Send(v, verdict);
+      pending_acks_.insert({v, node});
+    }
+    auto survivors = layout_.SurvivingMembers(layout_.GroupOf(node), dead_);
+    if (!survivors.ok()) {
+      // Chunk coverage is gone; surface the error instead of merging a
+      // silently partial answer. No reassignment target exists.
+      status_ = survivors.status();
+      return;
+    }
+    // Re-execute *everything* dispatched to the deceased — even queries it
+    // answered. Its answer for a query can be partial: it may have granted
+    // the query's RS-batches to a thief and died before the batch-carrying
+    // steal reply got out, in which case those batches ran nowhere and its
+    // delivered answer silently lacks them. Re-running answered queries
+    // only adds duplicate candidates (MergeAnswers dedups); skipping one
+    // loses coverage. (A node that *terminated* needs none of this: a
+    // delivered kNodeTerminated proves every earlier send — all its
+    // answers and steal replies — was delivered too.)
+    std::set<int> to_recover(orphaned.begin(), orphaned.end());
+    for (int q : dispatched_[node]) to_recover.insert(q);
+    for (int q : to_recover) {
+      const int target =
+          (*survivors)[static_cast<size_t>(rr_++) % survivors->size()];
+      Message recover;
+      recover.type = MessageType::kRecoverQuery;
+      recover.from = cluster_->coordinator_id();
+      recover.query_id = q;
+      cluster_->Send(target, std::move(recover));
+      pending_recovery_.insert({target, q});
+      dispatched_[target].push_back(q);  // survivable if the target dies too
+      fault_stats::CountQueryReassigned();
+    }
+  }
+
+  const ReplicationLayout& layout_;
+  SimCluster* const cluster_;
+  const double timeout_seconds_;
+  Stopwatch clock_;
+  std::vector<double> last_heard_;
+  std::set<int> dead_;
+  /// (acker, subject) pairs still owed after a kNodeDead broadcast.
+  std::set<std::pair<int, int>> pending_acks_;
+  /// (owner, query) reassignments whose recovery answer is still owed.
+  std::set<std::pair<int, int>> pending_recovery_;
+  std::map<int, std::vector<int>> dispatched_;
+  Status status_ = Status::Ok();
+  int rr_ = 0;  // round-robin cursor over survivors
+};
+
+}  // namespace
 
 bool DefaultBatchedScoring() {
   const char* env = std::getenv("ODYSSEY_BATCHED_SCORING");
@@ -404,7 +595,11 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
   const int num_queries = static_cast<int>(queries.size());
 
   // A fresh transport per batch: stale messages cannot leak across runs.
-  SimCluster cluster(layout_.num_nodes());
+  // With an active fault plan the transport is adversarial — the injector
+  // consults the plan's seeded RNG on every send.
+  FaultInjector injector(options_.fault_plan);
+  SimCluster cluster(layout_.num_nodes(),
+                     options_.fault_plan.active() ? &injector : nullptr);
 
   NodeBatchOptions node_options;
   node_options.policy = options_.scheduling;
@@ -418,6 +613,10 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
   node_options.use_executor = options_.use_executor;
   node_options.max_inflight = 1;  // the paper's batch model
   node_options.batched_scoring = options_.batched_scoring;
+  // Arm unsolicited heartbeats only when the liveness deadline is: silent
+  // compute must read as busy, and without a deadline pings are noise.
+  node_options.liveness_heartbeat_seconds =
+      options_.liveness_timeout_seconds > 0.0 ? 0.025 : 0.0;
   if (node_options.batched_scoring) {
     // Batched scoring groups a node's statically-delivered queries so one
     // leaf scan serves them all; cap the group at one query per worker.
@@ -429,6 +628,11 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
   Stopwatch batch_watch;
   double prepare_seconds = 0.0;
   const PreparedBatch prepared = PrepareQueries(queries, &prepare_seconds);
+
+  // Constructed after preparation so its silence clock starts with the
+  // nodes' epochs, not with the driver-side summarization work.
+  CoordinatorRecovery recovery(layout_, &cluster,
+                               options_.liveness_timeout_seconds);
 
   for (auto& node : nodes_) {
     node->StartBatch(&cluster, &prepared, node_options);
@@ -452,6 +656,11 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
   }
   // Dynamic dispatch queues, per group.
   std::vector<std::deque<int>> dispatch(layout_.num_groups());
+  // Assignment fence (Message::assign_count): per-node count of distinct
+  // kAssignQuery sends, stamped on every kNoMoreQueries so a node can tell
+  // a marker that overtook a delayed assignment from one that really is
+  // the end of its share.
+  std::vector<int> assigns_sent(static_cast<size_t>(layout_.num_nodes()), 0);
   for (int g = 0; g < layout_.num_groups(); ++g) {
     const std::vector<int> members = layout_.GroupMembers(g);
     const std::vector<double>& estimates = group_estimates[g];
@@ -472,6 +681,8 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
             m.from = cluster.coordinator_id();
             m.query_id = q;
             cluster.Send(members[w], std::move(m));
+            ++assigns_sent[static_cast<size_t>(members[w])];
+            recovery.OnDispatch(members[w], q);
           }
         }
         break;
@@ -488,6 +699,8 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
             m.from = cluster.coordinator_id();
             m.query_id = q;
             cluster.Send(members[w], std::move(m));
+            ++assigns_sent[static_cast<size_t>(members[w])];
+            recovery.OnDispatch(members[w], q);
           }
         }
         break;
@@ -506,6 +719,7 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
         Message m;
         m.type = MessageType::kNoMoreQueries;
         m.from = cluster.coordinator_id();
+        m.assign_count = assigns_sent[static_cast<size_t>(member)];
         cluster.Send(member, std::move(m));
       }
     }
@@ -517,42 +731,82 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
   BatchReport report;
   report.answers.resize(num_queries);
   std::vector<std::vector<Neighbor>> candidates(num_queries);
-  int terminated = 0;
-  while (terminated < layout_.num_nodes()) {
-    Message m = cluster.mailbox(cluster.coordinator_id()).Receive();
-    switch (m.type) {
-      case MessageType::kQueryRequest: {
-        std::deque<int>& queue = dispatch[layout_.GroupOf(m.from)];
-        Message reply;
-        reply.from = cluster.coordinator_id();
-        if (queue.empty()) {
-          reply.type = MessageType::kNoMoreQueries;
-        } else {
-          reply.type = MessageType::kAssignQuery;
-          reply.query_id = queue.front();
-          queue.pop_front();
+  // A duplicated kNodeTerminated (fault injection) must not double-count,
+  // so terminations are a set, not a counter.
+  std::set<int> terminated;
+  while (!recovery.Quiesced(terminated)) {
+    Message m;
+    bool got;
+    if (recovery.enabled()) {
+      // Poll with a short timeout so liveness deadlines fire even while no
+      // traffic arrives (the failure mode that needs them most).
+      got = cluster.mailbox(cluster.coordinator_id())
+                .ReceiveFor(std::chrono::microseconds(2000), &m);
+    } else {
+      got = cluster.mailbox(cluster.coordinator_id()).Receive(&m);
+      if (!got) break;  // coordinator mailbox closed: defensive, never faulted
+    }
+    if (got) {
+      recovery.OnMessage(m);
+      switch (m.type) {
+        case MessageType::kQueryRequest: {
+          std::deque<int>& queue = dispatch[layout_.GroupOf(m.from)];
+          Message reply;
+          reply.from = cluster.coordinator_id();
+          if (queue.empty()) {
+            reply.type = MessageType::kNoMoreQueries;
+            reply.assign_count = assigns_sent[static_cast<size_t>(m.from)];
+          } else {
+            reply.type = MessageType::kAssignQuery;
+            reply.query_id = queue.front();
+            queue.pop_front();
+            ++assigns_sent[static_cast<size_t>(m.from)];
+            recovery.OnDispatch(m.from, reply.query_id);
+          }
+          cluster.Send(m.from, std::move(reply));
+          break;
         }
-        cluster.Send(m.from, std::move(reply));
-        break;
+        case MessageType::kLocalAnswer: {
+          std::vector<Neighbor>& bucket = candidates[m.query_id];
+          bucket.insert(bucket.end(), m.neighbors.begin(), m.neighbors.end());
+          break;
+        }
+        case MessageType::kNodeTerminated:
+          terminated.insert(m.from);
+          break;
+        case MessageType::kAssignQuery:
+        case MessageType::kNoMoreQueries:
+        case MessageType::kBsfUpdate:
+        case MessageType::kDone:
+        case MessageType::kStealRequest:
+        case MessageType::kStealReply:
+        case MessageType::kShutdown:
+        case MessageType::kNodeDead:
+        case MessageType::kNodeDeadAck:
+        case MessageType::kRecoverQuery:
+        case MessageType::kHeartbeat:
+          break;  // node-bound traffic (e.g. kDone copies) is informational
       }
-      case MessageType::kLocalAnswer: {
+    }
+    recovery.Poll(terminated);
+  }
+
+  // Drain stragglers: a delayed kLocalAnswer can still sit in the held
+  // queue after the last kNodeTerminated. Sound because recovery answers
+  // are fenced by their node's kNodeDeadAck (same-thread FIFO) and ordinary
+  // answers by that node's kNodeTerminated, all of which Quiesced() has
+  // already seen; TryReceive force-flushes held messages.
+  {
+    Message m;
+    while (cluster.mailbox(cluster.coordinator_id()).TryReceive(&m)) {
+      if (m.type == MessageType::kLocalAnswer) {
         std::vector<Neighbor>& bucket = candidates[m.query_id];
         bucket.insert(bucket.end(), m.neighbors.begin(), m.neighbors.end());
-        break;
       }
-      case MessageType::kNodeTerminated:
-        ++terminated;
-        break;
-      case MessageType::kAssignQuery:
-      case MessageType::kNoMoreQueries:
-      case MessageType::kBsfUpdate:
-      case MessageType::kDone:
-      case MessageType::kStealRequest:
-      case MessageType::kStealReply:
-      case MessageType::kShutdown:
-        break;  // node-bound traffic (e.g. kDone copies) is informational here
     }
   }
+  report.status = recovery.status();
+  report.dead_nodes.assign(recovery.dead().begin(), recovery.dead().end());
 
   // Merge the per-node partial answers into the final ones.
   for (int q = 0; q < num_queries; ++q) {
@@ -590,7 +844,11 @@ BatchReport OdysseyCluster::AnswerStream(
                                arrival_seconds.end()));
   const int num_queries = static_cast<int>(queries.size());
 
-  SimCluster cluster(layout_.num_nodes());
+  FaultInjector injector(options_.fault_plan);
+  SimCluster cluster(layout_.num_nodes(),
+                     options_.fault_plan.active() ? &injector : nullptr);
+  CoordinatorRecovery recovery(layout_, &cluster,
+                               options_.liveness_timeout_seconds);
 
   NodeBatchOptions node_options;
   // Streaming always dispatches dynamically: a query cannot be assigned (or
@@ -608,6 +866,10 @@ BatchReport OdysseyCluster::AnswerStream(
   // With batched scoring, concurrently-admitted arrivals are scored as one
   // group instead of partitioning the pool between them.
   node_options.batched_scoring = options_.batched_scoring;
+  // Arm unsolicited heartbeats only when the liveness deadline is: silent
+  // compute must read as busy, and without a deadline pings are noise.
+  node_options.liveness_heartbeat_seconds =
+      options_.liveness_timeout_seconds > 0.0 ? 0.025 : 0.0;
   node_options.seed = options_.seed;
 
   // Online admission: slots are allocated up front, but each query is
@@ -667,14 +929,24 @@ BatchReport OdysseyCluster::AnswerStream(
   std::vector<std::deque<int>> parked(layout_.num_groups());
   int released = 0;
   std::vector<int> answers_remaining(num_queries, layout_.num_groups());
+  // Assignment fence — see AnswerBatch.
+  std::vector<int> assigns_sent(static_cast<size_t>(layout_.num_nodes()), 0);
 
   BatchReport report;
   report.answers.resize(num_queries);
   std::vector<std::vector<Neighbor>> candidates(num_queries);
-  int terminated = 0;
+  std::set<int> terminated;
 
   auto serve = [&](int group) {
     while (!parked[group].empty()) {
+      const int node = parked[group].front();
+      if (recovery.IsDead(node)) {
+        // A dead node's parked request is void: drop the request without
+        // consuming a dispatch-queue entry, so the query goes to a
+        // survivor's next request instead.
+        parked[group].pop_front();
+        continue;
+      }
       std::deque<int>& queue = dispatch[group];
       Message reply;
       reply.from = cluster.coordinator_id();
@@ -682,18 +954,20 @@ BatchReport OdysseyCluster::AnswerStream(
         reply.type = MessageType::kAssignQuery;
         reply.query_id = queue.front();
         queue.pop_front();
+        ++assigns_sent[static_cast<size_t>(node)];
+        recovery.OnDispatch(node, reply.query_id);
       } else if (released == num_queries) {
         reply.type = MessageType::kNoMoreQueries;
+        reply.assign_count = assigns_sent[static_cast<size_t>(node)];
       } else {
         return;  // wait for the next admission
       }
-      const int node = parked[group].front();
       parked[group].pop_front();
       cluster.Send(node, std::move(reply));
     }
   };
 
-  while (terminated < layout_.num_nodes()) {
+  while (!recovery.Quiesced(terminated)) {
     // Release every query the prep thread has admitted (admission implies
     // its arrival time has passed). The admitted() acquire pairs with the
     // Admit fetch_add, so a released slot's summaries are visible to every
@@ -708,40 +982,63 @@ BatchReport OdysseyCluster::AnswerStream(
       for (int g = 0; g < layout_.num_groups(); ++g) serve(g);
     }
     Message m;
-    if (!cluster.mailbox(cluster.coordinator_id())
-             .ReceiveFor(std::chrono::microseconds(200), &m)) {
-      continue;
-    }
-    switch (m.type) {
-      case MessageType::kQueryRequest:
-        parked[layout_.GroupOf(m.from)].push_back(m.from);
-        serve(layout_.GroupOf(m.from));
-        break;
-      case MessageType::kLocalAnswer: {
-        std::vector<Neighbor>& bucket = candidates[m.query_id];
-        bucket.insert(bucket.end(), m.neighbors.begin(), m.neighbors.end());
-        if (answers_remaining[m.query_id] > 0 &&
-            --answers_remaining[m.query_id] == 0) {
-          executing_queries.fetch_sub(1, std::memory_order_acq_rel);
+    if (cluster.mailbox(cluster.coordinator_id())
+            .ReceiveFor(std::chrono::microseconds(200), &m)) {
+      recovery.OnMessage(m);
+      switch (m.type) {
+        case MessageType::kQueryRequest:
+          parked[layout_.GroupOf(m.from)].push_back(m.from);
+          serve(layout_.GroupOf(m.from));
+          break;
+        case MessageType::kLocalAnswer: {
+          std::vector<Neighbor>& bucket = candidates[m.query_id];
+          bucket.insert(bucket.end(), m.neighbors.begin(), m.neighbors.end());
+          if (answers_remaining[m.query_id] > 0 &&
+              --answers_remaining[m.query_id] == 0) {
+            executing_queries.fetch_sub(1, std::memory_order_acq_rel);
+          }
+          break;
         }
-        break;
+        case MessageType::kNodeTerminated:
+          terminated.insert(m.from);
+          break;
+        case MessageType::kAssignQuery:
+        case MessageType::kNoMoreQueries:
+        case MessageType::kBsfUpdate:
+        case MessageType::kDone:
+        case MessageType::kStealRequest:
+        case MessageType::kStealReply:
+        case MessageType::kShutdown:
+        case MessageType::kNodeDead:
+        case MessageType::kNodeDeadAck:
+        case MessageType::kRecoverQuery:
+        case MessageType::kHeartbeat:
+          break;  // node-bound traffic is informational to the coordinator
       }
-      case MessageType::kNodeTerminated:
-        ++terminated;
-        break;
-      case MessageType::kAssignQuery:
-      case MessageType::kNoMoreQueries:
-      case MessageType::kBsfUpdate:
-      case MessageType::kDone:
-      case MessageType::kStealRequest:
-      case MessageType::kStealReply:
-      case MessageType::kShutdown:
-        break;  // node-bound traffic is informational to the coordinator
+    }
+    recovery.Poll(terminated);
+    // A death verdict may have freed parked requests for reassignment.
+    if (recovery.enabled()) {
+      for (int g = 0; g < layout_.num_groups(); ++g) serve(g);
     }
   }
   // Termination of every node implies all queries were dispatched, so the
   // prep thread has already run to completion.
   prep.Join();
+
+  // Drain held (delayed) stragglers; see AnswerBatch for the soundness
+  // argument.
+  {
+    Message m;
+    while (cluster.mailbox(cluster.coordinator_id()).TryReceive(&m)) {
+      if (m.type == MessageType::kLocalAnswer) {
+        std::vector<Neighbor>& bucket = candidates[m.query_id];
+        bucket.insert(bucket.end(), m.neighbors.begin(), m.neighbors.end());
+      }
+    }
+  }
+  report.status = recovery.status();
+  report.dead_nodes.assign(recovery.dead().begin(), recovery.dead().end());
 
   for (int q = 0; q < num_queries; ++q) {
     report.answers[q] = MergeAnswers(candidates[q], options_.query_options.k);

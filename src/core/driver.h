@@ -13,11 +13,13 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/cost_model.h"
 #include "src/core/node_runtime.h"
 #include "src/core/partitioning.h"
 #include "src/core/shared_chunk.h"
 #include "src/dataset/ingest.h"
+#include "src/net/fault_plan.h"
 
 namespace odyssey {
 
@@ -85,6 +87,23 @@ struct OdysseyOptions {
   const CostModel* cost_model = nullptr;
   const ThresholdModel* threshold_model = nullptr;
 
+  /// Fault injection (chaos testing, src/net/fault_plan.h): when active(),
+  /// every batch runs over an adversarial transport that drops, delays,
+  /// duplicates and reorders messages — and kills the plan's victim —
+  /// per the plan's seeded RNG. Inactive (the default) is the perfect
+  /// transport, bit-for-bit the pre-fault-model behaviour.
+  FaultPlan fault_plan;
+  /// Coordinator-side per-node liveness deadline, in seconds of silence
+  /// (messages received by the coordinator count as heartbeats) after
+  /// which a node is declared dead: the group is told (kNodeDead), victims
+  /// re-run what they had granted to it, and its unanswered queries are
+  /// re-executed by surviving group members (kRecoverQuery). 0 disables
+  /// detection — required for plans that kill a node, since a dead node's
+  /// kNodeTerminated never comes. False-positive declarations are
+  /// exactness-safe (duplicate answers deduplicate in MergeAnswers), which
+  /// is what makes aggressive deadlines usable in tests.
+  double liveness_timeout_seconds = 0.0;
+
   uint64_t seed = 42;
 };
 
@@ -118,6 +137,14 @@ struct BatchReport {
   size_t messages_sent = 0;
   size_t bsf_updates = 0;
   size_t steal_requests = 0;
+  /// Ok unless failure recovery found the batch unrecoverable (every
+  /// replica of some chunk declared dead). Answers are complete only when
+  /// ok.
+  Status status = Status::Ok();
+  /// Nodes the coordinator declared dead during this batch (liveness
+  /// verdicts, which may include false positives — see
+  /// OdysseyOptions::liveness_timeout_seconds).
+  std::vector<int> dead_nodes;
 
   int total_steals() const {
     int total = 0;
@@ -168,6 +195,14 @@ class OdysseyCluster {
 
   const ReplicationLayout& layout() const { return layout_; }
   const OdysseyOptions& options() const { return options_; }
+
+  /// Replaces the fault plan (and optionally the liveness deadline) applied
+  /// to subsequent batches. The index is untouched, so a chaos harness can
+  /// sweep hundreds of plans over one build instead of rebuilding per plan.
+  void set_fault_plan(const FaultPlan& plan) { options_.fault_plan = plan; }
+  void set_liveness_timeout_seconds(double seconds) {
+    options_.liveness_timeout_seconds = seconds;
+  }
 
   /// Stage-1 cost: partitioning the raw collection.
   double partition_seconds() const { return partition_seconds_; }

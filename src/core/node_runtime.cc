@@ -94,6 +94,12 @@ void NodeRuntime::NoteProtocolProgressLocked() {
   state_cv_.SignalAll();
 }
 
+bool NodeRuntime::AllAssignmentsInLocked() const {
+  return no_more_queries_ &&
+         (transport_closed_ ||
+          static_cast<int>(assigned_seen_.size()) >= expected_assignments_);
+}
+
 void NodeRuntime::EnsureExecutor() {
   if (options_.use_executor) {
     const size_t want =
@@ -196,10 +202,16 @@ void NodeRuntime::StartBatch(SimCluster* cluster,
   {
     MutexLock lock(&state_mu_);
     assigned_.clear();
+    assigned_seen_.clear();
+    expected_assignments_ = -1;
     no_more_queries_ = false;
+    transport_closed_ = false;
+    dead_nodes_.clear();
     done_nodes_.clear();
     steal_replies_.clear();
   }
+  steal_grants_.clear();  // comms-thread-owned; both loops are parked here
+  steal_replies_sent_.clear();
   {
     MutexLock lock(&inflight_mu_);
     inflight_ = 0;
@@ -222,20 +234,82 @@ void NodeRuntime::CommsLoop() {
   // (Algorithm 3) and as the keeper of the BSF book-keeping array
   // (Section 3.4): every received BSF improvement is folded into the
   // per-query cell that running executions prune against.
+  // With a liveness deadline armed, this thread is also the node's
+  // always-on heartbeat: the main thread can disappear into a
+  // deadline-length scan (one DTW query is plenty under CPU starvation)
+  // while this thread sits parked in Receive — total silence the
+  // coordinator would misread as death, cascading a false verdict that
+  // can strand a chunk with no live replica. Waking every few
+  // milliseconds to ping turns "busy" back into a signal.
+  const double hb_interval = options_.liveness_heartbeat_seconds;
+  Stopwatch hb_watch;
+  double last_heartbeat = 0.0;
   for (;;) {
-    Message m = cluster_->mailbox(id_).Receive();
+    Message m;
+    bool got;
+    if (hb_interval > 0.0) {
+      got = cluster_->mailbox(id_).ReceiveFor(
+          std::chrono::milliseconds(5), &m);
+      if (const double now = hb_watch.ElapsedSeconds();
+          now - last_heartbeat >= hb_interval) {
+        last_heartbeat = now;
+        Message ping;
+        ping.type = MessageType::kHeartbeat;
+        ping.from = id_;
+        cluster_->Send(cluster_->coordinator_id(), std::move(ping));
+      }
+      // ReceiveFor's false means deadline *or* closure; only closure ends
+      // the loop.
+      if (!got && !cluster_->mailbox(id_).closed()) continue;
+    } else {
+      got = cluster_->mailbox(id_).Receive(&m);
+    }
+    if (!got) {
+      // Transport closed under us: this node was killed by the fault
+      // injector. Wake the main thread out of every wait (it exits the
+      // epoch quietly — a dead host announces nothing) and end the loop.
+      MutexLock lock(&state_mu_);
+      transport_closed_ = true;
+      no_more_queries_ = true;
+      NoteProtocolProgressLocked();
+      return;
+    }
     switch (m.type) {
-      case MessageType::kShutdown:
+      case MessageType::kShutdown: {
+        // The coordinator has finalized the batch. Normally the main thread
+        // has already terminated, but a node the coordinator falsely
+        // declared dead can still be mid-loop — e.g. blocked in NextQuery()
+        // on a kQueryRequest reply the (quiesced) coordinator will never
+        // send. Treat shutdown like transport closure: wake the main thread
+        // out of every wait so the epoch can end. Exactness is unaffected —
+        // a declared-dead node's queries were all re-dispatched to
+        // survivors, whose recovery answers the coordinator has fenced.
+        MutexLock lock(&state_mu_);
+        transport_closed_ = true;
+        no_more_queries_ = true;
+        NoteProtocolProgressLocked();
         return;
+      }
       case MessageType::kAssignQuery: {
         MutexLock lock(&state_mu_);
-        assigned_.push_back(m.query_id);
+        // Dedup by query id: the coordinator assigns a query to a node at
+        // most once, so a repeat is an injector duplicate — executing it
+        // twice wastes work and double-counting it would satisfy the
+        // assignment fence early.
+        if (assigned_seen_.insert(m.query_id).second) {
+          assigned_.push_back(m.query_id);
+        }
         state_cv_.SignalAll();
         break;
       }
       case MessageType::kNoMoreQueries: {
         MutexLock lock(&state_mu_);
         no_more_queries_ = true;
+        // Counts only grow (a dynamic coordinator can answer duplicated
+        // requests with markers stamped at different times), so keep the
+        // largest fence seen.
+        expected_assignments_ = std::max(expected_assignments_,
+                                         m.assign_count);
         state_cv_.SignalAll();
         break;
       }
@@ -249,7 +323,7 @@ void NodeRuntime::CommsLoop() {
         break;
       }
       case MessageType::kStealRequest:
-        HandleStealRequest(m.from);
+        HandleStealRequest(m.from, m.steal_seq);
         break;
       case MessageType::kStealReply: {
         MutexLock lock(&state_mu_);
@@ -257,22 +331,117 @@ void NodeRuntime::CommsLoop() {
         NoteProtocolProgressLocked();  // a reply landed
         break;
       }
+      case MessageType::kNodeDead:
+        HandleNodeDead(m.subject);
+        break;
+      case MessageType::kRecoverQuery:
+        ExecuteRecoveryQuery(m.query_id);
+        break;
       case MessageType::kQueryRequest:
       case MessageType::kLocalAnswer:
       case MessageType::kNodeTerminated:
+      case MessageType::kNodeDeadAck:
+      case MessageType::kHeartbeat:
         break;  // coordinator-bound messages never arrive here
     }
   }
 }
 
-void NodeRuntime::HandleStealRequest(int thief) {
+void NodeRuntime::HandleNodeDead(int subject) {
+  if (subject == id_) return;  // a false verdict about us; keep working
+  {
+    MutexLock lock(&state_mu_);
+    dead_nodes_.insert(subject);
+    done_nodes_.insert(subject);
+    NoteProtocolProgressLocked();  // the steal loop must re-plan
+  }
+  // Re-run every RS-batch granted to the dead thief. The batches left this
+  // node's coverage at grant time (StealBatches), so with the thief gone
+  // they would run nowhere and the query's answer would silently miss
+  // candidates. Running them here on the comms thread delays message
+  // handling, which is safe: senders never block, and thieves waiting on
+  // our steal replies wait with timeouts.
+  uint64_t reassigned = 0;
+  for (StealGrant& grant : steal_grants_) {
+    if (grant.thief != subject || grant.batch_ids.empty()) continue;
+    Message replay;
+    replay.type = MessageType::kStealReply;
+    replay.from = id_;
+    replay.query_id = grant.query_id;
+    replay.bsf = bsf_board_[grant.query_id].load(std::memory_order_acquire);
+    replay.batch_ids = grant.batch_ids;
+    reassigned += grant.batch_ids.size();
+    grant.batch_ids.clear();  // never re-run twice
+    RunStolenWork(replay);
+  }
+  if (reassigned > 0) fault_stats::CountBatchesReassigned(reassigned);
+  Message ack;
+  ack.type = MessageType::kNodeDeadAck;
+  ack.from = id_;
+  ack.subject = subject;
+  cluster_->Send(cluster_->coordinator_id(), std::move(ack));
+}
+
+void NodeRuntime::ExecuteRecoveryQuery(int query_id) {
+  Stopwatch watch;
+  // Share the BSF cell (stolen work may have already tightened it) but do
+  // not broadcast improvements: the group is terminating and the cells die
+  // with the batch — correctness never depends on BSF sharing.
+  std::atomic<float>* cell =
+      options_.share_bsf ? &bsf_board_[query_id] : nullptr;
+  QueryExecution exec(index_.get(), queries_->query(query_id),
+                      options_.query_options, cell, nullptr);
+  const float initial_bsf = exec.SeedInitialBsf();
+  if (options_.threshold_model != nullptr &&
+      options_.threshold_model->calibrated()) {
+    exec.set_queue_threshold(
+        options_.threshold_model->PredictThreshold(initial_bsf));
+  }
+  // Score in the node's own mode: a batched-scoring node's answers come
+  // from the batched kernels, whose per-lane accumulation order differs
+  // from the per-query vector kernels by ULPs. A recovery re-run through
+  // the per-query path would then disagree with the answer the dead
+  // replica already delivered — a single-member group keeps the re-run
+  // bit-identical (lane semantics are independent of group size).
+  if (options_.batched_scoring && options_.use_executor &&
+      workers_ != nullptr && !options_.query_options.approximate) {
+    GroupedQueryExecution group({&exec});
+    group.Run(workers_.get());
+  } else {
+    exec.Run(options_.use_executor ? workers_.get() : nullptr);
+  }
+  SendLocalAnswer(query_id, exec.results().SortedResults(),
+                  /*recovery=*/true);
+  {
+    MutexLock lock(&stats_mu_);
+    ++batch_stats_.queries_executed;
+    batch_stats_.busy_seconds += watch.ElapsedSeconds();
+  }
+}
+
+void NodeRuntime::HandleStealRequest(int thief, int steal_seq) {
   // Algorithm 3: give away up to Nsend RS-batches of a running query that
   // satisfy the Take-Away property; always reply (an empty reply tells the
   // thief to look elsewhere). With in-flight admission several own queries
   // can be running — the first with stealable batches feeds the thief.
+  //
+  // Duplicate fence first: a network-duplicated request must not mint a
+  // *second* grant under the same seq. The thief retires the seq on the
+  // first reply it consumes, so a surprise second grant could arrive after
+  // the thief terminated and its batches would run nowhere. Re-sending the
+  // original reply verbatim is safe — re-running the same batches is
+  // idempotent under MergeAnswers' dedup-by-id.
+  const auto key = std::make_pair(thief, steal_seq);
+  if (auto it = steal_replies_sent_.find(key);
+      it != steal_replies_sent_.end()) {
+    Message resend = it->second;
+    cluster_->Send(thief, std::move(resend));
+    return;
+  }
   Message reply;
   reply.type = MessageType::kStealReply;
   reply.from = id_;
+  reply.steal_seq = steal_seq;  // retire exactly the request we answer
   if (options_.worksteal.enabled) {
     MutexLock lock(&exec_mu_);
     for (auto& [query_id, exec] : running_execs_) {
@@ -280,6 +449,9 @@ void NodeRuntime::HandleStealRequest(int thief) {
       if (ids.empty()) continue;
       reply.query_id = query_id;
       reply.bsf = bsf_board_[query_id].load(std::memory_order_acquire);
+      // Ledger the grant before the ids move into the reply: if the thief
+      // dies, HandleNodeDead re-runs them from here (both on this thread).
+      steal_grants_.push_back({thief, query_id, ids});
       reply.batch_ids = std::move(ids);
       {
         // exec_mu_ -> stats_mu_ is the one sanctioned nesting (see the
@@ -294,6 +466,7 @@ void NodeRuntime::HandleStealRequest(int thief) {
       break;
     }
   }
+  steal_replies_sent_.emplace(key, reply);  // fence before the send
   cluster_->Send(thief, std::move(reply));
 }
 
@@ -306,7 +479,9 @@ int NodeRuntime::NextQuery() {
     cluster_->Send(cluster_->coordinator_id(), std::move(request));
   }
   MutexLock lock(&state_mu_);
-  while (assigned_.empty() && !no_more_queries_) state_cv_.Wait(&state_mu_);
+  while (assigned_.empty() && !AllAssignmentsInLocked()) {
+    state_cv_.Wait(&state_mu_);
+  }
   if (!assigned_.empty()) {
     const int qid = assigned_.front();
     assigned_.pop_front();
@@ -344,7 +519,9 @@ void NodeRuntime::MainLoop() {
         // end, so for them the group is whatever is in flight *now* —
         // never a wait for stragglers.
         if (!PolicyIsDynamic(options_.policy)) {
-          while (!no_more_queries_) state_cv_.Wait(&state_mu_);
+          // The fence, not the bare marker: a delayed assignment the
+          // marker overtook still belongs in this node's (only) group.
+          while (!AllAssignmentsInLocked()) state_cv_.Wait(&state_mu_);
         }
         while (static_cast<int>(qids.size()) < max_inflight &&
                !assigned_.empty()) {
@@ -408,7 +585,14 @@ void NodeRuntime::MainLoop() {
     batch_stats_.inflight_hwm = std::max(batch_stats_.inflight_hwm,
                                          batch_stats_.queries_executed > 0 ? 1 : 0);
   }
-  // ... then announce completion to every node and start stealing.
+  // ... then announce completion to every node and start stealing. A node
+  // whose transport was closed (killed mid-batch) exits the epoch quietly
+  // instead: a dead host announces nothing, and the coordinator's liveness
+  // deadline — not a protocol message — is what detects it.
+  {
+    MutexLock lock(&state_mu_);
+    if (transport_closed_) return;
+  }
   Message done;
   done.type = MessageType::kDone;
   done.from = id_;
@@ -418,6 +602,10 @@ void NodeRuntime::MainLoop() {
     done_nodes_.insert(id_);
   }
   PerformWorkStealing();
+  {
+    MutexLock lock(&state_mu_);
+    if (transport_closed_) return;
+  }
   Message terminated;
   terminated.type = MessageType::kNodeTerminated;
   terminated.from = id_;
@@ -516,35 +704,150 @@ void NodeRuntime::ExecuteQueryGroup(const std::vector<int>& query_ids) {
 void NodeRuntime::PerformWorkStealing() {
   // Algorithm 4: while some group peer is still working, pick one at random,
   // request work, and run whatever RS-batches it gives away.
+  //
+  // Failure-model hardening on top of the paper's loop: seq-keyed
+  // per-victim outstanding-reply accounting (a batch-carrying reply that
+  // is merely delayed must be waited out — its RS-batches run nowhere
+  // else — and a duplicated reply must not retire a request it did not
+  // answer), reply timeouts with a consecutive-timeout bound on *starting
+  // new* steal attempts, and write-off of replies owed by peers the
+  // coordinator declared dead (their queries are re-run wholesale, which
+  // also covers whatever their in-flight replies granted).
   if (!options_.worksteal.enabled || layout_.replication_degree() <= 1) {
     return;
   }
   const std::vector<int> group = layout_.GroupMembers(layout_.GroupOf(id_));
   uint64_t rng_state = options_.seed ^ (0x9E3779B97f4A7C15ULL * (id_ + 1));
+  const int timeout_us = options_.worksteal.reply_timeout_us;
+  const int max_timeouts = options_.worksteal.max_reply_timeouts;
+  // Outstanding request seqs per victim. Seq-keyed (not counted) so an
+  // injector-duplicated reply retires its own request exactly once — a
+  // counter would let the duplicate of an *empty* reply pay the debt of a
+  // later *batch-carrying* one, and the thief would walk away from
+  // RS-batches that then run nowhere.
+  std::vector<std::set<int>> outstanding(
+      static_cast<size_t>(layout_.num_nodes()));
+  int next_steal_seq = 0;
+  int consecutive_timeouts = 0;
+  // The whole steal phase talks only to peers — the coordinator hears
+  // nothing from this node until kNodeTerminated. Under a short liveness
+  // deadline that silence reads as death and can cascade into declaring
+  // every busy thief dead, so ping the coordinator while the phase lasts.
+  // (The comms thread pings too, but it can be busy re-running recovery
+  // work on behalf of a dead peer — two pingers keep every window short.)
+  Stopwatch heartbeat_watch;
+  double last_heartbeat = 0.0;
+  const double kHeartbeatIntervalSeconds =
+      options_.liveness_heartbeat_seconds > 0.0
+          ? options_.liveness_heartbeat_seconds
+          : std::numeric_limits<double>::infinity();
   for (;;) {
+    const double hb_now = heartbeat_watch.ElapsedSeconds();
+    if (hb_now - last_heartbeat >= kHeartbeatIntervalSeconds) {
+      last_heartbeat = hb_now;
+      Message ping;
+      ping.type = MessageType::kHeartbeat;
+      ping.from = id_;
+      cluster_->Send(cluster_->coordinator_id(), std::move(ping));
+    }
     std::vector<int> peers;
+    // Outstanding replies are *debts*: a victim that granted us RS-batches
+    // removed them from its own answer at grant time, so a batch-carrying
+    // reply we never consume is coverage that runs nowhere. Hence the one
+    // hard rule of this loop: never terminate while a reply is outstanding
+    // from a peer that is not declared dead. A live peer's reply always
+    // arrives (HandleStealRequest replies unconditionally, answers are
+    // never dropped, and a parked Receive force-flushes held messages), no
+    // matter how long the injector delays it or how starved the comms
+    // thread is — the wait below is woken by its arrival. A peer declared
+    // dead has its debts written off: if it really died the coordinator
+    // re-runs every query it was dispatched, and if the verdict was false
+    // the same re-runs cover the batches its in-flight reply carried,
+    // since StealBatches only ever grants from the victim's own queries.
+    // The timeout budget bounds *starting new* steal attempts, not the
+    // consumption of debts already incurred.
+    int pending_active = 0;
+    int pending_parked = 0;
     {
       MutexLock lock(&state_mu_);
+      if (transport_closed_) return;  // this node was killed; fall silent
       for (int n : group) {
-        if (n != id_ && done_nodes_.count(n) == 0) peers.push_back(n);
+        if (n == id_) continue;
+        if (dead_nodes_.count(n) != 0) continue;  // debts written off
+        const int owed =
+            static_cast<int>(outstanding[static_cast<size_t>(n)].size());
+        if (done_nodes_.count(n) == 0) {
+          peers.push_back(n);
+          pending_active += owed;
+        } else {
+          pending_parked += owed;
+        }
       }
     }
-    const int victim = ChooseStealVictim(peers, &rng_state);
-    if (victim < 0) return;  // every group peer is done
-    {
-      MutexLock lock(&stats_mu_);
-      ++batch_stats_.steal_attempts;
+    const bool retries_left =
+        max_timeouts <= 0 || consecutive_timeouts < max_timeouts;
+    if (pending_active == 0 && pending_parked == 0 &&
+        (peers.empty() || !retries_left)) {
+      return;
     }
-    Message request;
-    request.type = MessageType::kStealRequest;
-    request.from = id_;
-    cluster_->Send(victim, std::move(request));
+    if (pending_active + pending_parked == 0 && !peers.empty() &&
+        retries_left) {
+      const int victim = ChooseStealVictim(peers, &rng_state);
+      {
+        MutexLock lock(&stats_mu_);
+        ++batch_stats_.steal_attempts;
+      }
+      Message request;
+      request.type = MessageType::kStealRequest;
+      request.from = id_;
+      request.steal_seq = next_steal_seq;
+      outstanding[static_cast<size_t>(victim)].insert(next_steal_seq);
+      ++next_steal_seq;
+      cluster_->Send(victim, std::move(request));
+    }
     Message reply;
+    bool have_reply = false;
+    bool timed_out = false;
     {
       MutexLock lock(&state_mu_);
-      while (steal_replies_.empty()) state_cv_.Wait(&state_mu_);
-      reply = std::move(steal_replies_.front());
-      steal_replies_.pop_front();
+      const uint64_t seen = state_version_;
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          (timeout_us > 0 ? std::chrono::microseconds(timeout_us)
+                          // "Forever", expressed as a deadline so the wait
+                          // below stays one code path.
+                          : std::chrono::microseconds(int64_t{3600000000}));
+      // Also wake on state_version_ (a peer finishing or dying) so a
+      // verdict about our victim re-plans the loop instead of waiting out
+      // the full timeout — essential when timeout_us is 0.
+      while (steal_replies_.empty() && !transport_closed_ &&
+             state_version_ == seen) {
+        if (state_cv_.WaitUntil(&state_mu_, deadline)) {
+          timed_out = steal_replies_.empty();
+          break;
+        }
+      }
+      if (!steal_replies_.empty()) {
+        reply = std::move(steal_replies_.front());
+        steal_replies_.pop_front();
+        have_reply = true;
+      } else if (transport_closed_) {
+        return;
+      }
+    }
+    if (!have_reply) {
+      if (timed_out) {
+        ++consecutive_timeouts;
+        fault_stats::CountStealTimeout();
+      }
+      continue;  // re-plan: peers/dead sets may have changed
+    }
+    consecutive_timeouts = 0;
+    if (reply.from >= 0 && reply.from < layout_.num_nodes()) {
+      // Retires exactly the request this reply answers; the second copy of
+      // a duplicated reply finds its seq already erased and retires
+      // nothing.
+      outstanding[static_cast<size_t>(reply.from)].erase(reply.steal_seq);
     }
     if (reply.batch_ids.empty()) {
       // Timed back-off before retrying another victim — but woken early by
@@ -612,11 +915,13 @@ void NodeRuntime::RunStolenWork(const Message& reply) {
 }
 
 void NodeRuntime::SendLocalAnswer(int query_id,
-                                  const std::vector<Neighbor>& local) {
+                                  const std::vector<Neighbor>& local,
+                                  bool recovery) {
   Message answer;
   answer.type = MessageType::kLocalAnswer;
   answer.from = id_;
   answer.query_id = query_id;
+  answer.recovery = recovery;
   answer.neighbors.reserve(local.size());
   for (const Neighbor& n : local) {
     answer.neighbors.push_back({n.squared_distance, (*global_ids_)[n.id]});

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <set>
 #include <utility>
@@ -69,6 +70,12 @@ struct NodeBatchOptions {
   /// search with use_executor only — other modes fall back to the
   /// per-query path). Driver-level switch: ODYSSEY_BATCHED_SCORING.
   bool batched_scoring = false;
+  /// Interval for unsolicited kHeartbeat pings to the coordinator, in
+  /// seconds; 0 disables them. Set by the driver iff its liveness deadline
+  /// is armed: long silent stretches (a main-phase DTW scan, a steal-phase
+  /// peer wait) must then read as "busy", not "dead". Without a deadline
+  /// the pings would be pure mailbox noise, so they are off.
+  double liveness_heartbeat_seconds = 0.0;
   uint64_t seed = 0;
 };
 
@@ -171,12 +178,36 @@ class NodeRuntime {
   /// afterwards.
   void ExecuteQueryGroup(const std::vector<int>& query_ids)
       ODYSSEY_EXCLUDES(stats_mu_);
-  void HandleStealRequest(int thief) ODYSSEY_EXCLUDES(exec_mu_, stats_mu_);
+  void HandleStealRequest(int thief, int steal_seq)
+      ODYSSEY_EXCLUDES(exec_mu_, stats_mu_);
+  /// Comms-thread reaction to the coordinator's kNodeDead verdict: marks
+  /// `subject` done+dead (waking the steal loop), re-runs every RS-batch
+  /// this node had granted to `subject` (those batches left our ownership
+  /// at grant time and would otherwise run nowhere), and acks so the
+  /// coordinator knows the re-coverage answers are in flight.
+  void HandleNodeDead(int subject) ODYSSEY_EXCLUDES(state_mu_, stats_mu_);
+  /// Comms-thread full re-execution of a dead group member's query
+  /// (coordinator reassignment). Not registered as a steal victim:
+  /// recovery work is not stealable, otherwise the protocol would have to
+  /// track grants-of-grants across further failures.
+  void ExecuteRecoveryQuery(int query_id) ODYSSEY_EXCLUDES(stats_mu_);
   void PerformWorkStealing();
   void RunStolenWork(const Message& reply);
-  void SendLocalAnswer(int query_id, const std::vector<Neighbor>& local);
+  /// `recovery` must be true exactly when the answer fulfils a
+  /// kRecoverQuery — the coordinator only retires its pending-recovery
+  /// entry on a flagged answer (see Message::recovery).
+  void SendLocalAnswer(int query_id, const std::vector<Neighbor>& local,
+                       bool recovery = false);
   /// Next query to run, or -1 when the batch is exhausted. Blocks.
   int NextQuery() ODYSSEY_EXCLUDES(state_mu_);
+
+  /// The share-complete predicate behind no_more_queries_: the marker
+  /// arrived AND every assignment it counted has been received (or the
+  /// transport closed, which voids the fence — a killed or shut-down node
+  /// must not wait for traffic that will never come). Replaces raw
+  /// no_more_queries_ checks in the main-loop waits, because the marker
+  /// can overtake a delayed assignment under fault injection.
+  bool AllAssignmentsInLocked() const ODYSSEY_REQUIRES(state_mu_);
 
   /// True when no epoch is running (both persistent loops have finished
   /// the last started epoch) — the StartBatch precondition and the
@@ -244,6 +275,25 @@ class NodeRuntime {
   CondVar state_cv_;
   std::deque<int> assigned_ ODYSSEY_GUARDED_BY(state_mu_);
   bool no_more_queries_ ODYSSEY_GUARDED_BY(state_mu_) = false;
+  /// Assignment fence (Message::assign_count). Every distinct query id
+  /// ever received via kAssignQuery this epoch — a set, so an
+  /// injector-duplicated assignment neither double-executes nor
+  /// double-counts against the fence — and the count the kNoMoreQueries
+  /// marker said to expect (-1 until a marker arrives). The marker alone
+  /// is not proof the share is complete: it can overtake a delayed
+  /// assignment, and honoring it early would strand that query unexecuted
+  /// in the held queue. AllAssignmentsInLocked() is the real predicate.
+  std::set<int> assigned_seen_ ODYSSEY_GUARDED_BY(state_mu_);
+  int expected_assignments_ ODYSSEY_GUARDED_BY(state_mu_) = -1;
+  /// Set when this node's mailbox was closed under it (the fault
+  /// injector's node kill): the comms loop exits, and the main loop skips
+  /// every further protocol announcement — a dead host says nothing.
+  bool transport_closed_ ODYSSEY_GUARDED_BY(state_mu_) = false;
+  /// Group peers the coordinator declared dead (kNodeDead). A dead peer is
+  /// never chosen as a steal victim and its outstanding replies are
+  /// written off (the coordinator re-runs its unanswered queries
+  /// wholesale).
+  std::set<int> dead_nodes_ ODYSSEY_GUARDED_BY(state_mu_);
   std::set<int> done_nodes_ ODYSSEY_GUARDED_BY(state_mu_);
   std::deque<Message> steal_replies_ ODYSSEY_GUARDED_BY(state_mu_);
   /// Bumped by the comms thread on protocol progress (peer done, steal
@@ -261,6 +311,31 @@ class NodeRuntime {
   Mutex exec_mu_ ODYSSEY_ACQUIRED_BEFORE(stats_mu_);
   std::vector<std::pair<int, QueryExecution*>> running_execs_
       ODYSSEY_GUARDED_BY(exec_mu_);
+
+  /// Ledger of every RS-batch grant this node made as a steal victim, kept
+  /// so a thief's death is survivable: the granted batches run nowhere
+  /// once the thief dies, and HandleNodeDead re-runs them from here.
+  /// *Comms-thread-owned* within an epoch (HandleStealRequest appends,
+  /// HandleNodeDead consumes — both run on the comms thread only) and
+  /// cleared by StartBatch between epochs; same publication protocol as
+  /// the epoch-owned fields above, so no mutex.
+  struct StealGrant {
+    int thief;
+    int query_id;
+    std::vector<int> batch_ids;  // cleared once re-run (idempotence)
+  };
+  std::vector<StealGrant> steal_grants_;
+
+  /// Duplicate-request fence for the victim side, keyed by (thief,
+  /// steal_seq) and holding the exact reply sent the first time. A
+  /// network-duplicated kStealRequest must NOT grant a second batch set:
+  /// the thief retires a seq on the first reply it consumes and may
+  /// legitimately terminate before a surprise second grant arrives, which
+  /// would strand those batches (they left our answer at grant time).
+  /// Re-sending the cached reply verbatim is idempotent — the thief at
+  /// worst re-runs the same batches, and MergeAnswers dedups by id.
+  /// Comms-thread-owned and epoch-cleared, like steal_grants_ above.
+  std::map<std::pair<int, int>, Message> steal_replies_sent_;
 };
 
 }  // namespace odyssey

@@ -35,6 +35,21 @@ std::vector<int> ReplicationLayout::GroupMembers(int group) const {
   return members;
 }
 
+StatusOr<std::vector<int>> ReplicationLayout::SurvivingMembers(
+    int group, const std::set<int>& dead) const {
+  std::vector<int> survivors;
+  for (int n = group; n < num_nodes_; n += num_groups_) {
+    if (dead.count(n) == 0) survivors.push_back(n);
+  }
+  if (survivors.empty()) {
+    return Status::FailedPrecondition(
+        "all " + std::to_string(replication_degree()) +
+        " replicas of chunk " + std::to_string(group) +
+        " are dead; the dataset is no longer fully covered");
+  }
+  return survivors;
+}
+
 std::vector<int> ReplicationLayout::ClusterMembers(int cluster) const {
   std::vector<int> members;
   const int begin = cluster * num_groups_;

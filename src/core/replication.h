@@ -1,6 +1,7 @@
 #ifndef ODYSSEY_CORE_REPLICATION_H_
 #define ODYSSEY_CORE_REPLICATION_H_
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,13 @@ class ReplicationLayout {
 
   /// Members of group g, ascending.
   std::vector<int> GroupMembers(int group) const;
+  /// Members of group g not in `dead`, ascending — the candidates that can
+  /// absorb a dead member's work (they hold the identical chunk). Returns
+  /// FailedPrecondition when every member is dead: chunk g is then
+  /// unrecoverable and the batch must surface an error, not a partial
+  /// answer.
+  StatusOr<std::vector<int>> SurvivingMembers(
+      int group, const std::set<int>& dead) const;
   /// Members of cluster c, ascending.
   std::vector<int> ClusterMembers(int cluster) const;
   /// The group coordinator: the lowest-id member.

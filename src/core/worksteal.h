@@ -14,6 +14,16 @@ struct WorkStealConfig {
   /// Back-off (microseconds) after an empty steal reply before retrying
   /// another victim, so an idle node does not flood a group with requests.
   int retry_backoff_us = 200;
+  /// How long a thief waits for a steal reply before counting a timeout
+  /// and retrying (microseconds; 0 = wait forever, the pre-fault-model
+  /// behaviour). 50ms is ~3 orders of magnitude above a healthy in-process
+  /// round trip, so it never fires on a fault-free run.
+  int reply_timeout_us = 50000;
+  /// Consecutive reply timeouts after which the thief gives up stealing
+  /// and proceeds to termination (0 = retry forever). Bounds the work-
+  /// stealing phase when a victim has silently died and no kNodeDead
+  /// verdict arrives (liveness detection disabled).
+  int max_reply_timeouts = 32;
 };
 
 /// Chooses a steal victim uniformly at random among still-active group

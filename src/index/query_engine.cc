@@ -42,8 +42,17 @@ KnnSet::KnnSet(int k)
 
 ODYSSEY_HOT bool KnnSet::Offer(float squared_distance, uint32_t id) {
   MutexLock lock(&mu_);
+  // Lexicographic (distance, id) order: exact-distance ties resolve by the
+  // smaller series id instead of by arrival order, so the k-set is a pure
+  // function of the offered candidates — replicas and re-executions (the
+  // failure-recovery path) reach bit-identical answers regardless of
+  // worker interleaving. PruneThreshold()'s one-ulp pad is the other half:
+  // it keeps tying candidates from being abandoned before they get here.
   auto compare = [](const Neighbor& a, const Neighbor& b) {
-    return a.squared_distance < b.squared_distance;
+    if (a.squared_distance != b.squared_distance) {
+      return a.squared_distance < b.squared_distance;
+    }
+    return a.id < b.id;
   };
   // The same series can be offered more than once (approximate search plus
   // leaf scan; work-stealing can even process a leaf on two nodes). A
@@ -59,7 +68,11 @@ ODYSSEY_HOT bool KnnSet::Offer(float squared_distance, uint32_t id) {
     }
     return true;
   }
-  if (squared_distance >= heap_.front().squared_distance) return false;
+  const Neighbor& worst = heap_.front();
+  if (squared_distance > worst.squared_distance ||
+      (squared_distance == worst.squared_distance && id > worst.id)) {
+    return false;
+  }
   std::pop_heap(heap_.begin(), heap_.end(), compare);
   ids_.Remove(heap_.back().id);
   heap_.back() = {squared_distance, id};
@@ -73,7 +86,10 @@ std::vector<Neighbor> KnnSet::SortedResults() const {
   MutexLock lock(&mu_);
   std::vector<Neighbor> out = heap_;
   std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
-    return a.squared_distance < b.squared_distance;
+    if (a.squared_distance != b.squared_distance) {
+      return a.squared_distance < b.squared_distance;
+    }
+    return a.id < b.id;
   });
   return out;
 }
@@ -394,8 +410,18 @@ ODYSSEY_HOT float QueryExecution::PruneThreshold() const {
   // The node's book-keeping cell already folds in every broadcast BSF; the
   // local k-NN threshold can be momentarily tighter for k > 1 before the
   // k-th best is shared.
-  return std::min(shared_bsf_->load(std::memory_order_acquire),
-                  knn_.Threshold());
+  //
+  // Padded up by one ulp so pruning (and the >= early-abandon cadence in
+  // the kernels this value is passed to) only discards candidates that are
+  // *strictly* worse than the k-th best. A candidate whose distance exactly
+  // ties the threshold then always completes scoring and reaches
+  // KnnSet::Offer, where the (distance, id) order resolves the tie — the
+  // same way in every run. Without the pad, whether a tying candidate
+  // completes depends on how tight the threshold happened to be when its
+  // leaf was scanned, i.e. on worker timing.
+  const float t = std::min(shared_bsf_->load(std::memory_order_acquire),
+                           knn_.Threshold());
+  return std::nextafter(t, kInf);
 }
 
 ODYSSEY_HOT float QueryExecution::LeafLowerBound(const TreeNode* node) const {
@@ -616,23 +642,15 @@ ODYSSEY_HOT void GroupedQueryExecution::ScanLeafGrouped(const LeafWork& work,
     }
     if (passing == 0) continue;
     const float* series = first->index_->data().data(ids[s]);
-    if (passing == 1) {
-      // Degenerate group for this series: a single surviving member gains
-      // nothing from the batched kernel's scalar-identical serial loop, so
-      // it takes the per-query kernel path (the candidate is loaded once
-      // either way, and no amortization event is counted).
-      for (int q : scratch->active) {
-        if (scratch->pass[q] == 0) continue;
-        QueryExecution* m = members_[q];
-        m->stat_real_distances_.fetch_add(1, std::memory_order_relaxed);
-        const float threshold = scratch->thresholds[q];
-        const float d = m->RealDistance(series, threshold);
-        if (d < threshold) m->OfferCandidate(d, ids[s]);
-        break;
-      }
-      continue;
-    }
-    scan_stats::CountBatchedScore(passing);
+    // A single surviving member still goes through the batched kernel (one
+    // live lane): the batched lanes accumulate in strict point order while
+    // the per-query vector kernels reduce lane partials, and the two
+    // families differ by ulps. Mixing them made a grouped query's reported
+    // distance depend on how many members happened to pass the filter —
+    // i.e. on worker timing — which broke the bit-exactness the failure-
+    // recovery re-runs (and the chaos suite) rely on. Only groups of two or
+    // more count as an amortization event.
+    if (passing > 1) scan_stats::CountBatchedScore(passing);
     if (use_dtw) {
       // Batched LB_Keogh; only survivors pay their member's DTW DP, exactly
       // like RealDistance.

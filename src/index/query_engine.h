@@ -417,9 +417,14 @@ class QueryScratch {
 /// members whose lower bound no longer beats their threshold are dropped;
 /// per series, each surviving member applies its own summary filter and
 /// early-abandon threshold, so the pruning power matches the per-query
-/// path and the final answers are the same exact k-NN sets (distances come
-/// from the batched kernels, which are bit-identical to the per-query
-/// scalar path).
+/// path and the final answers are the same exact k-NN sets. Every distance
+/// a grouped execution reports comes from the batched kernels — including
+/// when only one member survives a leaf's filters — because the batched
+/// lanes accumulate in strict point order while the per-query vector
+/// kernels reduce lane partials, and the two families differ by ulps.
+/// Staying in one family keeps grouped answers bit-identical run to run
+/// (the failure-recovery path re-executes a grouped node's queries as
+/// single-member groups for the same reason).
 ///
 /// Members are constructed, seeded and read out by the caller as usual;
 /// the group only replaces Run(). Grouped members never donate RS-batches

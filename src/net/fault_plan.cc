@@ -1,0 +1,109 @@
+#include "src/net/fault_plan.h"
+
+#include "src/common/summary_stats.h"
+
+namespace odyssey {
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {}
+
+bool FaultInjector::Reliable(MessageType type) {
+  switch (type) {
+    case MessageType::kShutdown:
+    case MessageType::kNodeDead:
+    case MessageType::kNodeDeadAck:
+    case MessageType::kRecoverQuery:
+    case MessageType::kHeartbeat:
+      // Heartbeats ride the same reliable side channel as membership
+      // changes. The dead-node rule in Decide() is checked before this one,
+      // so a killed node's heartbeats still die with it — real deaths stay
+      // detectable; only false positives from *busy* nodes are suppressed.
+      return true;
+    case MessageType::kAssignQuery:
+    case MessageType::kNoMoreQueries:
+    case MessageType::kQueryRequest:
+    case MessageType::kBsfUpdate:
+    case MessageType::kDone:
+    case MessageType::kStealRequest:
+    case MessageType::kStealReply:
+    case MessageType::kLocalAnswer:
+    case MessageType::kNodeTerminated:
+      return false;
+  }
+  return false;
+}
+
+bool FaultInjector::Droppable(MessageType type) {
+  // Only pruning hints may be lost. Every other data-plane message carries
+  // a coverage or termination obligation (an assignment, a batch grant, an
+  // answer, a protocol edge) whose silent loss would require ack/
+  // retransmit machinery to survive — the delay/duplicate/reorder faults
+  // cover those paths instead.
+  return type == MessageType::kBsfUpdate;
+}
+
+bool FaultInjector::victim_dead() const {
+  MutexLock lock(&mu_);
+  return victim_dead_;
+}
+
+FaultDecision FaultInjector::Decide(int to, const Message& message) {
+  FaultDecision decision;
+  MutexLock lock(&mu_);
+
+  // A dead host neither sends nor receives: everything touching the victim
+  // after the kill is dropped, regardless of type. (The victim's threads
+  // keep running until they observe the closed transport; their in-flight
+  // sends land here.)
+  if (victim_dead_ &&
+      (to == plan_.dead_node || message.from == plan_.dead_node)) {
+    decision.drop = true;
+    fault_stats::CountMessageDropped();
+    return decision;
+  }
+
+  // Kill trigger: the victim dies right after its Nth outbound send. The
+  // Nth message itself is still delivered — the interesting failure mode
+  // is a node that vanished mid-conversation, not one that was never
+  // heard from.
+  if (!victim_dead_ && plan_.dead_node >= 0 && plan_.kill_after_sends >= 0 &&
+      message.from == plan_.dead_node) {
+    ++victim_sends_;
+    if (victim_sends_ >= plan_.kill_after_sends) {
+      victim_dead_ = true;
+      decision.close_node = plan_.dead_node;
+      fault_stats::CountNodeKilled();
+    }
+  }
+
+  if (Reliable(message.type)) return decision;
+
+  if (plan_.drop_prob > 0.0 && Droppable(message.type) &&
+      rng_.NextDouble() < plan_.drop_prob) {
+    decision.drop = true;
+    fault_stats::CountMessageDropped();
+    return decision;
+  }
+
+  if (plan_.duplicate_prob > 0.0 &&
+      rng_.NextDouble() < plan_.duplicate_prob) {
+    decision.copies = 2;
+    fault_stats::CountMessageDuplicated();
+  }
+
+  if (plan_.delay_prob > 0.0 && rng_.NextDouble() < plan_.delay_prob) {
+    decision.hold_for =
+        1 + static_cast<int>(rng_.NextBounded(
+                static_cast<uint64_t>(plan_.max_delay > 0 ? plan_.max_delay
+                                                          : 1)));
+    fault_stats::CountMessageDelayed();
+  } else if (plan_.reorder_prob > 0.0 &&
+             rng_.NextDouble() < plan_.reorder_prob) {
+    decision.hold_for = 1;
+    fault_stats::CountMessageDelayed();
+  }
+
+  return decision;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,111 @@
+#ifndef ODYSSEY_NET_FAULT_PLAN_H_
+#define ODYSSEY_NET_FAULT_PLAN_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/sync.h"
+#include "src/net/message.h"
+
+namespace odyssey {
+
+/// A declarative description of the faults one simulated batch should
+/// suffer — the unit the chaos suite sweeps by the hundreds. Everything is
+/// derived from `seed` through the repo's deterministic Rng, so a failing
+/// run is replayable from the single printed seed (ODYSSEY_CHAOS_SEED).
+///
+/// Fault taxonomy (enforced by FaultInjector::Decide):
+///
+///  * Dropped:    kBsfUpdate only. BSF broadcasts are pure pruning hints —
+///    losing one costs extra distance computations, never answer
+///    correctness — so they can be lost without ack/retransmit machinery.
+///    Messages to or from a node that has been killed are also dropped
+///    (the strongest form of loss: a dead host neither sends nor
+///    receives).
+///  * Delayed / duplicated / reordered: every data-plane type. Delays are
+///    hold-backs measured in later mailbox arrivals (see
+///    Mailbox::SendHeld), which guarantees eventual delivery; reorder is
+///    the minimal one-arrival hold-back.
+///  * Reliable: kShutdown, the recovery types (kNodeDead, kNodeDeadAck,
+///    kRecoverQuery) and kHeartbeat — the control plane a real deployment
+///    would carry over a reliable side channel. Faulting the recovery
+///    protocol's own vocabulary tests nothing about the data plane. The
+///    dead-node rule above outranks this one, so a killed node's
+///    heartbeats still die with it: real deaths stay detectable, and only
+///    false verdicts against *busy* nodes are suppressed.
+///
+/// At most one node dies per plan. Multi-node failure is explicitly out of
+/// scope (ARCHITECTURE.md "Failure model"): with replication degree r the
+/// protocol tolerates any single failure, and a victim+thief double
+/// death after the victim answered is unrecoverable without data-carrying
+/// retransmission, which Odyssey's data-free design rules out.
+struct FaultPlan {
+  uint64_t seed = 0;
+
+  /// Per-message probabilities, rolled independently in Decide.
+  double drop_prob = 0.0;       // droppable types only (kBsfUpdate)
+  double delay_prob = 0.0;      // hold back 1..max_delay arrivals
+  double duplicate_prob = 0.0;  // deliver twice
+  double reorder_prob = 0.0;    // hold back exactly 1 arrival
+
+  /// Upper bound (in later arrivals) for a delay roll.
+  int max_delay = 3;
+
+  /// Node to kill, or -1 for a kill-free plan.
+  int dead_node = -1;
+  /// The victim dies immediately after its Nth outbound send is delivered
+  /// (so the kill lands mid-protocol, not at a quiet point); < 0 disables
+  /// the kill even when dead_node is set.
+  int kill_after_sends = -1;
+
+  bool active() const {
+    return drop_prob > 0.0 || delay_prob > 0.0 || duplicate_prob > 0.0 ||
+           reorder_prob > 0.0 || (dead_node >= 0 && kill_after_sends >= 0);
+  }
+};
+
+/// What SimCluster::Send should do with one message.
+struct FaultDecision {
+  bool drop = false;   // deliver nothing (still counted as a send attempt)
+  int copies = 1;      // 2 when duplicated
+  int hold_for = 0;    // > 0: deliver via Mailbox::SendHeld(hold_for)
+  int close_node = -1; // >= 0: close this node's mailbox after delivering
+};
+
+/// The seeded decision engine SimCluster consults on every Send. All
+/// mutable state (the RNG stream, the victim's send count, the dead flag)
+/// sits behind one mutex so concurrent senders draw from a single
+/// deterministic-per-interleaving stream; determinism across *runs* comes
+/// from the chaos harness asserting properties (bit-exact answers) rather
+/// than exact fault placement.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Decides the fate of `message` en route to `to`. Increments the
+  /// fault_stats counters for whatever it decides.
+  FaultDecision Decide(int to, const Message& message)
+      ODYSSEY_EXCLUDES(mu_);
+
+  /// True for control-plane types the injector never touches.
+  static bool Reliable(MessageType type);
+  /// True for the types whose loss cannot affect answer correctness.
+  static bool Droppable(MessageType type);
+
+  const FaultPlan& plan() const { return plan_; }
+  /// True once the plan's victim has been killed.
+  bool victim_dead() const ODYSSEY_EXCLUDES(mu_);
+
+ private:
+  const FaultPlan plan_;
+  mutable Mutex mu_;
+  Rng rng_ ODYSSEY_GUARDED_BY(mu_);
+  int victim_sends_ ODYSSEY_GUARDED_BY(mu_) = 0;
+  bool victim_dead_ ODYSSEY_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace odyssey
+
+#endif  // ODYSSEY_NET_FAULT_PLAN_H_

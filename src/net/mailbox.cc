@@ -7,9 +7,26 @@ namespace odyssey {
 ODYSSEY_HOT void Mailbox::Send(Message message) {
   {
     MutexLock lock(&mu_);
+    if (closed_) return;
+    ++arrivals_;
     queue_.push_back(std::move(message));
+    FlushRipeLocked();
   }
-  cv_.Signal();
+  cv_.SignalAll();
+}
+
+void Mailbox::SendHeld(Message message, int hold_for) {
+  {
+    MutexLock lock(&mu_);
+    if (closed_) return;
+    ++arrivals_;
+    if (hold_for < 1) hold_for = 1;
+    held_.push_back(
+        {std::move(message), arrivals_ + static_cast<uint64_t>(hold_for)});
+    // A held arrival can still ripen previously held traffic.
+    FlushRipeLocked();
+  }
+  cv_.SignalAll();
 }
 
 Message Mailbox::PopLocked() {
@@ -18,14 +35,52 @@ Message Mailbox::PopLocked() {
   return message;
 }
 
-Message Mailbox::Receive() {
+void Mailbox::FlushRipeLocked() {
+  while (!held_.empty()) {
+    size_t best = held_.size();
+    for (size_t i = 0; i < held_.size(); ++i) {
+      if (held_[i].release_at > arrivals_) continue;
+      if (best == held_.size() ||
+          held_[i].release_at < held_[best].release_at) {
+        best = i;
+      }
+    }
+    if (best == held_.size()) break;
+    queue_.push_back(std::move(held_[best].message));
+    held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+}
+
+void Mailbox::ForceFlushOneLocked() {
+  size_t best = 0;
+  for (size_t i = 1; i < held_.size(); ++i) {
+    if (held_[i].release_at < held_[best].release_at) best = i;
+  }
+  queue_.push_back(std::move(held_[best].message));
+  held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(best));
+}
+
+bool Mailbox::Receive(Message* message) {
   MutexLock lock(&mu_);
-  while (queue_.empty()) cv_.Wait(&mu_);
-  return PopLocked();
+  for (;;) {
+    FlushRipeLocked();
+    if (!queue_.empty()) {
+      *message = PopLocked();
+      return true;
+    }
+    if (closed_) return false;
+    if (!held_.empty()) {
+      ForceFlushOneLocked();
+      continue;
+    }
+    cv_.Wait(&mu_);
+  }
 }
 
 ODYSSEY_HOT bool Mailbox::TryReceive(Message* message) {
   MutexLock lock(&mu_);
+  FlushRipeLocked();
+  if (queue_.empty() && !held_.empty()) ForceFlushOneLocked();
   if (queue_.empty()) return false;
   *message = PopLocked();
   return true;
@@ -35,17 +90,39 @@ bool Mailbox::ReceiveFor(std::chrono::microseconds timeout,
                          Message* message) {
   MutexLock lock(&mu_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  while (queue_.empty()) {
-    if (cv_.WaitUntil(&mu_, deadline)) break;  // deadline passed
+  for (;;) {
+    FlushRipeLocked();
+    if (!queue_.empty()) {
+      *message = PopLocked();
+      return true;
+    }
+    if (closed_) return false;
+    if (!held_.empty()) {
+      ForceFlushOneLocked();
+      continue;
+    }
+    if (cv_.WaitUntil(&mu_, deadline)) return false;  // deadline passed
   }
-  if (queue_.empty()) return false;
-  *message = PopLocked();
-  return true;
+}
+
+void Mailbox::Close() {
+  {
+    MutexLock lock(&mu_);
+    closed_ = true;
+    queue_.clear();
+    held_.clear();
+  }
+  cv_.SignalAll();
+}
+
+bool Mailbox::closed() const {
+  MutexLock lock(&mu_);
+  return closed_;
 }
 
 size_t Mailbox::size() const {
   MutexLock lock(&mu_);
-  return queue_.size();
+  return queue_.size() + held_.size();
 }
 
 }  // namespace odyssey

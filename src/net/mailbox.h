@@ -2,7 +2,9 @@
 #define ODYSSEY_NET_MAILBOX_H_
 
 #include <chrono>
+#include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "src/common/hotpath.h"
 #include "src/common/sync.h"
@@ -14,6 +16,22 @@ namespace odyssey {
 /// the simulated cluster. Delivery is asynchronous and FIFO per mailbox,
 /// matching the MPI point-to-point semantics the paper's implementation
 /// relies on.
+///
+/// Two extensions serve the fault-injection layer (src/net/fault_plan.h):
+///
+///  * Close() — marks the mailbox closed, discards everything queued and
+///    wakes blocked receivers, whose Receive() then returns false. This is
+///    how a node "dies": its comms thread observes the closed transport
+///    instead of hanging forever on an empty queue. Sends after Close are
+///    silently dropped (messages to a dead node go nowhere).
+///
+///  * SendHeld() — enqueues a message that only becomes visible after
+///    `hold_for` later arrivals on this mailbox, which is how the injector
+///    delays and reorders traffic. Held messages can never be starved:
+///    whenever a receiver finds the visible queue empty, it force-releases
+///    the earliest held message rather than blocking past it, so every
+///    accepted message is eventually delivered and a delay can never be
+///    escalated into a lost message or a deadlock.
 class Mailbox {
  public:
   Mailbox() = default;
@@ -24,16 +42,23 @@ class Mailbox {
   /// the BSF-broadcast callback reaches from inside scans (under a
   /// hotpath::ScopedAllowance): it must never wait, never touch the OS and
   /// never throw — the lock + enqueue below is its whole sanctioned cost.
+  /// Dropped silently when the mailbox is closed.
   ODYSSEY_HOT void Send(Message message) ODYSSEY_EXCLUDES(mu_)
       ODYSSEY_HOT_ALLOWS(
           "lock,alloc: the cross-thread handoff point — one uncontended "
           "mutex hold around a deque enqueue; the hot-path contract here "
           "is no waits, no I/O, no throws");
 
-  /// Blocks until a message is available and returns it.
-  Message Receive() ODYSSEY_EXCLUDES(mu_);
+  /// Enqueues a message that becomes receivable only after `hold_for`
+  /// (>= 1) further arrivals on this mailbox — the fault injector's
+  /// delay/reorder primitive. Dropped silently when the mailbox is closed.
+  void SendHeld(Message message, int hold_for) ODYSSEY_EXCLUDES(mu_);
 
-  /// Non-blocking receive; returns false when the mailbox is empty. The
+  /// Blocks until a message is available (true) or the mailbox is closed
+  /// (false, `*message` untouched).
+  bool Receive(Message* message) ODYSSEY_EXCLUDES(mu_);
+
+  /// Non-blocking receive; returns false when nothing is deliverable. The
   /// comms-loop polling side of the fast path: same purity contract as
   /// Send (a blocking wait sneaking in here would stall a node's comms
   /// thread mid-batch).
@@ -42,21 +67,45 @@ class Mailbox {
           "lock,alloc: one uncontended mutex hold around a deque dequeue; "
           "no waits, no I/O, no throws");
 
-  /// Receives with a deadline; returns false on timeout. Lets the
-  /// coordinator interleave message handling with wall-clock work (e.g.
-  /// releasing dynamically arriving queries).
+  /// Receives with a deadline; returns false on timeout or when the
+  /// mailbox is closed. Lets the coordinator interleave message handling
+  /// with wall-clock work (e.g. releasing dynamically arriving queries or
+  /// polling per-node liveness deadlines).
   bool ReceiveFor(std::chrono::microseconds timeout, Message* message)
       ODYSSEY_EXCLUDES(mu_);
 
+  /// Closes the mailbox: discards queued and held messages, rejects
+  /// further sends, and wakes every blocked receiver (their Receive
+  /// returns false). Idempotent.
+  void Close() ODYSSEY_EXCLUDES(mu_);
+
+  bool closed() const ODYSSEY_EXCLUDES(mu_);
+
+  /// Messages accepted and not yet received (visible + held).
   size_t size() const ODYSSEY_EXCLUDES(mu_);
 
  private:
-  /// Dequeues the oldest message; the queue must be non-empty.
+  struct HeldMessage {
+    Message message;
+    uint64_t release_at;  // arrival count at which this becomes visible
+  };
+
+  /// Dequeues the oldest visible message; the queue must be non-empty.
   Message PopLocked() ODYSSEY_REQUIRES(mu_);
+  /// Moves every ripe held message (release_at <= arrivals_) into the
+  /// visible queue, earliest release first.
+  void FlushRipeLocked() ODYSSEY_REQUIRES(mu_);
+  /// Moves the earliest held message into the visible queue regardless of
+  /// ripeness; held_ must be non-empty. The progress guarantee: called
+  /// when a receiver would otherwise block past held traffic.
+  void ForceFlushOneLocked() ODYSSEY_REQUIRES(mu_);
 
   mutable Mutex mu_;
   CondVar cv_;
   std::deque<Message> queue_ ODYSSEY_GUARDED_BY(mu_);
+  std::vector<HeldMessage> held_ ODYSSEY_GUARDED_BY(mu_);
+  uint64_t arrivals_ ODYSSEY_GUARDED_BY(mu_) = 0;
+  bool closed_ ODYSSEY_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace odyssey

@@ -24,6 +24,14 @@ const char* MessageTypeToString(MessageType type) {
       return "NodeTerminated";
     case MessageType::kShutdown:
       return "Shutdown";
+    case MessageType::kNodeDead:
+      return "NodeDead";
+    case MessageType::kNodeDeadAck:
+      return "NodeDeadAck";
+    case MessageType::kRecoverQuery:
+      return "RecoverQuery";
+    case MessageType::kHeartbeat:
+      return "Heartbeat";
   }
   return "Unknown";
 }

@@ -26,18 +26,64 @@ enum class MessageType {
   kLocalAnswer,     ///< node -> coordinator: local (partial) k-NN answer
   kNodeTerminated,  ///< node -> coordinator: work-stealing phase over
   kShutdown,        ///< coordinator -> node: batch finished, exit
+  // Failure-recovery extension (ARCHITECTURE.md "Failure model"). These
+  // three are *control-plane reliable*: the fault-injection layer never
+  // drops, delays or duplicates them, mirroring how a real deployment
+  // would carry membership changes over a reliable side channel.
+  kNodeDead,      ///< coordinator -> all: node `subject` was declared dead
+  kNodeDeadAck,   ///< node -> coordinator: re-covered everything it had
+                  ///< granted to `subject`; safe to merge after all acks
+  kRecoverQuery,  ///< coordinator -> survivor: fully re-execute `query_id`
+                  ///< on behalf of a dead replica-group member
+  kHeartbeat,     ///< node -> coordinator: alive but quiet. Sent by the
+                  ///< comms thread whenever the mailbox is idle and by the
+                  ///< steal loop between peer waits (liveness armed only):
+                  ///< a deadline-length scan or a steal phase that talks
+                  ///< only to peers would otherwise read as silence and a
+                  ///< short liveness deadline would declare live nodes dead
 };
 
 const char* MessageTypeToString(MessageType type);
 
 /// A protocol message. Fields beyond `type`/`from` are used per type:
-/// query_id (kAssignQuery/kBsfUpdate/kStealReply/kLocalAnswer), bsf
-/// (kBsfUpdate/kStealReply, squared), batch_ids (kStealReply), neighbors
-/// (kLocalAnswer, with *global* series ids).
+/// query_id (kAssignQuery/kBsfUpdate/kStealReply/kLocalAnswer/
+/// kRecoverQuery), bsf (kBsfUpdate/kStealReply, squared), batch_ids
+/// (kStealReply), neighbors (kLocalAnswer, with *global* series ids),
+/// subject (kNodeDead/kNodeDeadAck: the node declared dead),
+/// recovery (kLocalAnswer: answers a kRecoverQuery, see below),
+/// assign_count (kNoMoreQueries: assignment fence, see below).
 struct Message {
   MessageType type = MessageType::kShutdown;
   int from = -1;
   int query_id = -1;
+  int subject = -1;
+  /// Request sequence number, stamped on kStealRequest by the thief and
+  /// echoed verbatim on the kStealReply. The thief's outstanding-reply
+  /// accounting is a set of these: a reply retires exactly the request it
+  /// answers, so an injector-duplicated reply (second copy erases an
+  /// already-erased seq) can never make the thief believe a still-in-flight
+  /// batch-carrying reply was already consumed.
+  int steal_seq = -1;
+  /// True only on the kLocalAnswer produced by a kRecoverQuery re-run.
+  /// The coordinator may only count *this* answer against its pending
+  /// recovery for (from, query_id): a survivor can emit other partial
+  /// answers for the very same pair — stolen-work results, or the
+  /// dead-thief grant replay that kNodeDead triggers — and those cover a
+  /// batch subset, not the full re-execution. Treating one of them as the
+  /// recovery answer lets the coordinator quiesce and merge while the
+  /// real re-run is still scoring, silently losing the dead node's
+  /// unstolen coverage.
+  bool recovery = false;
+  /// On kNoMoreQueries: how many distinct kAssignQuery messages the
+  /// coordinator has sent this node. The marker and the assignments race
+  /// under fault injection — a delayed assignment can be overtaken by the
+  /// marker, and a node that honors the marker immediately would leave its
+  /// main loop with that query still in the held queue, never executing
+  /// it. The count lets the node treat the marker as "no more will be
+  /// *sent*" rather than "you have seen everything": it keeps waiting
+  /// until the distinct assignments it received match the count (-1 = no
+  /// fence, pre-fault-injection semantics).
+  int assign_count = -1;
   float bsf = std::numeric_limits<float>::infinity();
   std::vector<int> batch_ids;
   std::vector<Neighbor> neighbors;

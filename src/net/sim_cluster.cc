@@ -4,11 +4,14 @@
 
 namespace odyssey {
 namespace {
+// Must name the LAST enumerator of MessageType; per_type_ is indexed by
+// static_cast<int>(type), so trailing the enum under-allocates it.
 constexpr int kMessageTypeCount =
-    static_cast<int>(MessageType::kShutdown) + 1;
+    static_cast<int>(MessageType::kHeartbeat) + 1;
 }  // namespace
 
-SimCluster::SimCluster(int num_nodes) : num_nodes_(num_nodes) {
+SimCluster::SimCluster(int num_nodes, FaultInjector* faults)
+    : num_nodes_(num_nodes), faults_(faults) {
   ODYSSEY_CHECK(num_nodes >= 1);
   mailboxes_.reserve(num_nodes + 1);
   for (int i = 0; i <= num_nodes; ++i) {
@@ -25,7 +28,25 @@ void SimCluster::Send(int to, Message message) {
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
   per_type_[static_cast<int>(message.type)]->fetch_add(
       1, std::memory_order_relaxed);
-  mailboxes_[to]->Send(std::move(message));
+  if (faults_ == nullptr) {
+    mailboxes_[to]->Send(std::move(message));
+    return;
+  }
+  const FaultDecision decision = faults_->Decide(to, message);
+  if (!decision.drop) {
+    for (int copy = 0; copy < decision.copies; ++copy) {
+      if (decision.hold_for > 0) {
+        mailboxes_[to]->SendHeld(message, decision.hold_for);
+      } else {
+        mailboxes_[to]->Send(message);
+      }
+    }
+  }
+  if (decision.close_node >= 0) {
+    // The kill: the victim's transport closes *after* this delivery, so
+    // its last send is heard but nothing further goes in or out.
+    mailboxes_[decision.close_node]->Close();
+  }
 }
 
 void SimCluster::Broadcast(Message message, int except) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/net/fault_plan.h"
 #include "src/net/mailbox.h"
 
 namespace odyssey {
@@ -14,9 +15,16 @@ namespace odyssey {
 /// inter-node interaction goes through Send/Broadcast — nodes never touch
 /// each other's memory, so the code paths match a real message-passing
 /// deployment; only the transport differs.
+///
+/// An optional FaultInjector turns the perfect transport into an
+/// adversarial one: Send consults it per message and then drops, delays
+/// (via Mailbox::SendHeld), duplicates, or — for a node kill — closes the
+/// target mailbox. The injector must outlive the cluster. messages_sent()
+/// keeps counting *attempts* (pre-fault), so observability assertions stay
+/// comparable between faulty and fault-free runs.
 class SimCluster {
  public:
-  explicit SimCluster(int num_nodes);
+  explicit SimCluster(int num_nodes, FaultInjector* faults = nullptr);
 
   int num_nodes() const { return num_nodes_; }
   /// The coordinator's address (the paper's coordinator node; our driver).
@@ -42,6 +50,7 @@ class SimCluster {
 
  private:
   int num_nodes_;
+  FaultInjector* faults_;  // not owned; nullptr = perfect transport
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<size_t> messages_sent_{0};
   std::vector<std::unique_ptr<std::atomic<size_t>>> per_type_;

@@ -108,6 +108,55 @@ TEST(ReplicationTest, InvalidShapeErrorsNameTheRightInvariant) {
   }
 }
 
+TEST(ReplicationTest, SurvivingMembersDegradesGracefully) {
+  // PARTIAL-4 over 8 nodes: group 1 = {1, 5}.
+  const auto layout = ReplicationLayout::Make(8, 4);
+  ASSERT_TRUE(layout.ok());
+
+  // No deaths: the full membership, ascending.
+  const auto intact = layout->SurvivingMembers(1, {});
+  ASSERT_TRUE(intact.ok());
+  EXPECT_EQ(*intact, (std::vector<int>{1, 5}));
+
+  // One death: the group degrades to a single survivor but stays covered.
+  const auto degraded = layout->SurvivingMembers(1, {5});
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(*degraded, (std::vector<int>{1}));
+
+  // Deaths in other groups do not affect this one.
+  const auto elsewhere = layout->SurvivingMembers(1, {0, 4, 2});
+  ASSERT_TRUE(elsewhere.ok());
+  EXPECT_EQ(*elsewhere, (std::vector<int>{1, 5}));
+}
+
+TEST(ReplicationTest, AllReplicasDeadIsAnError) {
+  // Both replicas of group 0's chunk gone: the dataset is no longer fully
+  // covered and the error must say so (no silent empty-vector success).
+  const auto layout = ReplicationLayout::Make(8, 4);
+  ASSERT_TRUE(layout.ok());
+  const auto lost = layout->SurvivingMembers(0, {0, 4});
+  ASSERT_FALSE(lost.ok());
+  EXPECT_NE(lost.status().message().find("no longer fully covered"),
+            std::string::npos)
+      << lost.status().ToString();
+
+  // EQUALLY-SPLIT is the degenerate case: a single death loses a chunk.
+  const auto split = ReplicationLayout::Make(4, 4);
+  ASSERT_TRUE(split.ok());
+  EXPECT_FALSE(split->SurvivingMembers(2, {2}).ok());
+  EXPECT_TRUE(split->SurvivingMembers(2, {0, 1, 3}).ok());
+}
+
+TEST(ReplicationTest, SurvivorsOfFullLayoutShrinkToOne) {
+  // FULL over 4 nodes tolerates the death of all but one member.
+  const auto full = ReplicationLayout::Make(4, 1);
+  ASSERT_TRUE(full.ok());
+  const auto last = full->SurvivingMembers(0, {0, 1, 3});
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(*last, (std::vector<int>{2}));
+  EXPECT_FALSE(full->SurvivingMembers(0, {0, 1, 2, 3}).ok());
+}
+
 // ----------------------------------------------------------- Partitioning
 
 class PartitioningTest : public ::testing::TestWithParam<PartitioningScheme> {
@@ -282,6 +331,46 @@ TEST(SchedulerTest, DynamicDispatchOrder) {
   const auto sorted =
       DynamicDispatchOrder({100, 50, 200, 250, 80}, 5, /*sorted=*/true);
   EXPECT_EQ(sorted, (std::vector<int>{3, 2, 0, 4, 1}));
+}
+
+TEST(SchedulerTest, StaticSplitHandlesDegradedWorkerCounts) {
+  // After a group member dies, the scheduler re-plans over the survivors:
+  // any worker count down to 1 must stay exhaustive and disjoint.
+  for (int workers : {3, 2, 1}) {
+    const auto assignment = StaticSplit(10, workers);
+    ASSERT_EQ(assignment.size(), static_cast<size_t>(workers));
+    std::vector<int> all;
+    for (const auto& part : assignment) {
+      EXPECT_FALSE(part.empty());
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    std::sort(all.begin(), all.end());
+    std::vector<int> expected(10);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(all, expected) << workers << " workers";
+  }
+}
+
+TEST(SchedulerTest, GreedySplitHandlesDegradedWorkerCounts) {
+  const std::vector<double> estimates = {100.0, 1, 7, 42, 3, 9, 2, 55};
+  for (int workers : {4, 2, 1}) {
+    for (bool sorted : {false, true}) {
+      const auto assignment = PredictionGreedySplit(estimates, workers,
+                                                    sorted);
+      ASSERT_EQ(assignment.size(), static_cast<size_t>(workers));
+      std::vector<int> all;
+      for (const auto& part : assignment) {
+        all.insert(all.end(), part.begin(), part.end());
+      }
+      std::sort(all.begin(), all.end());
+      std::vector<int> expected(estimates.size());
+      std::iota(expected.begin(), expected.end(), 0);
+      EXPECT_EQ(all, expected) << workers << " workers, sorted=" << sorted;
+    }
+  }
+  // The single-survivor extreme: everything lands on the lone worker.
+  const auto lone = PredictionGreedySplit(estimates, 1, /*sorted=*/true);
+  EXPECT_EQ(lone[0].size(), estimates.size());
 }
 
 // -------------------------------------------------------------- CostModel

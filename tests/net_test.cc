@@ -1,14 +1,23 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "src/net/fault_plan.h"
 #include "src/net/mailbox.h"
 #include "src/net/message.h"
 #include "src/net/sim_cluster.h"
 
 namespace odyssey {
 namespace {
+
+Message Receive(Mailbox& box) {
+  Message m;
+  EXPECT_TRUE(box.Receive(&m));
+  return m;
+}
 
 TEST(MailboxTest, FifoOrder) {
   Mailbox box;
@@ -19,7 +28,7 @@ TEST(MailboxTest, FifoOrder) {
     box.Send(std::move(m));
   }
   for (int i = 0; i < 10; ++i) {
-    EXPECT_EQ(box.Receive().query_id, i);
+    EXPECT_EQ(Receive(box).query_id, i);
   }
 }
 
@@ -40,7 +49,8 @@ TEST(MailboxTest, TryReceiveOnEmptyReturnsFalse) {
 TEST(MailboxTest, BlockingReceiveWakesOnSend) {
   Mailbox box;
   std::thread receiver([&box] {
-    const Message m = box.Receive();
+    Message m;
+    ASSERT_TRUE(box.Receive(&m));
     EXPECT_EQ(m.query_id, 42);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -70,10 +80,93 @@ TEST(MailboxTest, ConcurrentProducersLoseNothing) {
   for (auto& t : producers) t.join();
   std::vector<int> counts(kProducers, 0);
   for (int i = 0; i < kProducers * kPerProducer; ++i) {
-    ++counts[box.Receive().from];
+    ++counts[Receive(box).from];
   }
   for (int c : counts) EXPECT_EQ(c, kPerProducer);
   EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(MailboxTest, CloseWakesBlockedReceiverWithClosedStatus) {
+  Mailbox box;
+  std::thread receiver([&box] {
+    Message m;
+    // Distinguishable shutdown: a closed mailbox returns false instead of
+    // blocking forever or fabricating a message.
+    EXPECT_FALSE(box.Receive(&m));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  box.Close();
+  receiver.join();
+  EXPECT_TRUE(box.closed());
+}
+
+TEST(MailboxTest, CloseDiscardsQueueAndDropsLaterSends) {
+  Mailbox box;
+  Message m;
+  m.type = MessageType::kAssignQuery;
+  box.Send(m);
+  box.Close();
+  EXPECT_EQ(box.size(), 0u);
+  box.Send(m);  // silently dropped: the node is dead
+  EXPECT_EQ(box.size(), 0u);
+  Message out;
+  EXPECT_FALSE(box.TryReceive(&out));
+  EXPECT_FALSE(box.Receive(&out));
+}
+
+TEST(MailboxTest, ReceiveForTimesOutAndReportsClosed) {
+  Mailbox box;
+  Message m;
+  EXPECT_FALSE(box.ReceiveFor(std::chrono::microseconds(500), &m));
+  box.Close();
+  EXPECT_FALSE(box.ReceiveFor(std::chrono::microseconds(500), &m));
+}
+
+TEST(MailboxTest, HeldMessageReleasedAfterLaterArrivals) {
+  Mailbox box;
+  Message delayed;
+  delayed.type = MessageType::kLocalAnswer;
+  delayed.query_id = 99;
+  box.SendHeld(delayed, /*hold_for=*/2);
+  // Not ripe yet: only one arrival (the held one itself) has happened, but
+  // size() still accounts for it.
+  EXPECT_EQ(box.size(), 1u);
+  Message a;
+  a.type = MessageType::kAssignQuery;
+  a.query_id = 1;
+  box.Send(a);
+  a.query_id = 2;
+  box.Send(a);
+  // Two later arrivals: the held message is now ripe and flushed behind
+  // them (it "arrived late").
+  EXPECT_EQ(Receive(box).query_id, 1);
+  EXPECT_EQ(Receive(box).query_id, 2);
+  EXPECT_EQ(Receive(box).query_id, 99);
+}
+
+TEST(MailboxTest, HeldMessageForceFlushedWhenReceiverWouldBlock) {
+  Mailbox box;
+  Message delayed;
+  delayed.type = MessageType::kLocalAnswer;
+  delayed.query_id = 7;
+  box.SendHeld(delayed, /*hold_for=*/1000);
+  // No later traffic will ever arrive; TryReceive must force-flush the
+  // held message rather than strand it (delivery is guaranteed).
+  Message m;
+  ASSERT_TRUE(box.TryReceive(&m));
+  EXPECT_EQ(m.query_id, 7);
+}
+
+TEST(MailboxTest, BlockedReceiverForceFlushesHeldInsteadOfWaiting) {
+  Mailbox box;
+  Message delayed;
+  delayed.type = MessageType::kDone;
+  delayed.query_id = 13;
+  box.SendHeld(delayed, /*hold_for=*/1000000);
+  Message m;
+  // Blocking Receive with only held traffic must not deadlock.
+  ASSERT_TRUE(box.Receive(&m));
+  EXPECT_EQ(m.query_id, 13);
 }
 
 TEST(SimClusterTest, SendReachesTarget) {
@@ -84,7 +177,7 @@ TEST(SimClusterTest, SendReachesTarget) {
   cluster.Send(2, std::move(m));
   EXPECT_EQ(cluster.mailbox(2).size(), 1u);
   EXPECT_EQ(cluster.mailbox(1).size(), 0u);
-  const Message got = cluster.mailbox(2).Receive();
+  const Message got = Receive(cluster.mailbox(2));
   EXPECT_EQ(got.type, MessageType::kStealRequest);
   EXPECT_EQ(got.from, 0);
 }
@@ -112,7 +205,7 @@ TEST(SimClusterTest, CoordinatorHasItsOwnMailbox) {
   m.query_id = 5;
   m.neighbors.push_back({1.5f, 77});
   cluster.Send(cluster.coordinator_id(), std::move(m));
-  const Message got = cluster.mailbox(cluster.coordinator_id()).Receive();
+  const Message got = Receive(cluster.mailbox(cluster.coordinator_id()));
   EXPECT_EQ(got.type, MessageType::kLocalAnswer);
   ASSERT_EQ(got.neighbors.size(), 1u);
   EXPECT_EQ(got.neighbors[0].id, 77u);
@@ -139,9 +232,149 @@ TEST(MessageTest, AllTypesHaveNames) {
         MessageType::kQueryRequest, MessageType::kBsfUpdate,
         MessageType::kDone, MessageType::kStealRequest,
         MessageType::kStealReply, MessageType::kLocalAnswer,
-        MessageType::kNodeTerminated, MessageType::kShutdown}) {
+        MessageType::kNodeTerminated, MessageType::kShutdown,
+        MessageType::kNodeDead, MessageType::kNodeDeadAck,
+        MessageType::kRecoverQuery, MessageType::kHeartbeat}) {
     EXPECT_STRNE(MessageTypeToString(type), "Unknown");
   }
+}
+
+TEST(FaultInjectorTest, InactivePlanIsPassthrough) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  FaultInjector injector(plan);
+  Message m;
+  m.type = MessageType::kBsfUpdate;
+  m.from = 0;
+  const FaultDecision d = injector.Decide(1, m);
+  EXPECT_FALSE(d.drop);
+  EXPECT_EQ(d.copies, 1);
+  EXPECT_EQ(d.hold_for, 0);
+  EXPECT_EQ(d.close_node, -1);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.drop_prob = 0.3;
+  plan.delay_prob = 0.3;
+  plan.duplicate_prob = 0.2;
+  plan.reorder_prob = 0.2;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  Message m;
+  m.type = MessageType::kBsfUpdate;
+  m.from = 2;
+  for (int i = 0; i < 200; ++i) {
+    const FaultDecision da = a.Decide(i % 4, m);
+    const FaultDecision db = b.Decide(i % 4, m);
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.copies, db.copies);
+    EXPECT_EQ(da.hold_for, db.hold_for);
+  }
+}
+
+TEST(FaultInjectorTest, ControlPlaneIsReliable) {
+  for (MessageType type :
+       {MessageType::kShutdown, MessageType::kNodeDead,
+        MessageType::kNodeDeadAck, MessageType::kRecoverQuery}) {
+    EXPECT_TRUE(FaultInjector::Reliable(type));
+  }
+  for (MessageType type :
+       {MessageType::kAssignQuery, MessageType::kLocalAnswer,
+        MessageType::kStealRequest, MessageType::kStealReply,
+        MessageType::kBsfUpdate, MessageType::kNodeTerminated}) {
+    EXPECT_FALSE(FaultInjector::Reliable(type));
+  }
+}
+
+TEST(FaultInjectorTest, OnlyBsfUpdatesAreDroppable) {
+  EXPECT_TRUE(FaultInjector::Droppable(MessageType::kBsfUpdate));
+  for (MessageType type :
+       {MessageType::kAssignQuery, MessageType::kNoMoreQueries,
+        MessageType::kQueryRequest, MessageType::kLocalAnswer,
+        MessageType::kStealRequest, MessageType::kStealReply,
+        MessageType::kNodeTerminated, MessageType::kDone}) {
+    EXPECT_FALSE(FaultInjector::Droppable(type));
+  }
+}
+
+TEST(FaultInjectorTest, KillTriggersAfterNthSendAndDropsDeadTraffic) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.dead_node = 1;
+  plan.kill_after_sends = 3;
+  ASSERT_TRUE(plan.active());
+  FaultInjector injector(plan);
+  Message m;
+  m.type = MessageType::kLocalAnswer;
+  m.from = 1;
+  // First two sends pass untouched.
+  EXPECT_EQ(injector.Decide(0, m).close_node, -1);
+  EXPECT_EQ(injector.Decide(0, m).close_node, -1);
+  EXPECT_FALSE(injector.victim_dead());
+  // The third send triggers the kill but is itself still delivered.
+  const FaultDecision d = injector.Decide(0, m);
+  EXPECT_EQ(d.close_node, 1);
+  EXPECT_FALSE(d.drop);
+  EXPECT_TRUE(injector.victim_dead());
+  // Everything to or from the corpse is dropped from now on.
+  EXPECT_TRUE(injector.Decide(0, m).drop);
+  Message to_corpse;
+  to_corpse.type = MessageType::kAssignQuery;
+  to_corpse.from = 2;
+  EXPECT_TRUE(injector.Decide(1, to_corpse).drop);
+  // Traffic between survivors is untouched (no other faults configured).
+  Message between;
+  between.type = MessageType::kStealRequest;
+  between.from = 2;
+  EXPECT_FALSE(injector.Decide(0, between).drop);
+}
+
+TEST(SimClusterTest, InjectorKillClosesVictimMailbox) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.dead_node = 0;
+  plan.kill_after_sends = 1;
+  FaultInjector injector(plan);
+  SimCluster cluster(2, &injector);
+  Message m;
+  m.type = MessageType::kLocalAnswer;
+  m.from = 0;
+  cluster.Send(cluster.coordinator_id(), m);  // victim's first send: kill
+  EXPECT_TRUE(cluster.mailbox(0).closed());
+  EXPECT_FALSE(cluster.mailbox(1).closed());
+  // The triggering message was still delivered.
+  EXPECT_EQ(cluster.mailbox(cluster.coordinator_id()).size(), 1u);
+}
+
+TEST(SimClusterTest, InjectorDuplicatesAndDelaysDeliverEverything) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.duplicate_prob = 0.5;
+  plan.delay_prob = 0.5;
+  plan.max_delay = 4;
+  FaultInjector injector(plan);
+  SimCluster cluster(2, &injector);
+  constexpr int kSends = 100;
+  for (int i = 0; i < kSends; ++i) {
+    Message m;
+    m.type = MessageType::kStealRequest;
+    m.from = 0;
+    m.query_id = i;
+    cluster.Send(1, m);
+  }
+  // Every logical message arrives at least once (no drops configured);
+  // duplicates may push the count higher.
+  std::set<int> seen;
+  int received = 0;
+  Message m;
+  while (cluster.mailbox(1).TryReceive(&m)) {
+    seen.insert(m.query_id);
+    ++received;
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kSends));
+  EXPECT_GE(received, kSends);
 }
 
 }  // namespace
