@@ -1,0 +1,173 @@
+#include "src/common/numa.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+
+#include <fstream>
+#endif
+
+#if defined(ODYSSEY_HAVE_LIBNUMA)
+#include <numa.h>
+#endif
+
+#include "src/common/sync.h"
+
+namespace odyssey {
+namespace numa {
+namespace {
+
+struct Topology {
+  bool enabled = false;
+  /// Per-node CPU lists (node_cpus.size() == node count, always >= 1).
+  /// A node's list can be empty (memory-only node); BindCurrentThread
+  /// refuses those.
+  std::vector<std::vector<int>> node_cpus;
+};
+
+#if defined(__linux__)
+/// Parses a sysfs cpulist ("0-3,8,10-11") into CPU ids. Malformed input
+/// yields whatever prefix parsed cleanly — placement is best-effort.
+std::vector<int> ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) break;
+    size_t used = 0;
+    const int lo = std::stoi(text.substr(i), &used);
+    i += used;
+    int hi = lo;
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      if (i >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[i]))) {
+        break;
+      }
+      hi = std::stoi(text.substr(i), &used);
+      i += used;
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    if (i < text.size() && text[i] == ',') ++i;
+  }
+  return cpus;
+}
+
+/// Linux fallback when libnuma is absent: one nodeN directory per NUMA
+/// node, each with a cpulist file.
+std::vector<std::vector<int>> ReadSysfsTopology() {
+  std::vector<std::vector<int>> nodes;
+  for (int n = 0;; ++n) {
+    std::ifstream cpulist("/sys/devices/system/node/node" +
+                          std::to_string(n) + "/cpulist");
+    if (!cpulist.is_open()) break;
+    std::string text;
+    std::getline(cpulist, text);
+    nodes.push_back(ParseCpuList(text));
+  }
+  return nodes;
+}
+#endif  // __linux__
+
+#if defined(ODYSSEY_HAVE_LIBNUMA)
+std::vector<std::vector<int>> ReadLibnumaTopology() {
+  std::vector<std::vector<int>> nodes;
+  if (numa_available() < 0) return nodes;
+  const int count = numa_num_configured_nodes();
+  struct bitmask* mask = numa_allocate_cpumask();
+  for (int n = 0; n < count; ++n) {
+    std::vector<int> cpus;
+    if (numa_node_to_cpus(n, mask) == 0) {
+      for (unsigned int c = 0; c < mask->size; ++c) {
+        if (numa_bitmask_isbitset(mask, c)) cpus.push_back(static_cast<int>(c));
+      }
+    }
+    nodes.push_back(std::move(cpus));
+  }
+  numa_free_cpumask(mask);
+  return nodes;
+}
+#endif  // ODYSSEY_HAVE_LIBNUMA
+
+std::unique_ptr<Topology> BuildTopology() {
+  auto topo = std::make_unique<Topology>();
+#if defined(ODYSSEY_HAVE_LIBNUMA)
+  topo->node_cpus = ReadLibnumaTopology();
+#endif
+#if defined(__linux__)
+  if (topo->node_cpus.empty()) topo->node_cpus = ReadSysfsTopology();
+#endif
+  if (topo->node_cpus.empty()) topo->node_cpus.emplace_back();  // 1 node
+  // Policy: ODYSSEY_NUMA unset/empty = auto (multi-node machines only),
+  // "0"/"off" = forced off, anything else = forced on (single-socket CI
+  // exercises the binding path this way).
+  const char* env = std::getenv("ODYSSEY_NUMA");
+  if (env == nullptr || *env == '\0') {
+    topo->enabled = topo->node_cpus.size() > 1;
+  } else {
+    const std::string value(env);
+    topo->enabled = !(value == "0" || value == "off" || value == "OFF");
+  }
+  return topo;
+}
+
+Mutex g_mu;
+// Built once under g_mu, immutable afterwards (ResetForTest is the
+// documented single-threaded exception).
+std::unique_ptr<Topology>* TopologySlot() {
+  static std::unique_ptr<Topology> slot;
+  return &slot;
+}
+
+const Topology& GetTopology() {
+  MutexLock lock(&g_mu);
+  std::unique_ptr<Topology>& slot = *TopologySlot();
+  if (slot == nullptr) slot = BuildTopology();
+  return *slot;
+}
+
+}  // namespace
+
+int NodeCount() {
+  return static_cast<int>(GetTopology().node_cpus.size());
+}
+
+bool Enabled() { return GetTopology().enabled; }
+
+int NodeForGroup(int group) {
+  const Topology& topo = GetTopology();
+  if (!topo.enabled || group < 0) return -1;
+  return group % static_cast<int>(topo.node_cpus.size());
+}
+
+bool BindCurrentThread(int node) {
+  const Topology& topo = GetTopology();
+  if (!topo.enabled || node < 0 ||
+      node >= static_cast<int>(topo.node_cpus.size())) {
+    return false;
+  }
+  const std::vector<int>& cpus = topo.node_cpus[static_cast<size_t>(node)];
+  if (cpus.empty()) return false;  // memory-only node, nothing to run on
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+void ResetForTest() {
+  MutexLock lock(&g_mu);
+  TopologySlot()->reset();
+}
+
+}  // namespace numa
+}  // namespace odyssey

@@ -1,0 +1,59 @@
+#ifndef ODYSSEY_COMMON_NUMA_H_
+#define ODYSSEY_COMMON_NUMA_H_
+
+/// Minimal NUMA topology and placement layer. Two consumers:
+///
+///  - the driver binds each replication group's SharedChunk build thread
+///    to the group's socket before materializing the bundle, so
+///    first-touch page allocation places the series data on the memory
+///    the group's replicas will scan (executor_stats::ChunksPlaced);
+///  - the node runtime pins its persistent pool workers to the same
+///    socket (NodeRuntime::PinExecutorWorkers,
+///    executor_stats::WorkersPinned), so the scan loops never cross the
+///    interconnect for their own chunk.
+///
+/// Topology source: libnuma when the build found it (ODYSSEY_HAVE_LIBNUMA,
+/// see CMake option ODYSSEY_ENABLE_NUMA), else the Linux sysfs node tree;
+/// on non-Linux builds or single-socket machines the layer reports one
+/// node and placement degrades to a no-op — every entry point below is
+/// safe to call unconditionally.
+///
+/// Policy override: the ODYSSEY_NUMA environment variable. Unset or empty
+/// means auto (placement active iff the machine reports more than one
+/// node); "0"/"off" forces placement off; any other value forces it on
+/// even on a single-node machine, which is how single-socket CI runners
+/// exercise the binding code and its counters. The policy and topology
+/// are computed once and cached; ResetForTest() drops the cache so tests
+/// can flip the variable.
+
+namespace odyssey {
+namespace numa {
+
+/// Number of NUMA nodes the topology layer detected (>= 1; 1 when the
+/// machine or platform exposes no NUMA information).
+int NodeCount();
+
+/// True when placement is active for this process: not forced off, and
+/// either the machine has more than one node or ODYSSEY_NUMA forced it on.
+bool Enabled();
+
+/// Socket assignment for replication group `group`: round-robin over the
+/// detected nodes. Returns -1 when placement is disabled — callers skip
+/// binding entirely on -1.
+int NodeForGroup(int group);
+
+/// Binds the calling thread's CPU affinity to `node`'s CPU set. Returns
+/// true on success; false (leaving the affinity untouched) when placement
+/// is disabled, `node` is out of range, the node's CPU list is empty, or
+/// the platform cannot set affinity.
+bool BindCurrentThread(int node);
+
+/// Drops the cached topology + policy so the next query re-reads
+/// ODYSSEY_NUMA and sysfs. Test hook only — never call it while other
+/// threads may be inside this layer.
+void ResetForTest();
+
+}  // namespace numa
+}  // namespace odyssey
+
+#endif  // ODYSSEY_COMMON_NUMA_H_

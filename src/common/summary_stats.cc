@@ -93,6 +93,8 @@ namespace {
 alignas(64) std::atomic<uint64_t> g_threads_spawned{0};
 alignas(64) std::atomic<uint64_t> g_inflight_hwm{0};
 alignas(64) std::atomic<uint64_t> g_prep_overlap_nanos{0};
+alignas(64) std::atomic<uint64_t> g_workers_pinned{0};
+alignas(64) std::atomic<uint64_t> g_chunks_placed{0};
 
 }  // namespace
 
@@ -107,11 +109,19 @@ double PrepOverlapSeconds() {
              g_prep_overlap_nanos.load(std::memory_order_relaxed)) *
          1e-9;
 }
+uint64_t WorkersPinned() {
+  return g_workers_pinned.load(std::memory_order_relaxed);
+}
+uint64_t ChunksPlaced() {
+  return g_chunks_placed.load(std::memory_order_relaxed);
+}
 
 void Reset() {
   g_threads_spawned.store(0, std::memory_order_relaxed);
   g_inflight_hwm.store(0, std::memory_order_relaxed);
   g_prep_overlap_nanos.store(0, std::memory_order_relaxed);
+  g_workers_pinned.store(0, std::memory_order_relaxed);
+  g_chunks_placed.store(0, std::memory_order_relaxed);
 }
 
 void CountThreadsSpawned(uint64_t n) {
@@ -132,6 +142,14 @@ void AddPrepOverlapSeconds(double seconds) {
                                  std::memory_order_relaxed);
 }
 
+void CountWorkerPinned() {
+  g_workers_pinned.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CountChunkPlaced() {
+  g_chunks_placed.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace executor_stats
 
 namespace scan_stats {
@@ -139,8 +157,13 @@ namespace {
 
 // Incremented once per batched-kernel call (one call covers a whole leaf ×
 // query-group product), not per distance — cheap even on the scan path.
+// Donations are rarer still (once per granted slice, on the comms thread).
 alignas(64) std::atomic<uint64_t> g_batched_score_calls{0};
 alignas(64) std::atomic<uint64_t> g_series_loads_saved{0};
+alignas(64) std::atomic<uint64_t> g_multi_score_calls{0};
+alignas(64) std::atomic<uint64_t> g_multi_score_lanes{0};
+alignas(64) std::atomic<uint64_t> g_batches_donated{0};
+alignas(64) std::atomic<uint64_t> g_donated_series_scanned{0};
 
 }  // namespace
 
@@ -150,10 +173,26 @@ uint64_t BatchedScoreCalls() {
 uint64_t SeriesLoadsSaved() {
   return g_series_loads_saved.load(std::memory_order_relaxed);
 }
+uint64_t MultiScoreCalls() {
+  return g_multi_score_calls.load(std::memory_order_relaxed);
+}
+uint64_t MultiScoreLanes() {
+  return g_multi_score_lanes.load(std::memory_order_relaxed);
+}
+uint64_t BatchesDonated() {
+  return g_batches_donated.load(std::memory_order_relaxed);
+}
+uint64_t DonatedSeriesScanned() {
+  return g_donated_series_scanned.load(std::memory_order_relaxed);
+}
 
 void Reset() {
   g_batched_score_calls.store(0, std::memory_order_relaxed);
   g_series_loads_saved.store(0, std::memory_order_relaxed);
+  g_multi_score_calls.store(0, std::memory_order_relaxed);
+  g_multi_score_lanes.store(0, std::memory_order_relaxed);
+  g_batches_donated.store(0, std::memory_order_relaxed);
+  g_donated_series_scanned.store(0, std::memory_order_relaxed);
 }
 
 void CountBatchedScore(uint64_t q_count) {
@@ -161,6 +200,16 @@ void CountBatchedScore(uint64_t q_count) {
   if (q_count > 1) {
     g_series_loads_saved.fetch_add(q_count - 1, std::memory_order_relaxed);
   }
+}
+
+void CountMultiScore(uint64_t lanes) {
+  g_multi_score_calls.fetch_add(1, std::memory_order_relaxed);
+  g_multi_score_lanes.fetch_add(lanes, std::memory_order_relaxed);
+}
+
+void CountBatchDonated(uint64_t series) {
+  g_batches_donated.fetch_add(1, std::memory_order_relaxed);
+  g_donated_series_scanned.fetch_add(series, std::memory_order_relaxed);
 }
 
 }  // namespace scan_stats

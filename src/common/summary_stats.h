@@ -94,6 +94,15 @@ uint64_t ThreadsSpawned();
 uint64_t QueriesInFlightHwm();
 double PrepOverlapSeconds();
 
+/// NUMA placement counters (src/common/numa.h). WorkersPinned() counts
+/// pool workers whose affinity the executor bound to their node's socket;
+/// ChunksPlaced() counts SharedChunk bundles whose build thread was bound
+/// for first-touch placement. Both stay zero when the NUMA layer is
+/// disabled or the machine reports a single node — the graceful-fallback
+/// contract the non-NUMA CI leg asserts.
+uint64_t WorkersPinned();
+uint64_t ChunksPlaced();
+
 /// Zeroes all counters (test setup).
 void Reset();
 
@@ -103,6 +112,11 @@ void CountThreadsSpawned(uint64_t n);
 /// Max-updates the in-flight high-water mark.
 void RecordQueriesInFlight(uint64_t n);
 void AddPrepOverlapSeconds(double seconds);
+/// NUMA placement hooks, called on successful binds only — by the
+/// executor's worker pinning (NodeRuntime::PinExecutorWorkers) and the
+/// driver's chunk-build-thread placement respectively.
+void CountWorkerPinned();
+void CountChunkPlaced();
 
 }  // namespace executor_stats
 
@@ -126,12 +140,41 @@ namespace scan_stats {
 uint64_t BatchedScoreCalls();
 uint64_t SeriesLoadsSaved();
 
-/// Zeroes both counters (test setup).
+/// Multi-candidate scorer counters — the low-occupancy complement of the
+/// batched kernels. Series where fewer than simd::kMultiCandidateLanes
+/// group members survive the per-series filters are deferred into
+/// per-member lane queues and scored by MultiSquaredEuclideanEarlyAbandon
+/// (several candidates, one query, strict scalar point order per lane);
+/// MultiScoreCalls() counts the flush passes and MultiScoreLanes() the
+/// candidate lanes they scored. High lanes-per-call (near
+/// kMultiCandidateLanes) means the deferral queues filled before their
+/// flushes — the ILP the pass exists to harvest.
+uint64_t MultiScoreCalls();
+uint64_t MultiScoreLanes();
+
+/// Donation counters — the observability half of grouped-scan steal
+/// donation. When a grouped member hands a still-untouched (member, batch)
+/// slice of the merged leaf-work list to a work-stealing thief,
+/// BatchesDonated() counts the slice and DonatedSeriesScanned() counts the
+/// leaf series the local scan thereby skipped (the work the thief re-runs
+/// on its own replica). Zero in both places means grouped runs never
+/// served a thief — exactly what the pre-donation design guaranteed and
+/// the Fig13d donation panels measure against.
+uint64_t BatchesDonated();
+uint64_t DonatedSeriesScanned();
+
+/// Zeroes every scan_stats counter (test setup).
 void Reset();
 
 /// Increment hook, called once per batched-kernel call scoring `q_count`
 /// queries.
 void CountBatchedScore(uint64_t q_count);
+/// Increment hook, called once per multi-candidate flush pass scoring
+/// `lanes` deferred candidates.
+void CountMultiScore(uint64_t lanes);
+/// Increment hook, called once per donated (member, batch) slice with the
+/// series count it hands the thief.
+void CountBatchDonated(uint64_t series);
 
 }  // namespace scan_stats
 

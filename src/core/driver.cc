@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/numa.h"
 #include "src/common/stopwatch.h"
 #include "src/common/summary_stats.h"
 #include "src/common/sync.h"
@@ -212,6 +213,19 @@ bool DefaultBatchedScoring() {
   return env != nullptr && *env != '\0' && *env != '0';
 }
 
+bool DefaultStealDonation() {
+  const char* env = std::getenv("ODYSSEY_STEAL_DONATION");
+  if (env == nullptr || *env == '\0') return true;  // donation defaults on
+  return *env != '0';
+}
+
+int DefaultBatchMaxInflight() {
+  const char* env = std::getenv("ODYSSEY_BATCH_INFLIGHT");
+  if (env == nullptr || *env == '\0') return 0;  // auto
+  const int value = std::atoi(env);
+  return value > 0 ? value : 0;
+}
+
 QueryAnswer MergeAnswers(const std::vector<Neighbor>& candidates, int k) {
   // Deduplicate by global id, keeping each series' best distance, then take
   // the k smallest.
@@ -284,6 +298,13 @@ OdysseyCluster::OdysseyCluster(const SeriesCollection& dataset,
       groups.reserve(layout_.num_groups());
       for (int g = 0; g < layout_.num_groups(); ++g) {
         groups.emplace_back([&, g] {
+          // NUMA first-touch: bind the build thread to the group's socket
+          // before materializing, so the bundle's pages land on the memory
+          // its replicas will scan. The pool is created after the bind —
+          // child threads inherit the affinity mask.
+          if (numa::BindCurrentThread(numa::NodeForGroup(g))) {
+            executor_stats::CountChunkPlaced();
+          }
           ThreadPool pool(static_cast<size_t>(
               std::max(1, options_.build_threads_per_node)));
           bundles[g] = SharedChunk::Build(dataset.Subset(chunks[g]),
@@ -467,6 +488,10 @@ void OdysseyCluster::BuildNodes(GroupChunks groups) {
       adopters.reserve(layout_.num_groups());
       for (int g = 0; g < layout_.num_groups(); ++g) {
         adopters.emplace_back([&, g] {
+          // NUMA first-touch placement — see the in-memory constructor.
+          if (numa::BindCurrentThread(numa::NodeForGroup(g))) {
+            executor_stats::CountChunkPlaced();
+          }
           ThreadPool pool(static_cast<size_t>(
               std::max(1, options_.build_threads_per_node)));
           bundles[g] = SharedChunk::Adopt(
@@ -611,18 +636,26 @@ BatchReport OdysseyCluster::AnswerBatch(const SeriesCollection& queries) {
   node_options.threshold_model = options_.threshold_model;
   node_options.share_bsf = options_.share_bsf;
   node_options.use_executor = options_.use_executor;
-  node_options.max_inflight = 1;  // the paper's batch model
   node_options.batched_scoring = options_.batched_scoring;
+  node_options.steal_donation = options_.steal_donation;
+  // Admission depth: the executor path admits up to a pool's width of
+  // statically-delivered queries — with batched scoring, one leaf scan
+  // then serves the whole admitted group — and stolen/donated work charges
+  // the same in-flight budget. The legacy spawn path keeps the paper's
+  // strict one-at-a-time batch model (every in-flight query there spawns
+  // its own thread complement).
+  if (options_.batch_max_inflight > 0) {
+    node_options.max_inflight = options_.batch_max_inflight;
+  } else if (options_.use_executor || node_options.batched_scoring) {
+    node_options.max_inflight =
+        std::max(1, options_.query_options.num_threads);
+  } else {
+    node_options.max_inflight = 1;
+  }
   // Arm unsolicited heartbeats only when the liveness deadline is: silent
   // compute must read as busy, and without a deadline pings are noise.
   node_options.liveness_heartbeat_seconds =
       options_.liveness_timeout_seconds > 0.0 ? 0.025 : 0.0;
-  if (node_options.batched_scoring) {
-    // Batched scoring groups a node's statically-delivered queries so one
-    // leaf scan serves them all; cap the group at one query per worker.
-    node_options.max_inflight =
-        std::max(1, options_.query_options.num_threads);
-  }
   node_options.seed = options_.seed;
 
   Stopwatch batch_watch;
@@ -866,6 +899,7 @@ BatchReport OdysseyCluster::AnswerStream(
   // With batched scoring, concurrently-admitted arrivals are scored as one
   // group instead of partitioning the pool between them.
   node_options.batched_scoring = options_.batched_scoring;
+  node_options.steal_donation = options_.steal_donation;
   // Arm unsolicited heartbeats only when the liveness deadline is: silent
   // compute must read as busy, and without a deadline pings are noise.
   node_options.liveness_heartbeat_seconds =

@@ -28,6 +28,18 @@ namespace odyssey {
 /// to enable). Explicit assignment to the option always wins.
 bool DefaultBatchedScoring();
 
+/// Default for OdysseyOptions::steal_donation, read once per call from the
+/// ODYSSEY_STEAL_DONATION environment variable. Donation is on by default;
+/// set "0" (or any value starting with '0') to disable. Explicit assignment
+/// to the option always wins.
+bool DefaultStealDonation();
+
+/// Default for OdysseyOptions::batch_max_inflight, read once per call from
+/// the ODYSSEY_BATCH_INFLIGHT environment variable (a positive integer).
+/// Returns 0 — auto — when the variable is unset, empty or not a positive
+/// number. Explicit assignment to the option always wins.
+int DefaultBatchMaxInflight();
+
 /// Everything that configures one Odyssey deployment (Figure 3).
 struct OdysseyOptions {
   /// Cluster shape: PARTIAL-num_groups over num_nodes nodes. num_groups = 1
@@ -71,9 +83,18 @@ struct OdysseyOptions {
   bool use_executor = true;
   /// AnswerStream only: max queries one node runs concurrently on its pool
   /// (its in-flight admission depth). With > 1 a node whose workers are
-  /// idle starts the next admitted query instead of strictly serializing;
-  /// AnswerBatch always uses 1 (the paper's batch model).
+  /// idle starts the next admitted query instead of strictly serializing.
+  /// AnswerBatch has its own depth (batch_max_inflight below); on both
+  /// paths, admitted queries and stolen/donated work charge the same
+  /// per-node in-flight budget.
   int stream_max_inflight = 2;
+  /// AnswerBatch: max queries one node runs concurrently on its pool. 0
+  /// means auto — up to query_options.num_threads on the executor (and
+  /// batched-scoring) paths, 1 on the legacy per-query-spawn path (the
+  /// paper's strict one-at-a-time batch model, where every in-flight query
+  /// spawns its own thread complement). Default: the ODYSSEY_BATCH_INFLIGHT
+  /// environment variable, else auto.
+  int batch_max_inflight = DefaultBatchMaxInflight();
   /// Batched multi-query scoring: each node runs its in-flight queries as
   /// one GroupedQueryExecution whose leaf scan loads every candidate series
   /// once per group and scores it against all member queries with a single
@@ -83,6 +104,15 @@ struct OdysseyOptions {
   /// Exact executor-backed search only — other modes run per-query
   /// regardless. Default: the ODYSSEY_BATCHED_SCORING environment variable.
   bool batched_scoring = DefaultBatchedScoring();
+  /// Grouped-scan steal donation: batched-scoring members stay registered
+  /// as steal victims while their group runs, handing still-untouched
+  /// (member, RS-batch) slices of the merged leaf-work list to thieves over
+  /// the ordinary steal wire (scan_stats::BatchesDonated observes the
+  /// traffic; ARCHITECTURE.md "Work stealing" describes the protocol).
+  /// Meaningful only with work-stealing and batched scoring both on.
+  /// Default: on unless the ODYSSEY_STEAL_DONATION environment variable
+  /// disables it.
+  bool steal_donation = DefaultStealDonation();
   /// Optional models (owned by the caller, must outlive the cluster).
   const CostModel* cost_model = nullptr;
   const ThresholdModel* threshold_model = nullptr;
@@ -131,7 +161,9 @@ struct BatchReport {
   /// is a serial pre-step).
   double prep_overlap_seconds = 0.0;
   /// Highest number of queries any single node ran concurrently on its
-  /// pool (1 for AnswerBatch; up to stream_max_inflight for streams).
+  /// pool (bounded by the path's admission depth: batch_max_inflight for
+  /// AnswerBatch, stream_max_inflight for streams; stolen-work runs charge
+  /// the same budget).
   int queries_in_flight_hwm = 0;
   std::vector<NodeBatchStats> node_stats;
   size_t messages_sent = 0;

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "src/common/check.h"
+#include "src/common/numa.h"
 #include "src/common/stopwatch.h"
 #include "src/common/summary_stats.h"
 #include "src/distance/dtw.h"
@@ -112,6 +113,7 @@ void NodeRuntime::EnsureExecutor() {
     } else {
       workers_->Grow(want);
     }
+    PinExecutorWorkers();
     WarmExecutorScratch();
   }
   if (!comms_thread_.joinable()) {
@@ -157,6 +159,31 @@ void NodeRuntime::WarmExecutorScratch() {
   }
   workers_->WaitIdle();
   warmed_scratch_ = {width, batches, queues, lanes, length};
+}
+
+void NodeRuntime::PinExecutorWorkers() {
+  // Runs before WarmExecutorScratch so even the warm-up's scratch pages
+  // first-touch on the right socket. Same spin-barrier trick as the
+  // warm-up: each task parks its worker until all have started, so every
+  // worker binds its own affinity exactly once per pinning pass.
+  const int node = numa::NodeForGroup(layout_.GroupOf(id_));
+  if (node < 0) return;  // NUMA layer disabled (or off-platform)
+  const size_t width = workers_->num_threads();
+  if (width <= pinned_width_) return;
+  auto arrived = std::make_shared<std::atomic<size_t>>(0);
+  for (size_t i = 0; i < width; ++i) {
+    workers_->Submit([=] {
+      if (numa::BindCurrentThread(node)) {
+        executor_stats::CountWorkerPinned();
+      }
+      arrived->fetch_add(1, std::memory_order_acq_rel);
+      while (arrived->load(std::memory_order_acquire) < width) {
+        // Spin until every pinning task holds a distinct worker.
+      }
+    });
+  }
+  workers_->WaitIdle();
+  pinned_width_ = width;
 }
 
 void NodeRuntime::EpochThread(bool comms) {
@@ -690,7 +717,33 @@ void NodeRuntime::ExecuteQueryGroup(const std::vector<int>& query_ids) {
   members.reserve(execs.size());
   for (const auto& exec : execs) members.push_back(exec.get());
   GroupedQueryExecution group(std::move(members));
+  // Steal-donation: register every member as a victim for the duration of
+  // the run. A kStealRequest landing on a member forwards to the group's
+  // DonateBatches, and the grant rides the ordinary steal machinery
+  // (ledger, duplicate fence, dead-thief replay) untouched. Registration
+  // strictly after group construction and deregistration strictly before
+  // its destruction: exec_mu_ fences HandleStealRequest's iteration, so no
+  // steal call can observe a member without its group backlink.
+  const bool donate = options_.worksteal.enabled && options_.steal_donation;
+  if (donate) {
+    MutexLock lock(&exec_mu_);
+    for (size_t i = 0; i < execs.size(); ++i) {
+      running_execs_.push_back({query_ids[i], execs[i].get()});
+    }
+  }
   group.Run(workers_.get());
+  if (donate) {
+    MutexLock lock(&exec_mu_);
+    for (const auto& exec : execs) {
+      for (auto it = running_execs_.begin(); it != running_execs_.end();
+           ++it) {
+        if (it->second == exec.get()) {
+          running_execs_.erase(it);
+          break;
+        }
+      }
+    }
+  }
   for (size_t i = 0; i < execs.size(); ++i) {
     SendLocalAnswer(query_ids[i], execs[i]->results().SortedResults());
   }
@@ -868,7 +921,30 @@ void NodeRuntime::PerformWorkStealing() {
       MutexLock lock(&stats_mu_);
       ++batch_stats_.successful_steals;
     }
+    // Stolen (and donated) work draws from the same admission budget as
+    // the node's own queries: claim an in-flight slot for the re-run so
+    // inflight_/the high-water mark account for every unit of work the
+    // pool executes. The wait never stalls in practice — stealing starts
+    // after the node's own queries drained — but the invariant (at most
+    // max_inflight concurrent work items) is enforced, not assumed.
+    {
+      MutexLock lock(&inflight_mu_);
+      const int budget = std::max(1, options_.max_inflight);
+      while (inflight_ >= budget) inflight_cv_.Wait(&inflight_mu_);
+      ++inflight_;
+      {
+        MutexLock stats(&stats_mu_);
+        batch_stats_.inflight_hwm =
+            std::max(batch_stats_.inflight_hwm, inflight_);
+      }
+      executor_stats::RecordQueriesInFlight(static_cast<uint64_t>(inflight_));
+    }
     RunStolenWork(reply);
+    {
+      MutexLock lock(&inflight_mu_);
+      --inflight_;
+      inflight_cv_.SignalAll();
+    }
   }
 }
 
@@ -900,8 +976,20 @@ void NodeRuntime::RunStolenWork(const Message& reply) {
     exec.set_queue_threshold(
         options_.threshold_model->PredictThreshold(initial_bsf));
   }
-  exec.RunBatchSubset(reply.batch_ids,
-                      options_.use_executor ? workers_.get() : nullptr);
+  // Score in the node's own mode, exactly like ExecuteRecoveryQuery: on a
+  // batched-scoring cluster the victim (a grouped run, possibly donating)
+  // scores every candidate with the batched kernels, so the stolen subset
+  // must too — a per-query re-run would report ULP-different distances for
+  // the donated candidates and break bit-identity with the non-donated
+  // reference. The single-member grouped subset run keeps the family.
+  if (options_.batched_scoring && options_.use_executor &&
+      workers_ != nullptr && !options_.query_options.approximate) {
+    GroupedQueryExecution group({&exec});
+    group.RunBatchSubset(reply.batch_ids, workers_.get());
+  } else {
+    exec.RunBatchSubset(reply.batch_ids,
+                        options_.use_executor ? workers_.get() : nullptr);
+  }
   {
     MutexLock lock(&stats_mu_);
     batch_stats_.batches_stolen_run +=

@@ -59,10 +59,12 @@ struct NodeBatchOptions {
   /// creation per query). Off = legacy per-query thread spawning, kept for
   /// the pooled-vs-legacy benchmarks.
   bool use_executor = true;
-  /// Maximum queries this node runs concurrently on its pool (>= 1). The
-  /// streaming path raises it so a node with idle workers admits the next
-  /// arrival instead of serializing; batch answering keeps the paper's
-  /// one-query-at-a-time model.
+  /// Maximum queries this node runs concurrently on its pool (>= 1). One
+  /// shared admission budget covers everything the node executes: streamed
+  /// admissions, batch queries (AnswerBatch raises this to the pool width
+  /// on the executor path; ODYSSEY_BATCH_INFLIGHT overrides), grouped
+  /// members, and stolen/donated batches run in PerformWorkStealing — all
+  /// claim in-flight slots against the same counter.
   int max_inflight = 1;
   /// Run in-flight queries as one GroupedQueryExecution whose leaf scan
   /// scores each candidate series against the whole group with a single
@@ -70,6 +72,12 @@ struct NodeBatchOptions {
   /// search with use_executor only — other modes fall back to the
   /// per-query path). Driver-level switch: ODYSSEY_BATCHED_SCORING.
   bool batched_scoring = false;
+  /// Register grouped (batched-scoring) members as steal victims so a
+  /// grouped node donates still-untouched (member, batch) slices of its
+  /// merged scan to thieves (GroupedQueryExecution::DonateBatches). Off
+  /// restores the pre-donation behavior where grouped runs declined every
+  /// steal request. Driver-level switch: ODYSSEY_STEAL_DONATION.
+  bool steal_donation = true;
   /// Interval for unsolicited kHeartbeat pings to the coordinator, in
   /// seconds; 0 disables them. Set by the driver iff its liveness deadline
   /// is armed: long silent stretches (a main-phase DTW scan, a steal-phase
@@ -165,6 +173,14 @@ class NodeRuntime {
   /// purity contract; see src/common/hotpath.h). Driver-side, between
   /// epochs; no-op when no bound grew since the last warm-up.
   void WarmExecutorScratch();
+  /// Binds every pool worker to this node's NUMA socket
+  /// (numa::NodeForGroup of the node's replication group), matching the
+  /// first-touch placement of the group's SharedChunk. Same spin-barrier
+  /// technique as WarmExecutorScratch so each worker binds itself exactly
+  /// once; no-op when the NUMA layer is disabled or the pool has not grown
+  /// since the last pinning. Successes count in
+  /// executor_stats::WorkersPinned.
+  void PinExecutorWorkers();
   /// Persistent-thread bodies: park between epochs, run one *Loop per
   /// epoch. `comms` selects which loop.
   void EpochThread(bool comms);
@@ -173,11 +189,14 @@ class NodeRuntime {
   void ExecuteQuery(int query_id);
   /// Batched-scoring path: runs `query_ids` to completion as one
   /// GroupedQueryExecution on the pool, then reports each member's answer.
-  /// Grouped members are not registered as steal victims (see
-  /// GroupedQueryExecution's contract); the node still steals from peers
-  /// afterwards.
+  /// With worksteal + steal_donation on, every member is registered as a
+  /// steal victim for the duration of the run: a kStealRequest reaching a
+  /// member forwards to the group's DonateBatches, and the resulting grant
+  /// travels the ordinary steal wire (ledgered in steal_grants_, fenced in
+  /// steal_replies_sent_, replayed by HandleNodeDead — the outstanding-debt
+  /// invariant holds for donated batches unchanged).
   void ExecuteQueryGroup(const std::vector<int>& query_ids)
-      ODYSSEY_EXCLUDES(stats_mu_);
+      ODYSSEY_EXCLUDES(stats_mu_, exec_mu_);
   void HandleStealRequest(int thief, int steal_seq)
       ODYSSEY_EXCLUDES(exec_mu_, stats_mu_);
   /// Comms-thread reaction to the coordinator's kNodeDead verdict: marks
@@ -246,6 +265,9 @@ class NodeRuntime {
     size_t length = 0;   ///< series length the DTW rows are sized for
   };
   ScratchBounds warmed_scratch_;
+  /// Pool width already NUMA-pinned (grow-only, like warmed_scratch_):
+  /// re-pinning is only needed when Grow added workers.
+  size_t pinned_width_ = 0;
   Mutex epoch_mu_;
   CondVar epoch_cv_;
   uint64_t epochs_started_ ODYSSEY_GUARDED_BY(epoch_mu_) = 0;

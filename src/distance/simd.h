@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "src/common/hotpath.h"
+
 namespace odyssey {
 namespace simd {
 
@@ -133,6 +135,29 @@ const KernelTable& ActiveTable();
 
 /// ISA of ActiveTable(), for logging / benchmark counters.
 Isa ActiveIsa();
+
+/// Candidate lanes per MultiSquaredEuclideanEarlyAbandon call (the grouped
+/// scan's deferral-queue capacity).
+constexpr size_t kMultiCandidateLanes = 8;
+
+/// Scores up to kMultiCandidateLanes candidate series against ONE query in a
+/// single pass: out[c] accumulates (query[i] - series[c][i])^2 in strict
+/// point order with separate mul+add, so every lane is bit-identical to the
+/// per-query scalar early-abandon kernel — the same family the batched lanes
+/// reproduce. The lanes are independent add chains; on x86 they ride in
+/// vector ELEMENTS (candidate data transposed on the fly, every arithmetic
+/// op element-wise), which parallelizes across lanes without reassociating
+/// any single lane's sum — the reassociating per-query vector kernels stay
+/// banned from grouped scoring, this is the bit-exact way to vectorize it.
+/// A lane whose partial crosses `threshold` at a 16-point boundary is frozen
+/// there (its further contributions are exact +0.0f no-ops), so an abandoned
+/// lane reports the same partial the scalar kernel would have returned; the
+/// pass stops early only once every lane froze. The x86 paths need only
+/// baseline SSE2 and results are ISA-independent by construction — the
+/// grouped scan's lone-survivor path calls it directly, no table dispatch.
+ODYSSEY_HOT void MultiSquaredEuclideanEarlyAbandon(
+    const float* query, const float* const* series, size_t count, size_t n,
+    float threshold, float* out);
 
 }  // namespace simd
 }  // namespace odyssey
